@@ -1,0 +1,55 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the thesis's tables or figures and
+registers the reproduced rows through the ``report`` fixture; the collected
+tables are printed in the terminal summary (so they survive pytest's output
+capture and land in ``bench_output.txt``).
+
+Set ``REPRO_S1_SCALE=1`` to run the Table 3-1/3-2/3-3 benchmarks at the
+full 6 357-chip scale of the thesis; the default is a 1 000-chip design so
+the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: dict[str, str] = {}
+
+
+@pytest.fixture
+def report():
+    """Register a reproduced table: ``report("Table 3-1", text)``."""
+
+    def add(name: str, text: str) -> None:
+        _REPORTS[name] = text
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "REPRODUCED TABLES AND FIGURES")
+    for name in sorted(_REPORTS):
+        terminalreporter.write_sep("-", name)
+        for line in _REPORTS[name].splitlines():
+            terminalreporter.write_line(line)
+
+
+def synth_chip_count() -> int:
+    """The benchmark design size (6 357 at full scale)."""
+    if os.environ.get("REPRO_S1_SCALE"):
+        return 6_357
+    return 1_000
+
+
+@pytest.fixture(scope="session")
+def synth_design():
+    """The Table 3-x workload, generated once per session."""
+    from repro.workloads.synth import SynthConfig, generate
+
+    chips = synth_chip_count()
+    return generate(SynthConfig(chips=chips, stage_chips=400))

@@ -1,0 +1,120 @@
+"""The exponential-savings claim (sections 2.1 and 4.1).
+
+"This symbolic timing simulation has the advantage that it tests the
+circuit for most of the possible state transitions in a single pass.  The
+resulting savings in computational effort are clearly of factorial (i.e.,
+exponential) order."
+
+Workload: an N-input XOR function cone feeding a register, with one slow
+leg.  The Timing Verifier covers every input combination with ONE symbolic
+evaluation.  The min/max logic simulator must be driven with vectors; to
+cover all value states it needs 2^N of them, and a vector set that never
+sensitises the slow leg reports the circuit clean — the missed-violation
+failure mode of section 1.4.1.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.baselines import LogicSimulator, exhaustive_vectors
+
+
+def cone(n_inputs: int) -> Circuit:
+    """An N-input XOR tree with one slow input leg, feeding a register."""
+    c = Circuit(f"cone-{n_inputs}", period_ns=50.0, clock_unit_ns=6.25)
+    clk = c.net("CK .P2-3")
+    clk.wire_delay_ps = (0, 0)
+    leaves = []
+    for i in range(n_inputs):
+        name = f"IN{i} .S0-6"
+        if i == 0:
+            # The slow leg: lands inside the setup window of the 12.5 ns
+            # edge (data settles ~11.8 ns into the cycle).
+            slow = c.net(f"SLOW{i}")
+            slow.wire_delay_ps = (0, 0)
+            c.gate("BUF", slow, [c._as_connection(f"{name} &W")],
+                   delay=(60.0, 61.0), name=f"slowbuf{i}")
+            leaves.append(slow)
+        else:
+            leaves.append(c.net(name))
+    level = 0
+    while len(leaves) > 1:
+        nxt = []
+        for j in range(0, len(leaves) - 1, 2):
+            out = c.net(f"X{level}_{j}")
+            out.wire_delay_ps = (0, 0)
+            c.gate("XOR", out, [leaves[j], leaves[j + 1]],
+                   delay=(0.2, 0.4), name=f"x{level}_{j}")
+            nxt.append(out)
+        if len(leaves) % 2:
+            nxt.append(leaves[-1])
+        leaves = nxt
+        level += 1
+    c.reg("Q", clock=clk, data=leaves[0], delay=(1.5, 4.5))
+    c.setup_hold(leaves[0], clk, setup=2.5, hold=0.0)
+    return c
+
+
+def test_exponential_savings(benchmark, report):
+    sizes = (4, 6, 8, 10)
+    rows = [
+        f"{'N inputs':>9} {'verifier passes':>16} {'verifier ms':>12} "
+        f"{'sim vectors':>12} {'sim events':>11} {'sim ms':>9}"
+    ]
+    series = []
+    for n in sizes:
+        circuit = cone(n)
+
+        t0 = time.perf_counter()
+        result = TimingVerifier(circuit, EXACT).verify()
+        verifier_ms = (time.perf_counter() - t0) * 1000
+        assert any(v.kind.value == "setup" for v in result.violations), n
+
+        vectors = exhaustive_vectors(n)
+        sim = LogicSimulator(circuit)
+        for i in range(n):
+            sim.drive(f"IN{i} .S0-6", [vec[i] for vec in vectors])
+        t0 = time.perf_counter()
+        sim_result = sim.run(cycles=len(vectors))
+        sim_ms = (time.perf_counter() - t0) * 1000
+
+        rows.append(
+            f"{n:>9} {1:>16} {verifier_ms:>12.2f} {len(vectors):>12} "
+            f"{sim_result.events:>11} {sim_ms:>9.2f}"
+        )
+        series.append((n, verifier_ms, len(vectors), sim_result.events, sim_ms))
+
+    # One pass at the largest size, for the benchmark table.
+    big = cone(sizes[-1])
+    benchmark(lambda: TimingVerifier(big, EXACT).verify())
+
+    # Blind stimulus misses the error entirely (section 1.4.1's problem).
+    # The first two cycles are initialisation transient (the X values
+    # clearing out through the slow leg) and are not stimulus findings.
+    blind_circuit = cone(6)
+    blind = LogicSimulator(blind_circuit)
+    for i in range(6):
+        blind.drive(f"IN{i} .S0-6", [0, 0, 0, 0])  # nothing ever toggles
+    blind_result = blind.run(cycles=4)
+    settled = [
+        v for v in blind_result.violations
+        if v.time_ps >= 2 * blind_circuit.period_ps
+    ]
+
+    rows += [
+        "",
+        "simulation cost doubles per added input; the verifier stays at "
+        "one symbolic pass (paper: savings 'of exponential order')",
+        f"blind constant-vector simulation of the N=6 cone: "
+        f"{len(settled)} violations found after initialisation "
+        "(the slow path is simply never exercised)",
+    ]
+    report("Claim — exponential savings vs logic simulation", "\n".join(rows))
+
+    # Shape: simulator events grow exponentially; verifier's single pass
+    # time grows at most polynomially in N.
+    assert series[-1][3] > 8 * series[0][3]
+    assert series[-1][1] < series[0][1] * 50
+    assert settled == []

@@ -1,0 +1,75 @@
+"""Extension benchmark: different rising and falling delays (section 4.2.2).
+
+The thesis's future-work proposal for nMOS-style technologies, where "it is
+overly pessimistic to just use the longer of the two delays".  An inverter
+chain with 1/2 ns rises and 4/6 ns falls is analysed three ways: the
+max-only fallback, the directional extension, and — the thesis's key
+observation — the directional analysis through *multiple inverting levels*,
+where the roles alternate and a naive maximum is most wrong.
+"""
+
+from __future__ import annotations
+
+from repro import Circuit, EXACT, TimingVerifier
+
+RISE = (1.0, 2.0)
+FALL = (4.0, 6.0)
+CHAIN = 4
+
+
+def _chain(directional: bool) -> Circuit:
+    c = Circuit("nmos-chain", period_ns=50.0, clock_unit_ns=10.0)
+    prev = c.net("CK .P1-2")  # rising edge at 10 ns
+    prev.wire_delay_ps = (0, 0)
+    for i in range(CHAIN):
+        out = c.net(f"INV{i}")
+        out.wire_delay_ps = (0, 0)
+        if directional:
+            c.gate("NOT", out, [prev], rise_delay=RISE, fall_delay=FALL,
+                   name=f"inv{i}")
+        else:
+            worst = (min(RISE[0], FALL[0]), max(RISE[1], FALL[1]))
+            c.gate("NOT", out, [prev], delay=worst, name=f"inv{i}")
+        prev = out
+    return c
+
+
+def test_rise_fall_extension(benchmark, report):
+    directional = benchmark(
+        lambda: TimingVerifier(_chain(True), EXACT).verify()
+    )
+    maxonly = TimingVerifier(_chain(False), EXACT).verify()
+
+    d_last = directional.waveform(f"INV{CHAIN - 1}").materialized()
+    m_last = maxonly.waveform(f"INV{CHAIN - 1}").materialized()
+
+    # The launching edge at 10 ns propagates as alternating fall/rise.
+    d_window = (d_last.rising_windows() or d_last.falling_windows())[0]
+    m_window = (m_last.rising_windows() or m_last.falling_windows())[0]
+    d_width = d_window[1] - d_window[0]
+    m_width = m_window[1] - m_window[0]
+
+    rows = [
+        f"{CHAIN}-stage inverter chain, rise {RISE} ns / fall {FALL} ns:",
+        "",
+        f"{'analysis':<28} {'edge window':>22} {'uncertainty':>12}",
+        f"{'max-of-both (old fallback)':<28} "
+        f"{m_window[0] / 1000:>9.1f}..{m_window[1] / 1000:<9.1f} ns "
+        f"{m_width / 1000:>9.1f} ns",
+        f"{'directional (section 4.2.2)':<28} "
+        f"{d_window[0] / 1000:>9.1f}..{d_window[1] / 1000:<9.1f} ns "
+        f"{d_width / 1000:>9.1f} ns",
+        "",
+        "the directional analysis alternates the rise/fall roles through "
+        "each inverting level; the max-only analysis smears every edge by "
+        "the slow fall, compounding per level",
+        f"pessimism removed: {(m_width - d_width) / 1000:.1f} ns of edge "
+        f"uncertainty on a {CHAIN}-level path",
+    ]
+    report("Extension — different rising/falling delays", "\n".join(rows))
+
+    assert d_width < m_width
+    # The directional window is exactly the sum of the per-edge ranges on
+    # the alternating path (2 rises + 2 falls for 4 inverting levels).
+    expected = 2 * (RISE[1] - RISE[0]) + 2 * (FALL[1] - FALL[0])
+    assert abs(d_width / 1000 - expected) < 0.01

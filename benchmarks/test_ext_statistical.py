@@ -1,0 +1,70 @@
+"""Extension benchmark: probability-based analysis (section 4.2.4).
+
+"The Timing Verifier does minimum/maximum-based analysis ... Probability-
+based analysis allows a distribution to be specified for each propagation
+delay ... there is a low probability of all of the components along a given
+path having either of their extreme values."  We sweep path depth and show
+the statistical (3-sigma, uncorrelated) model admitting a faster clock than
+min/max — and the thesis's warning that correlated components (one wafer,
+one production run) collapse the advantage, which is why the S-1 kept the
+min/max analysis.
+"""
+
+from __future__ import annotations
+
+from repro import Circuit, EXACT
+from repro.baselines.statistical import StatisticalAnalyzer
+
+DEPTHS = (2, 4, 8, 12)
+
+
+def _chain(n_gates: int) -> Circuit:
+    c = Circuit(f"chain-{n_gates}", period_ns=100.0, clock_unit_ns=12.5)
+    ck = c.net("CK .P1-2")
+    ck.wire_delay_ps = (0, 0)
+    c.reg("Q0", clock=ck, data="D .S0-7", delay=(1.5, 4.5))
+    prev = "Q0"
+    for i in range(n_gates):
+        nxt = f"N{i}"
+        c.net(nxt).wire_delay_ps = (0, 0)
+        c.gate("BUF", nxt, [prev], delay=(2.0, 7.0), name=f"g{i}")
+        prev = nxt
+    c.setup_hold(prev, ck, setup=2.5, hold=0.0)
+    return c
+
+
+def test_statistical_extension(benchmark, report):
+    rows = [
+        f"{'path depth':>11} {'min/max period':>15} {'3-sigma period':>15} "
+        f"{'speedup':>8} {'rho=1 period':>13}"
+    ]
+    series = []
+    for depth in DEPTHS:
+        circuit = _chain(depth)
+        indep = StatisticalAnalyzer(circuit, EXACT).analyze()
+        corr = StatisticalAnalyzer(circuit, EXACT, correlation=1.0).analyze()
+        det_p, stat_p = indep.min_period_ps()
+        _, corr_p = corr.min_period_ps()
+        speedup = det_p / stat_p
+        rows.append(
+            f"{depth:>11} {det_p / 1000:>12.1f} ns {stat_p / 1000:>12.1f} ns "
+            f"{speedup:>7.2f}x {corr_p / 1000:>10.1f} ns"
+        )
+        series.append((depth, det_p, stat_p, corr_p))
+
+    benchmark(lambda: StatisticalAnalyzer(_chain(8), EXACT).analyze())
+
+    rows += [
+        "",
+        "uncorrelated delays: the statistical clock beats min/max and the "
+        "advantage grows with path depth (sqrt-of-sum vs sum of ranges)",
+        "fully correlated delays (one wafer): the advantage vanishes — the "
+        "thesis's stated reason for keeping min/max analysis for the S-1",
+    ]
+    report("Extension — probability-based analysis", "\n".join(rows))
+
+    for depth, det_p, stat_p, corr_p in series:
+        assert stat_p < det_p
+        assert abs(corr_p - det_p) < 100  # rho=1 recovers min/max (±0.1 ns)
+    speedups = [det / stat for _d, det, stat, _c in series]
+    assert speedups[-1] > speedups[0]

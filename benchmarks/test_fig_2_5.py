@@ -1,0 +1,50 @@
+"""Figures 2-5, 3-10 and 3-11: the register-file circuit and its listings.
+
+The thesis's central worked example: verified under the S-1 rules, the
+Timing Verifier prints the signal-value summary (Figure 3-10) and exactly
+two setup errors (Figure 3-11):
+
+* the RAM address checker's 3.5 ns setup missed by the full 3.5 ns, the
+  data not stable until 11.5 ns when the write-enable starts rising; and
+* the output register's 2.5 ns setup missed by ~1 ns, the clock starting
+  to rise at 49.0 ns.
+"""
+
+from repro import TimingVerifier
+from repro.core.violations import ViolationKind
+from repro.workloads import fig_2_5_register_file
+
+
+def test_fig_2_5_register_file(benchmark, report):
+    result = benchmark(
+        lambda: TimingVerifier(fig_2_5_register_file()).verify()
+    )
+
+    setups = result.report.by_kind(ViolationKind.SETUP)
+    assert len(result.violations) == 2
+    assert len(setups) == 2
+
+    addr = next(v for v in setups if v.signal == "ADR")
+    outreg = next(v for v in setups if "RAM OUT" in v.signal)
+    assert addr.missed_by_ps == 3_500  # "missed by the full 3.5 nsec"
+    assert 500 <= outreg.missed_by_ps <= 1_500  # paper: 1.0 ns
+    assert outreg.window[0] == 46_500  # clock rising at 49.0, setup 2.5
+
+    adr_wave = result.waveform("ADR").materialized()
+    assert adr_wave.describe() == "S 0.5 C 5.5 S 25.5 C 30.5 S"  # Fig 3-10 row
+
+    rows = [
+        "Figure 3-10 (summary listing):",
+        *("  " + line for line in result.summary_listing().splitlines()[2:]),
+        "",
+        "Figure 3-11 (error listing):",
+        *("  " + line for line in result.error_listing().splitlines()),
+        "",
+        "paper vs measured:",
+        "  error 1: setup 3.5 missed by full 3.5; data stable at 11.5  "
+        "-> reproduced exactly",
+        f"  error 2: setup 2.5 missed by ~1.0; clock rising at 49.0     "
+        f"-> measured missed-by "
+        f"{(outreg.missed_by_ps or 0) / 1000:.3f} ns",
+    ]
+    report("Figures 2-5 / 3-10 / 3-11 — register file", "\n".join(rows))

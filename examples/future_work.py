@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The thesis's future-work chapter (4.2), exercised.
+
+Three of the four section 4.2 research directions are implemented in this
+repository; this example runs each:
+
+* 4.2.1 — self-timed circuits: measure a module's propagation-delay
+  envelope and size its matched "done" delay;
+* 4.2.2 — different rising and falling delays: an nMOS-style inverter
+  chain analysed directionally instead of with max-of-both;
+* 4.2.4 — probability-based analysis: the 3-sigma clock vs the min/max
+  clock, and the correlation caveat that made the thesis keep min/max.
+
+(4.2.3 — the correlation problem — is part of the main reproduction: see
+``repro.workloads.fig_4_1_correlation`` and the ``CORR`` library macro.)
+"""
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.baselines.statistical import StatisticalAnalyzer
+from repro.selftimed import done_delay_ns, module_delay
+
+
+def self_timed() -> None:
+    print("4.2.1 — module delay for self-timed design")
+    c = Circuit("alu-module", period_ns=200.0, clock_unit_ns=25.0)
+    for name in ("SUM", "CARRY OUT"):
+        c.net(name).wire_delay_ps = (0, 0)
+    c.chg("CARRY OUT", ["A", "B", "CARRY IN"], delay=(1.5, 5.0), name="carry")
+    c.chg("SUM", ["A", "B", "CARRY OUT"], delay=(2.0, 7.0), name="sum")
+    delays = module_delay(c, ["A", "B", "CARRY IN"], ["SUM", "CARRY OUT"])
+    for d in delays.values():
+        print(f"   {d}")
+    print(f"   matched 'done' delay: {done_delay_ns(delays, margin_ns=1.0):.1f} ns"
+          " (slowest output + 1 ns margin)")
+    print()
+
+
+def rise_fall() -> None:
+    print("4.2.2 — different rising and falling delays (nMOS)")
+    c = Circuit("nmos", period_ns=50.0, clock_unit_ns=10.0)
+    prev = c.net("CK .P1-2")
+    prev.wire_delay_ps = (0, 0)
+    for i in range(3):
+        out = c.net(f"INV{i}")
+        out.wire_delay_ps = (0, 0)
+        c.gate("NOT", out, [prev], rise_delay=(1.0, 2.0),
+               fall_delay=(4.0, 6.0), name=f"inv{i}")
+        prev = out
+    result = TimingVerifier(c, EXACT).verify()
+    for i in range(3):
+        print(f"   INV{i}: {result.waveform(f'INV{i}').describe()}")
+    print("   each level alternates the rise/fall roles; max-of-both would"
+          " smear every edge by 1..6 ns")
+    print()
+
+
+def statistical() -> None:
+    print("4.2.4 — probability-based analysis")
+    c = Circuit("stat", period_ns=100.0, clock_unit_ns=12.5)
+    ck = c.net("CK .P1-2")
+    ck.wire_delay_ps = (0, 0)
+    c.reg("Q0", clock=ck, data="D .S0-7", delay=(1.5, 4.5))
+    prev = "Q0"
+    for i in range(8):
+        nxt = f"N{i}"
+        c.net(nxt).wire_delay_ps = (0, 0)
+        c.gate("BUF", nxt, [prev], delay=(2.0, 7.0), name=f"g{i}")
+        prev = nxt
+    c.setup_hold(prev, ck, setup=2.5, hold=0.0)
+    for rho, label in ((0.0, "uncorrelated"), (1.0, "one-wafer (rho=1)")):
+        report = StatisticalAnalyzer(c, EXACT, correlation=rho).analyze()
+        det, stat = report.min_period_ps()
+        print(f"   {label:<20} min period: min/max {det / 1000:.1f} ns, "
+              f"3-sigma {stat / 1000:.1f} ns")
+    print("   -> uncorrelated parts could run ~29% faster than min/max"
+          " predicts; correlated parts could not — the thesis's reason to"
+          " keep min/max for the S-1")
+
+
+def main() -> None:
+    self_timed()
+    rise_fall()
+    statistical()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Hunting the Figure 1-5 gated-clock hazard, three ways.
+
+The circuit: a register is conditionally clocked by ``AND(CLOCK, ENABLE)``,
+but ENABLE is generated too late — it only reaches its inhibiting zero at
+25 ns while CLOCK is high 20-30 ns, so a 5 ns runt pulse may clock the
+register.  This is the thesis's archetypal "circuit that usually works but
+occasionally fails".
+
+1. The Timing Verifier's minimum-pulse-width checker flags the possible
+   runt in one symbolic pass.
+2. The ``&A`` evaluation directive reports the unstable control directly.
+3. The min/max *logic simulator* baseline only sees the hazard on a vector
+   where ENABLE actually falls late — timing coverage depends on stimulus.
+"""
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.baselines import LogicSimulator
+from repro.workloads import fig_1_5_gated_clock
+
+
+def main() -> None:
+    print("1) Timing Verifier, pulse-width checker")
+    result = TimingVerifier(fig_1_5_gated_clock(), EXACT).verify()
+    for violation in result.violations:
+        print(f"   {violation}")
+
+    print()
+    print("2) Timing Verifier, &A directive on the clock input")
+    result = TimingVerifier(fig_1_5_gated_clock(use_directive=True), EXACT).verify()
+    for violation in result.violations:
+        print(f"   {violation}")
+
+    print()
+    print("3) Logic-simulator baseline (section 1.4.1)")
+    # The same gate, with ENABLE's late fall modelled explicitly: it
+    # arrives through a slow inverter, 25 ns into the cycle.
+    c = Circuit("fig-1-5-sim", period_ns=50.0, clock_unit_ns=10.0)
+    c.gate("NOT", "ENABLE", ["SLOW CTL"], delay=(24.0, 25.0), name="slow inv")
+    c.gate("AND", "REG CLOCK", ["CLOCK .P2-3", "ENABLE"], name="gate")
+    c.reg("Q", clock="REG CLOCK", data="DATA", delay=(1.0, 3.0))
+
+    quiet = LogicSimulator(c)
+    quiet.drive("SLOW CTL", [0, 0])  # enable stays high: no runt, no report
+    quiet.drive("DATA", [1, 1])
+    r = quiet.run(cycles=2)
+    print(f"   vector CTL=0: {len(r.violations)} findings — looks fine")
+
+    loud = LogicSimulator(c)
+    loud.drive("SLOW CTL", [0, 1])  # this vector creates the 5 ns runt
+    loud.drive("DATA", [1, 1])
+    r = loud.run(cycles=2)
+    final = r.final_values["REG CLOCK"]
+    print(f"   vector CTL=0->1: REG CLOCK passes through a runt "
+          f"(gate events: {r.events}); only this stimulus exposes it")
+    print()
+    print("The Verifier needed no vectors; the simulator's answer depends "
+          "on the ones you thought to try (section 1.4.1's core problem).")
+
+
+if __name__ == "__main__":
+    main()

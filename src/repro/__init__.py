@@ -1,0 +1,72 @@
+"""repro — the SCALD Timing Verifier, reproduced.
+
+A Python reproduction of Thomas M. McWilliams, *Verification of Timing
+Constraints on Large Digital Systems* (Stanford / LLNL, 1980; DAC 1980): a
+symbolic, value-independent timing verifier for synchronous sequential
+circuits, together with the substrates it rests on (a SCALD-style HDL and
+macro expander, a component library, and the two baseline approaches the
+thesis compares against).
+
+Quickstart::
+
+    from repro import Circuit, TimingVerifier
+
+    c = Circuit("demo", period_ns=50.0, clock_unit_ns=6.25)
+    c.reg("Q", clock="CLK .P2-3", data="D .S0-6", delay=(1.5, 4.5), width=8)
+    c.setup_hold("D .S0-6", "CLK .P2-3", setup=2.5, hold=1.5)
+    result = TimingVerifier(c).verify()
+    print(result.error_listing())
+"""
+
+from .core import (
+    EXACT,
+    CheckReport,
+    Engine,
+    OscillationError,
+    Timebase,
+    TimingVerifier,
+    Value,
+    VerificationResult,
+    VerifyConfig,
+    Violation,
+    ViolationKind,
+    Waveform,
+    verify,
+)
+from .hdl import Assertion, AssertionKind, parse_signal_name
+from .netlist import (
+    Circuit,
+    Component,
+    Connection,
+    InvalidCircuitError,
+    Net,
+    NetlistError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EXACT",
+    "CheckReport",
+    "Engine",
+    "OscillationError",
+    "Timebase",
+    "TimingVerifier",
+    "Value",
+    "VerificationResult",
+    "VerifyConfig",
+    "Violation",
+    "ViolationKind",
+    "Waveform",
+    "verify",
+    "Assertion",
+    "AssertionKind",
+    "parse_signal_name",
+    "Circuit",
+    "Component",
+    "Connection",
+    "InvalidCircuitError",
+    "Net",
+    "NetlistError",
+    "__version__",
+]

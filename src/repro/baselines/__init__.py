@@ -1,0 +1,21 @@
+"""The two prior approaches the thesis compares against (section 1.4)."""
+
+from .logicsim import LV, LogicSimulator, SimResult, SimViolation, exhaustive_vectors, gate_value
+from .pathsearch import PathAnalyzer, PathReport, PathViolation
+from .statistical import DelayDist, StatCheck, StatisticalAnalyzer, StatisticalReport
+
+__all__ = [
+    "LV",
+    "LogicSimulator",
+    "SimResult",
+    "SimViolation",
+    "exhaustive_vectors",
+    "gate_value",
+    "PathAnalyzer",
+    "PathReport",
+    "PathViolation",
+    "DelayDist",
+    "StatCheck",
+    "StatisticalAnalyzer",
+    "StatisticalReport",
+]

@@ -1,0 +1,401 @@
+"""A minimum/maximum-based gate-level logic simulator (section 1.4.1.1).
+
+This is the *baseline* the thesis argues against: a TEGAS/SAGE/LAMP-style
+event-driven simulator with the six-value system ``0, 1, X (initialisation),
+U (rising), D (falling), E (potential spike/hazard)`` and per-component
+minimum/maximum delays.  A gate output is set to the transitional value
+between its minimum and maximum delay and to its final value afterwards.
+
+It simulates *one sample of value behaviour per vector*: to verify timing it
+must be driven with enough vectors to exercise every distinct timing path,
+which is exponential in the number of independent inputs — the cost the
+Timing Verifier's STABLE value eliminates (sections 2.1 and 4.1).  The
+exponential-savings benchmark drives both tools over the same circuits.
+
+Scope: vector-valued nets are simulated as single symbols (the same
+vectorisation the Verifier exploits); CHG primitives have no boolean
+function and are rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.timeline import format_ns
+from ..netlist.circuit import Circuit, Component, Connection, Net
+
+
+class LV(enum.Enum):
+    """The six simulation values of TEGAS-style precise-delay timing."""
+
+    ZERO = "0"
+    ONE = "1"
+    X = "X"  # unknown / initialisation
+    U = "U"  # signal rising (inside a min/max ambiguity region)
+    D = "D"  # signal falling
+    E = "E"  # potential spike, hazard, or race
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: (initial, final) level pair each simulation value stands for.
+_SPAN = {
+    LV.ZERO: (LV.ZERO, LV.ZERO),
+    LV.ONE: (LV.ONE, LV.ONE),
+    LV.X: (LV.X, LV.X),
+    LV.U: (LV.ZERO, LV.ONE),
+    LV.D: (LV.ONE, LV.ZERO),
+    LV.E: (LV.X, LV.X),
+}
+
+
+def _lv_not(v: LV) -> LV:
+    return {LV.ZERO: LV.ONE, LV.ONE: LV.ZERO, LV.U: LV.D, LV.D: LV.U}.get(v, v)
+
+
+def _bool_fn(name: str, levels: Sequence[LV]) -> LV:
+    """Combine definite levels (0/1/X) through a gate function."""
+    if name in ("AND", "NAND"):
+        if any(v is LV.ZERO for v in levels):
+            out = LV.ZERO
+        elif all(v is LV.ONE for v in levels):
+            out = LV.ONE
+        else:
+            out = LV.X
+    elif name in ("OR", "NOR"):
+        if any(v is LV.ONE for v in levels):
+            out = LV.ONE
+        elif all(v is LV.ZERO for v in levels):
+            out = LV.ZERO
+        else:
+            out = LV.X
+    elif name in ("XOR", "XNOR"):
+        if any(v is LV.X for v in levels):
+            out = LV.X
+        else:
+            ones = sum(1 for v in levels if v is LV.ONE)
+            out = LV.ONE if ones % 2 else LV.ZERO
+    elif name in ("BUF", "DELAY", "NOT"):
+        out = levels[0]
+    else:  # pragma: no cover
+        raise AssertionError(name)
+    if name in ("NAND", "NOR", "XNOR", "NOT"):
+        out = _lv_not(out)
+    return out
+
+
+def gate_value(name: str, inputs: Sequence[LV]) -> LV:
+    """Six-value gate evaluation: combine the initial and final levels.
+
+    If the initial and final combined levels differ the output is in
+    transition (U/D); an input marked E makes the output E unless a
+    controlling level masks it.
+    """
+    initials = [_SPAN[v][0] for v in inputs]
+    finals = [_SPAN[v][1] for v in inputs]
+    init = _bool_fn(name, initials)
+    final = _bool_fn(name, finals)
+    if any(v is LV.E for v in inputs):
+        # A potential spike propagates unless a controlling level pins the
+        # output to a constant throughout.
+        if init == final and final in (LV.ZERO, LV.ONE):
+            return final
+        return LV.E
+    transitional = sum(1 for v in inputs if v in (LV.U, LV.D))
+    if init == final:
+        if transitional >= 2 and init in (LV.ZERO, LV.ONE):
+            # Two crossing transitions may momentarily expose the other
+            # level even though start and end agree — a potential spike
+            # (TEGAS's E value): e.g. XOR of two rising inputs.
+            return LV.E
+        return init
+    if (init, final) == (LV.ZERO, LV.ONE):
+        return LV.U
+    if (init, final) == (LV.ONE, LV.ZERO):
+        return LV.D
+    return LV.X
+
+
+@dataclass(frozen=True)
+class SimViolation:
+    """A timing problem observed during simulation (one vector's worth)."""
+
+    kind: str  # "setup" | "hold" | "spike"
+    component: str
+    signal: str
+    time_ps: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.component}: {self.kind} at {format_ns(self.time_ps)} ns "
+            f"on {self.signal!r} {self.detail}"
+        )
+
+
+@dataclass
+class SimResult:
+    """The outcome of one simulation run."""
+
+    cycles: int
+    events: int
+    violations: list[SimViolation] = field(default_factory=list)
+    final_values: dict[str, LV] = field(default_factory=dict)
+    #: (net name, time, new value) for every applied change, when traced.
+    trace: list[tuple[str, int, LV]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class LogicSimulator:
+    """Event-driven min/max logic simulation of a :class:`Circuit`.
+
+    Primary inputs are driven with per-cycle test vectors
+    (:meth:`drive`); clock-asserted nets toggle automatically from their
+    assertions.  Registers check their ``setup``/``hold`` parameters (taken
+    from an attached SETUP HOLD CHK, if any) against observed data-change
+    times, which is how a logic simulator finds timing errors — *on the
+    vectors it is given*.
+    """
+
+    _GATES = frozenset(
+        {"AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUF", "DELAY"}
+    )
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.period = circuit.period_ps
+        for comp in circuit.iter_components():
+            if comp.prim.name == "CHG":
+                raise ValueError(
+                    "CHG primitives have no boolean function; the logic "
+                    "simulator needs the full logic design "
+                    f"(component {comp.name!r})"
+                )
+        self._loads: dict[Net, list[Component]] = {}
+        self._driven: set[Net] = set()
+        for comp in circuit.iter_components():
+            for _pin, conn in comp.input_pins():
+                self._loads.setdefault(circuit.find(conn.net), []).append(comp)
+            for _pin, conn in comp.output_pins():
+                self._driven.add(circuit.find(conn.net))
+        self._vectors: dict[Net, list[int]] = {}
+        # Per-register observation state for dynamic setup/hold checking.
+        self._setup_hold: dict[str, tuple[int, int]] = {}
+        for comp in circuit.iter_components():
+            if comp.prim.name in ("SETUP_HOLD_CHK", "SETUP_RISE_HOLD_FALL_CHK"):
+                self._setup_hold[circuit.find(comp.pins["I"].net).name] = (
+                    comp.params["setup"],
+                    comp.params["hold"],
+                )
+
+    # ------------------------------------------------------------------
+    # stimulus
+    # ------------------------------------------------------------------
+
+    def drive(self, net_name: str, bits: Iterable[int]) -> None:
+        """Apply one bit per cycle to a primary input."""
+        net = self.circuit.nets.get(net_name)
+        if net is None:
+            raise KeyError(f"no net named {net_name!r}")
+        rep = self.circuit.find(net)
+        if rep in self._driven:
+            raise ValueError(f"{net_name!r} is driven by logic, not a test input")
+        self._vectors[rep] = [int(b) for b in bits]
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def run(self, cycles: int, record_trace: bool = False) -> SimResult:
+        values: dict[Net, LV] = {
+            rep: LV.X for rep in self.circuit.representatives()
+        }
+        last_change: dict[Net, int] = {}
+        last_clock_edge: dict[str, int] = {}
+        held_data: dict[str, LV] = {}
+        result = SimResult(cycles=cycles, events=0)
+        queue: list[tuple[int, int, Net, LV]] = []
+        seq = itertools.count()
+
+        def schedule(t: int, net: Net, value: LV) -> None:
+            heapq.heappush(queue, (t, next(seq), net, value))
+
+        # Pre-load stimulus events for every cycle.
+        for rep in self.circuit.representatives():
+            assertion = rep.assertion
+            if assertion is not None and assertion.kind.is_clock:
+                wf = assertion.waveform(self.circuit.timebase)
+                for cycle in range(cycles):
+                    base = cycle * self.period
+                    schedule(base, rep, LV(str(wf.value_at(0))))
+                    for t, _before, after in wf.boundaries():
+                        if t:
+                            schedule(base + t, rep, LV(str(after)))
+            elif rep in self._vectors:
+                bits = self._vectors[rep]
+                for cycle in range(cycles):
+                    bit = bits[cycle % len(bits)]
+                    schedule(cycle * self.period, rep, LV.ONE if bit else LV.ZERO)
+
+        def wire(conn: Connection) -> tuple[int, int]:
+            if conn.wire_delay_ps is not None:
+                return conn.wire_delay_ps
+            rep = self.circuit.find(conn.net)
+            if rep.wire_delay_ps is not None:
+                return rep.wire_delay_ps
+            return (0, 0)
+
+        def input_value(conn: Connection) -> LV:
+            v = values[self.circuit.find(conn.net)]
+            return _lv_not(v) if conn.invert else v
+
+        def evaluate(comp: Component, now: int) -> None:
+            name = comp.prim.name
+            if comp.prim.is_checker:
+                return
+            if name in self._GATES:
+                ins = [input_value(conn) for _p, conn in comp.input_pins()]
+                out = gate_value(name, ins)
+                self._emit(comp, out, now, schedule, values)
+            elif name.startswith("MUX"):
+                n = int(name[3:])
+                n_sel = max(1, n.bit_length() - 1)
+                sel = [input_value(comp.pins[f"S{i}"]) for i in range(n_sel)]
+                if all(v in (LV.ZERO, LV.ONE) for v in sel):
+                    idx = sum((1 << i) for i, v in enumerate(sel) if v is LV.ONE)
+                    out = input_value(comp.pins[f"I{idx}"])
+                else:
+                    out = LV.X
+                self._emit(comp, out, now, schedule, values)
+            elif name in ("REG", "REG_RS", "LATCH", "LATCH_RS"):
+                self._storage(comp, now, schedule, values, last_change,
+                              last_clock_edge, held_data, result)
+
+        # Main loop.
+        horizon = cycles * self.period
+        while queue:
+            t, _s, net, value = heapq.heappop(queue)
+            if t >= horizon:
+                break
+            rep = self.circuit.find(net)
+            if values[rep] == value:
+                continue
+            values[rep] = value
+            last_change[rep] = t
+            result.events += 1
+            if record_trace:
+                result.trace.append((rep.name, t, value))
+            # Dynamic hold check: did this data net change too soon after
+            # its register's clock edge?
+            sh = self._setup_hold.get(rep.name)
+            if sh and rep.name in last_clock_edge:
+                _setup, hold = sh
+                edge = last_clock_edge[rep.name]
+                if 0 <= t - edge < hold:
+                    result.violations.append(
+                        SimViolation(
+                            "hold", "sim", rep.name, t,
+                            f"(changed {format_ns(t - edge)} ns after the edge)",
+                        )
+                    )
+            for comp in self._loads.get(rep, ()):  # re-evaluate fanout
+                evaluate(comp, t)
+
+        result.final_values = {
+            rep.name: values[rep] for rep in self.circuit.representatives()
+        }
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, comp, out, now, schedule, values) -> None:
+        conn = comp.pins.get("OUT")
+        if conn is None:
+            return
+        rep = self.circuit.find(conn.net)
+        dmin, dmax = comp.delay_ps()
+        old = values[rep]
+        if out == old:
+            return
+        if dmax > dmin:
+            # Between the minimum and maximum delay the output is in its
+            # ambiguity region: U for a rise, D for a fall, X otherwise.
+            transitional = {
+                (LV.ZERO, LV.ONE): LV.U,
+                (LV.ONE, LV.ZERO): LV.D,
+            }.get((_SPAN[old][1], _SPAN[out][1]), LV.X)
+            schedule(now + dmin, rep, transitional)
+        schedule(now + dmax, rep, out)
+
+    def _storage(
+        self, comp, now, schedule, values, last_change, last_clock_edge,
+        held_data, result
+    ) -> None:
+        # Asynchronous SET/RESET override the clocked behaviour entirely.
+        for pin, forced in (("SET", LV.ONE), ("RESET", LV.ZERO)):
+            conn = comp.pins.get(pin)
+            if conn is None:
+                continue
+            v = values[self.circuit.find(conn.net)]
+            if conn.invert:
+                v = _lv_not(v)
+            if v is LV.ONE:
+                out_rep = self.circuit.find(comp.pins["OUT"].net)
+                if values[out_rep] != forced:
+                    schedule(now + comp.delay_ps()[1], out_rep, forced)
+                return
+        clock_pin = "CLOCK" if comp.prim.name.startswith("REG") else "ENABLE"
+        clock_rep = self.circuit.find(comp.pins[clock_pin].net)
+        data_conn = comp.pins["DATA"]
+        data_rep = self.circuit.find(data_conn.net)
+        clock = values[clock_rep]
+        data = values[data_rep]
+        if data_conn.invert:
+            data = _lv_not(data)
+        dmin, dmax = comp.delay_ps()
+        is_latch = comp.prim.name.startswith("LATCH")
+        key = comp.name
+        if clock is LV.ONE:
+            if is_latch or held_data.get(key + "/ck") != LV.ONE:
+                # Latch transparent / register rising edge.
+                if not is_latch:
+                    last_clock_edge[data_rep.name] = now
+                    sh = self._setup_hold.get(data_rep.name)
+                    if sh:
+                        setup, _hold = sh
+                        changed = last_change.get(data_rep, -(10**12))
+                        if now - changed < setup:
+                            result.violations.append(
+                                SimViolation(
+                                    "setup", comp.name, data_rep.name, now,
+                                    f"(data changed {format_ns(now - changed)}"
+                                    " ns before the edge)",
+                                )
+                            )
+                    if data in (LV.U, LV.D, LV.E):
+                        data = LV.X  # metastable capture
+                out_rep = self.circuit.find(comp.pins["OUT"].net)
+                if values[out_rep] != data:
+                    if dmax > dmin:
+                        schedule(now + dmin, out_rep, LV.E
+                                 if data is LV.X else
+                                 (LV.U if data is LV.ONE else LV.D))
+                    schedule(now + dmax, out_rep, data)
+                held_data[key] = data
+        elif is_latch and clock is LV.ZERO:
+            pass  # holds the captured value
+        held_data[key + "/ck"] = clock
+
+
+def exhaustive_vectors(n_inputs: int) -> list[tuple[int, ...]]:
+    """All input combinations — the vector count a simulator needs to cover
+    every distinct value state once (transitions need the cross product)."""
+    return list(itertools.product((0, 1), repeat=n_inputs))

@@ -1,0 +1,271 @@
+"""A worst-case path-searching analyzer (section 1.4.2).
+
+The GRASP/RAS-style baseline: search every combinational path between
+registers (and asserted inputs) for its longest and shortest delay, with no
+knowledge of signal values.  Like RAS, the start and end points are found
+automatically from the storage elements; like GRASP, loops that are not
+broken by a register stop the search at a limit and are reported for the
+user to cut by hand.
+
+The thesis's criticism (sections 1.4.2 and 4.1) — "unable to take into
+account the value behavior of the control signals ... and therefore tends
+to generate numerous irrelevant error messages" — is reproduced directly:
+on the Figure 2-6 circuit this analyzer reports the impossible 40 ns path
+that the Verifier's case analysis excludes, and a clock driving a
+multiplexer select line defeats it entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import VerifyConfig
+from ..core.timeline import format_ns
+from ..netlist.circuit import Circuit, Component, Net
+
+#: Primitives treated as path-through combinational elements.
+_COMBINATIONAL = frozenset(
+    {"AND", "NAND", "OR", "NOR", "XOR", "XNOR", "NOT", "BUF", "DELAY", "CHG",
+     "MUX2", "MUX4", "MUX8"}
+)
+_STORAGE = frozenset({"REG", "REG_RS", "LATCH", "LATCH_RS"})
+
+
+@dataclass(frozen=True)
+class PathViolation:
+    """A worst/best-path constraint failure at a storage or checker input."""
+
+    kind: str  # "setup" | "hold" | "unclocked" | "loop"
+    where: str
+    signal: str
+    slack_ps: int | None = None
+    path: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        slack = (
+            f" (slack {format_ns(self.slack_ps)} ns)"
+            if self.slack_ps is not None
+            else ""
+        )
+        via = f" via {' -> '.join(self.path)}" if self.path else ""
+        return f"{self.where}: {self.kind} on {self.signal!r}{slack}{via}"
+
+
+@dataclass
+class PathReport:
+    """Everything the path search produced."""
+
+    arrivals: dict[str, tuple[int, int]] = field(default_factory=dict)
+    violations: list[PathViolation] = field(default_factory=list)
+    loops: list[list[str]] = field(default_factory=list)
+    paths_examined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def arrival(self, net_name: str) -> tuple[int, int]:
+        """(earliest-settled, latest-settled) time of a net, in ps."""
+        return self.arrivals[net_name]
+
+
+class PathAnalyzer:
+    """Worst-case register-to-register path search over a :class:`Circuit`.
+
+    Arrival windows are computed per net: ``(min, max)`` time by which the
+    net may still be changing after the cycle starts.  Sources are register
+    outputs (clock edge plus the element's delay range) and asserted inputs
+    (the end of their asserted changing window).  Values are never
+    consulted: every multiplexer leg and every gate input is a possible
+    path, which is precisely what makes the method pessimistic.
+    """
+
+    def __init__(self, circuit: Circuit, config: VerifyConfig | None = None,
+                 search_limit: int = 10_000) -> None:
+        self.circuit = circuit
+        self.config = config or VerifyConfig()
+        self.search_limit = search_limit
+
+    # ------------------------------------------------------------------
+
+    def _wire(self, conn) -> tuple[int, int]:
+        if conn.wire_delay_ps is not None:
+            return conn.wire_delay_ps
+        rep = self.circuit.find(conn.net)
+        if rep.wire_delay_ps is not None:
+            return rep.wire_delay_ps
+        return self.config.default_wire_delay_ps
+
+    def _clock_edge(self, comp: Component) -> tuple[int, int] | None:
+        """The rising-edge window of a storage element's clock assertion.
+
+        A path searcher cannot evaluate gated clocks; it only understands a
+        directly asserted clock (this very limitation generates the
+        'unclocked' reports the thesis complains about).
+        """
+        pin = "CLOCK" if comp.prim.name.startswith("REG") else "ENABLE"
+        rep = self.circuit.find(comp.pins[pin].net)
+        assertion = rep.assertion
+        if assertion is None or not assertion.kind.is_clock:
+            return None
+        skew = self.config.clock_skew_ns(assertion.kind.name == "PRECISION_CLOCK")
+        wf = assertion.waveform(self.circuit.timebase, skew).materialized()
+        windows = wf.rising_windows()
+        if not windows:
+            return None
+        return windows[0]
+
+    def analyze(self) -> PathReport:
+        report = PathReport()
+        circuit = self.circuit
+        period = circuit.period_ps
+
+        #: earliest-possible-change of a never-changing signal.
+        NEVER = 10 * period + self.search_limit * period
+
+        # Seed arrivals: (earliest possible change, latest settle time).
+        arrivals: dict[Net, tuple[int, int]] = {}
+        for rep in circuit.representatives():
+            assertion = rep.assertion
+            if assertion is not None and not assertion.kind.is_clock:
+                wf = assertion.waveform(circuit.timebase)
+                from ..core.values import CHANGE
+
+                runs = wf.level_runs(CHANGE)
+                if runs:
+                    # The signal settles at the end of its changing window.
+                    arrivals[rep] = (runs[0][0], max(end for _s, end in runs))
+                else:
+                    arrivals[rep] = (NEVER, 0)
+
+        comb: list[Component] = []
+        for comp in circuit.iter_components():
+            name = comp.prim.name
+            if name in _STORAGE:
+                edge = self._clock_edge(comp)
+                out = circuit.find(comp.pins["OUT"].net)
+                if edge is None:
+                    report.violations.append(
+                        PathViolation(
+                            "unclocked", comp.name,
+                            comp.pins["CLOCK" if name.startswith("REG")
+                                      else "ENABLE"].net.name,
+                        )
+                    )
+                    arrivals[out] = (0, period)  # worst case: unknown
+                else:
+                    dmin, dmax = comp.delay_ps()
+                    arrivals[out] = (edge[0] + dmin, edge[1] + dmax)
+            elif name in _COMBINATIONAL:
+                comb.append(comp)
+
+        # Relax combinational arrival windows to a fixed point, with a
+        # search limit standing in for GRASP's loop cutoff.
+        budget = self.search_limit
+        changed = True
+        while changed:
+            changed = False
+            for comp in comb:
+                out_rep = circuit.find(comp.pins["OUT"].net)
+                dmin, dmax = comp.delay_ps()
+                # Inputs with no arrival yet are treated as not-yet-known;
+                # the component relaxes from whatever is known so far and
+                # is revisited as more arrivals appear (undriven signals
+                # with no assertion simply never contribute a change).
+                ins = []
+                for _pin, conn in comp.input_pins():
+                    rep = circuit.find(conn.net)
+                    if rep not in arrivals:
+                        continue
+                    wmin, wmax = self._wire(conn)
+                    a = arrivals[rep]
+                    ins.append((a[0] + wmin + dmin, a[1] + wmax + dmax))
+                if not ins:
+                    continue
+                window = (min(a for a, _b in ins), max(b for _a, b in ins))
+                old = arrivals.get(out_rep)
+                if old is not None:
+                    window = (min(window[0], old[0]), max(window[1], old[1]))
+                if old != window:
+                    arrivals[out_rep] = window
+                    changed = True
+                    report.paths_examined += 1
+                    budget -= 1
+                    if budget <= 0:
+                        report.loops.append(
+                            [comp.name, out_rep.name, "search limit hit"]
+                        )
+                        changed = False
+                        break
+            if budget <= 0:
+                break
+
+        # Check constraints at storage-element and checker inputs.
+        for comp in circuit.iter_components():
+            name = comp.prim.name
+            if name in ("SETUP_HOLD_CHK", "SETUP_RISE_HOLD_FALL_CHK"):
+                data_rep = circuit.find(comp.pins["I"].net)
+                ck = comp.pins["CK"]
+                ck_rep = circuit.find(ck.net)
+                assertion = ck_rep.assertion
+                if assertion is None or not assertion.kind.is_clock:
+                    report.violations.append(
+                        PathViolation("unclocked", comp.name, ck_rep.name)
+                    )
+                    continue
+                skew = self.config.clock_skew_ns(
+                    assertion.kind.name == "PRECISION_CLOCK"
+                )
+                wf = assertion.waveform(circuit.timebase, skew)
+                if ck.invert:
+                    from ..core.values import value_not
+
+                    wf = wf.mapped(value_not)
+                windows = wf.materialized().rising_windows()
+                if not windows or data_rep not in arrivals:
+                    continue
+                r0, r1 = windows[0]
+                amin, amax = arrivals[data_rep]
+                setup, hold = comp.params["setup"], comp.params["hold"]
+                if amin > amax:
+                    continue  # the signal never changes
+                # Rule 1 (cycle limit, RAS-style): the worst path must
+                # settle by the capture edge one period after cycle start.
+                if amax + setup > r0 + period:
+                    report.violations.append(
+                        PathViolation(
+                            "setup", comp.name, data_rep.name,
+                            slack_ps=(r0 + period - setup) - amax,
+                        )
+                    )
+                    continue
+                # Rule 2: the clock edge repeats every period; the data's
+                # changing window [amin, amax] must not intersect any
+                # occurrence's setup region [e0 - setup, e1] or hold
+                # region [e0, e1 + hold].
+                found_setup = found_hold = False
+                n_lo = (amin - setup - r1) // period - 1
+                n_hi = (amax + hold - r0) // period + 1
+                for n in range(n_lo, n_hi + 1):
+                    e0, e1 = r0 + n * period, r1 + n * period
+                    if not found_setup and amin < e1 and amax > e0 - setup:
+                        report.violations.append(
+                            PathViolation(
+                                "setup", comp.name, data_rep.name,
+                                slack_ps=(e0 - setup) - amax,
+                            )
+                        )
+                        found_setup = True
+                    if not found_hold and hold > 0 and \
+                            amin < e1 + hold and amax > e0:
+                        report.violations.append(
+                            PathViolation(
+                                "hold", comp.name, data_rep.name,
+                                slack_ps=amin - (e1 + hold),
+                            )
+                        )
+                        found_hold = True
+        report.arrivals = {
+            rep.name: window for rep, window in arrivals.items()
+        }
+        return report

@@ -1,0 +1,253 @@
+"""Probability-based timing analysis (sections 1.4.1.2 and 4.2.4).
+
+The thesis's future-work proposal: "Such a Timing Verifier could keep
+track of means and variances, rather than minimum and maximum values."
+Following the DIGSIM model it cites, every component delay is treated as a
+normal distribution; along a path the means and variances add, and a path
+meets timing when its arrival at a designer-chosen confidence (k sigma)
+clears the constraint.
+
+The point the thesis makes with this model (section 1.4.1.1): "a real
+design usually could be made to run faster than [the min/max] system will
+predict.  This is because the probability is quite low that all of the
+components along a time-critical path will have the maximum ... delay
+values, if the delays ... are uncorrelated."  And its warning: correlated
+delays (chips from one wafer) silently break the model, which is why the
+min/max analysis was chosen for the S-1 — reproduced here via the
+``correlation`` knob, which interpolates between independent (0.0) and
+fully correlated (1.0) path variance.
+
+When a component's delay is stated min/max, the default conversion treats
+the range as ±3 sigma around the midpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.config import VerifyConfig
+from ..core.timeline import format_ns
+from ..netlist.circuit import Circuit, Component, Net
+from .pathsearch import _COMBINATIONAL, _STORAGE
+
+
+@dataclass(frozen=True)
+class DelayDist:
+    """A normally distributed delay, in picoseconds."""
+
+    mean: float
+    variance: float
+
+    @classmethod
+    def from_range(cls, dmin: int, dmax: int) -> "DelayDist":
+        """Treat a min/max specification as a ±3-sigma range."""
+        mean = (dmin + dmax) / 2
+        sigma = (dmax - dmin) / 6
+        return cls(mean=mean, variance=sigma * sigma)
+
+    def plus(self, other: "DelayDist", correlation: float = 0.0) -> "DelayDist":
+        """Sum of two delays with the given pairwise correlation."""
+        cov = 2 * correlation * math.sqrt(self.variance * other.variance)
+        return DelayDist(self.mean + other.mean,
+                         self.variance + other.variance + cov)
+
+    def quantile(self, k_sigma: float) -> float:
+        """The k-sigma upper arrival bound."""
+        return self.mean + k_sigma * math.sqrt(self.variance)
+
+
+@dataclass
+class StatisticalReport:
+    """Arrival distributions and slack under both analysis models."""
+
+    arrivals: dict[str, DelayDist] = field(default_factory=dict)
+    checks: list["StatCheck"] = field(default_factory=list)
+
+    def worst(self) -> "StatCheck | None":
+        return min(self.checks, key=lambda c: c.stat_slack_ps, default=None)
+
+    def min_period_ps(self, k_sigma: float = 3.0) -> tuple[float, float]:
+        """(min/max model, statistical model) smallest workable period.
+
+        Computed from the worst check's slack against the current period:
+        a negative slack means the clock must stretch by that much.
+        """
+        if not self.checks:
+            return (0.0, 0.0)
+        period = self.checks[0].period_ps
+        det = max(period - c.det_slack_ps for c in self.checks)
+        stat = max(period - c.stat_slack_ps for c in self.checks)
+        return (det, stat)
+
+
+@dataclass(frozen=True)
+class StatCheck:
+    """One setup constraint evaluated under both models."""
+
+    where: str
+    signal: str
+    edge_ps: int
+    setup_ps: int
+    period_ps: int
+    det_arrival_ps: int
+    arrival: DelayDist
+    k_sigma: float
+
+    @property
+    def det_slack_ps(self) -> float:
+        return (self.edge_ps + self.period_ps - self.setup_ps) - self.det_arrival_ps
+
+    @property
+    def stat_slack_ps(self) -> float:
+        return (
+            self.edge_ps + self.period_ps - self.setup_ps
+            - self.arrival.quantile(self.k_sigma)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.where}: {self.signal!r} det slack "
+            f"{format_ns(round(self.det_slack_ps))} ns, "
+            f"{self.k_sigma:.0f}-sigma slack "
+            f"{format_ns(round(self.stat_slack_ps))} ns"
+        )
+
+
+class StatisticalAnalyzer:
+    """Mean/variance worst-path analysis over a :class:`Circuit`.
+
+    Propagates arrival *distributions* through the combinational graph the
+    same way :class:`~repro.baselines.PathAnalyzer` propagates min/max
+    windows; at a path merge the later-mean input dominates (a standard
+    statistical-STA max approximation).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: VerifyConfig | None = None,
+        k_sigma: float = 3.0,
+        correlation: float = 0.0,
+    ) -> None:
+        self.circuit = circuit
+        self.config = config or VerifyConfig()
+        self.k_sigma = k_sigma
+        self.correlation = correlation
+
+    def _wire_dist(self, conn) -> DelayDist:
+        if conn.wire_delay_ps is not None:
+            lo, hi = conn.wire_delay_ps
+        else:
+            rep = self.circuit.find(conn.net)
+            lo, hi = (
+                rep.wire_delay_ps
+                if rep.wire_delay_ps is not None
+                else self.config.default_wire_delay_ps
+            )
+        return DelayDist.from_range(lo, hi)
+
+    def analyze(self) -> StatisticalReport:
+        from .pathsearch import PathAnalyzer
+
+        report = StatisticalReport()
+        circuit = self.circuit
+        period = circuit.period_ps
+        det = PathAnalyzer(circuit, self.config).analyze()
+
+        arrivals: dict[Net, DelayDist] = {}
+        edges: dict[str, int] = {}
+        for comp in circuit.iter_components():
+            if comp.prim.name not in _STORAGE:
+                continue
+            pin = "CLOCK" if comp.prim.name.startswith("REG") else "ENABLE"
+            rep = circuit.find(comp.pins[pin].net)
+            assertion = rep.assertion
+            if assertion is None or not assertion.kind.is_clock:
+                continue
+            wf = assertion.waveform(circuit.timebase)
+            windows = wf.materialized().rising_windows()
+            if not windows:
+                continue
+            edge = (windows[0][0] + windows[0][1]) // 2
+            edges[comp.name] = edge
+            out = circuit.find(comp.pins["OUT"].net)
+            dmin, dmax = comp.delay_ps()
+            arrivals[out] = DelayDist(edge, 0.0).plus(
+                DelayDist.from_range(dmin, dmax), self.correlation
+            )
+        for rep in circuit.representatives():
+            assertion = rep.assertion
+            if assertion is not None and not assertion.kind.is_clock:
+                from ..core.values import CHANGE
+
+                runs = assertion.waveform(circuit.timebase).level_runs(CHANGE)
+                if runs:
+                    settle = max(end for _s, end in runs)
+                    arrivals[rep] = DelayDist(settle, 0.0)
+
+        # Relax through the combinational graph.
+        changed = True
+        guard = 10_000
+        while changed and guard:
+            changed = False
+            guard -= 1
+            for comp in circuit.iter_components():
+                if comp.prim.name not in _COMBINATIONAL:
+                    continue
+                out_rep = circuit.find(comp.pins["OUT"].net)
+                gate = DelayDist.from_range(*comp.delay_ps())
+                best: DelayDist | None = None
+                for _pin, conn in comp.input_pins():
+                    rep = circuit.find(conn.net)
+                    if rep not in arrivals:
+                        continue
+                    candidate = arrivals[rep].plus(
+                        self._wire_dist(conn), self.correlation
+                    ).plus(gate, self.correlation)
+                    if best is None or candidate.quantile(self.k_sigma) > \
+                            best.quantile(self.k_sigma):
+                        best = candidate
+                if best is None:
+                    continue
+                old = arrivals.get(out_rep)
+                if old is None or best.quantile(self.k_sigma) > \
+                        old.quantile(self.k_sigma) + 1e-9:
+                    arrivals[out_rep] = best
+                    changed = True
+
+        det_arrival = det.arrivals
+        for comp in circuit.iter_components():
+            if comp.prim.name not in ("SETUP_HOLD_CHK",):
+                continue
+            data_rep = circuit.find(comp.pins["I"].net)
+            ck_rep = circuit.find(comp.pins["CK"].net)
+            assertion = ck_rep.assertion
+            if (
+                assertion is None
+                or not assertion.kind.is_clock
+                or data_rep not in arrivals
+            ):
+                continue
+            wf = assertion.waveform(circuit.timebase)
+            windows = wf.materialized().rising_windows()
+            if not windows:
+                continue
+            edge = windows[0][0]
+            det_amax = det_arrival.get(data_rep.name, (0, 0))[1]
+            report.checks.append(
+                StatCheck(
+                    where=comp.name,
+                    signal=data_rep.name,
+                    edge_ps=edge,
+                    setup_ps=comp.params["setup"],
+                    period_ps=period,
+                    det_arrival_ps=det_amax,
+                    arrival=arrivals[data_rep],
+                    k_sigma=self.k_sigma,
+                )
+            )
+        report.arrivals = {
+            rep.name: dist for rep, dist in arrivals.items()
+        }
+        return report

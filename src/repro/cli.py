@@ -1,0 +1,120 @@
+"""Command-line entry point: ``scald-tv design.scald``.
+
+Runs the full pipeline of section 3.3.1 on a textual SCALD design: Macro
+Expansion (read, Pass 1, Pass 2), timing verification, and the output
+listings (timing summary, error listing, cross-reference, execution
+statistics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.verifier import TimingVerifier
+from .core.config import VerifyConfig
+from .hdl.expander import MacroExpander
+from .reporting.listing import phase_table, violation_listing, xref_listing
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scald-tv",
+        description="SCALD Timing Verifier (McWilliams 1980, reproduced)",
+    )
+    parser.add_argument("design", help="a .scald design source file")
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="print the Figure 3-10 signal-value summary listing",
+    )
+    parser.add_argument(
+        "--xref", action="store_true",
+        help="print the cross-reference of signals assumed stable",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print Table 3-1 style execution statistics",
+    )
+    parser.add_argument(
+        "--wire-delay", metavar="MIN:MAX", default=None,
+        help="default interconnection delay in ns (default 0.0:2.0)",
+    )
+    parser.add_argument(
+        "--case", type=int, default=0, metavar="N",
+        help="which case's summary to print (default 0)",
+    )
+    parser.add_argument(
+        "--storage", action="store_true",
+        help="print Table 3-3 style storage accounting",
+    )
+    parser.add_argument(
+        "--diagram", action="store_true",
+        help="draw ASCII timing diagrams of all signals",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="trace the critical contribution to each violation's signal",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    config = VerifyConfig()
+    if args.wire_delay:
+        try:
+            lo, hi = (float(x) for x in args.wire_delay.split(":"))
+        except ValueError:
+            print(f"bad --wire-delay {args.wire_delay!r}; use MIN:MAX",
+                  file=sys.stderr)
+            return 2
+        config = VerifyConfig(default_wire_delay_ns=(lo, hi))
+
+    try:
+        expander = MacroExpander.from_file(args.design)
+        circuit = expander.expand()
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result = TimingVerifier(circuit, config).verify()
+
+    if args.summary:
+        print(result.summary_listing(case=args.case))
+        print()
+    if args.xref:
+        print(xref_listing(result))
+        print()
+    if args.diagram:
+        from .reporting.diagram import timing_diagram
+
+        print(timing_diagram(result, case=args.case))
+        print()
+    print(violation_listing(result))
+    if args.explain and result.violations:
+        from .reporting.explain import explain_violation
+
+        print()
+        for violation in result.violations:
+            print(explain_violation(circuit, result, violation, config))
+            print()
+    if args.stats:
+        print()
+        print(expander.stats.table())
+        print()
+        print(phase_table(result))
+    if args.storage:
+        from .core.engine import Engine
+        from .reporting.stats import measure_storage
+
+        engine = Engine(circuit, config)
+        engine.initialize(circuit.cases[0] if circuit.cases else {})
+        engine.run()
+        print()
+        print(measure_storage(engine).table())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

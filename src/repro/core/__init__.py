@@ -1,0 +1,37 @@
+"""The Timing Verifier core: value algebra, waveforms, models, engine."""
+
+from .config import EXACT, VerifyConfig
+from .engine import Engine, EngineStats, OscillationError
+from .timeline import Timebase, format_ns, ns_to_ps, ps_to_ns
+from .values import Value
+from .verifier import (
+    CaseResult,
+    PhaseTimes,
+    TimingVerifier,
+    VerificationResult,
+    verify,
+)
+from .violations import CheckReport, Violation, ViolationKind
+from .waveform import Waveform
+
+__all__ = [
+    "EXACT",
+    "VerifyConfig",
+    "Engine",
+    "EngineStats",
+    "OscillationError",
+    "Timebase",
+    "format_ns",
+    "ns_to_ps",
+    "ps_to_ns",
+    "Value",
+    "CaseResult",
+    "PhaseTimes",
+    "TimingVerifier",
+    "VerificationResult",
+    "verify",
+    "CheckReport",
+    "Violation",
+    "ViolationKind",
+    "Waveform",
+]

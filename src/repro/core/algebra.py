@@ -1,0 +1,146 @@
+"""Combination of waveforms through the seven-value functions.
+
+This module implements the rule of section 2.8 governing the skew field:
+
+* a signal that is merely **delayed** keeps its skew in the separate field
+  (:meth:`Waveform.delayed` already does this);
+* when **two or more changing signals are combined**, their skews can no
+  longer be represented by a single field, so each operand's skew is first
+  folded into its value list (RISE/FALL/CHANGE) and the fold results are
+  combined pointwise.  An operand that never changes (a constant 0/1/S/U)
+  imposes no transitions of its own, so a single changing operand may pass
+  through a gate with its skew intact — this is what keeps a gated clock's
+  pulse width exact in Figure 2-8.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .values import (
+    STABLE_VALUES,
+    Value,
+    transition_value,
+    value_and_n,
+    value_chg,
+    value_or_n,
+    value_xor_n,
+)
+from .waveform import Waveform
+
+NaryFn = Callable[[Sequence[Value]], Value]
+
+
+def _merged_cuts(waveforms: Sequence[Waveform]) -> list[int]:
+    period = waveforms[0].period
+    cuts = {0, period}
+    for wf in waveforms:
+        cuts.update(start for start, _end, _v in wf.iter_segments())
+    return sorted(cuts)
+
+
+def pointwise(fn: NaryFn, waveforms: Sequence[Waveform]) -> Waveform:
+    """Combine skew-free waveforms pointwise through ``fn``.
+
+    All operands must share a period.  Operands carrying skew must be
+    materialized by the caller first (:func:`combine` does this); a stray
+    skew here would be silently ignored, so it is rejected.
+
+    Soundness at boundaries: an input boundary whose output value is the
+    same on both sides (e.g. ``1 -> STABLE`` through an AND whose other
+    input is STABLE — both sides read ``S``) can still carry a real output
+    transition.  Wherever that happens the boundary is kept visible as a
+    1 ps change marker, computed by pushing the inputs' *transition values*
+    through ``fn``; a dominated boundary (masked by a controlling 0/1) maps
+    to a stable value and gets no marker.
+    """
+    if not waveforms:
+        raise ValueError("need at least one waveform")
+    period = waveforms[0].period
+    for wf in waveforms:
+        if wf.period != period:
+            raise ValueError("waveform periods differ")
+        if wf.has_skew:
+            raise ValueError("pointwise combination requires skew-free operands")
+    cuts = _merged_cuts(waveforms)
+    values = []
+    for lo in cuts[:-1]:
+        values.append(fn([wf.value_at(lo) for wf in waveforms]))
+    segments: list[tuple[Value, int]] = []
+    n = len(values)
+    for k, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+        before = values[(k - 1) % n]
+        here = values[k]
+        width = hi - lo
+        if before == here and here in STABLE_VALUES and width > 0:
+            # The boundary at `lo` would be invisible; check whether the
+            # inputs' transitions can still reach the output there.
+            boundary = fn(
+                [
+                    transition_value(
+                        wf.value_at(lo - 1), wf.value_at(lo)
+                    )
+                    for wf in waveforms
+                ]
+            )
+            if boundary not in STABLE_VALUES:
+                segments.append((boundary, 1))
+                width -= 1
+        if width:
+            segments.append((here, width))
+    return Waveform(period, segments)
+
+
+def combine(fn: NaryFn, waveforms: Sequence[Waveform]) -> Waveform:
+    """Combine waveforms through ``fn`` with the section 2.8 skew rule.
+
+    If at most one operand has transitions, that operand's skew survives in
+    the result's skew field (its transitions are the only ones, so the
+    result is just a reshaped copy of its timing).  Otherwise every operand
+    is materialized and the result carries no separate skew.
+    """
+    changing = [wf for wf in waveforms if not wf.is_constant]
+    if len(changing) <= 1:
+        # Constants carry no transitions, so their skew is vacuous and the
+        # single changing operand's skew transfers to the result intact.
+        carrier_skew = changing[0].skew if changing else (0, 0)
+        cleaned = [wf.with_skew((0, 0)) if wf.has_skew else wf for wf in waveforms]
+        return pointwise(fn, cleaned).with_skew(carrier_skew)
+    return pointwise(fn, [wf.materialized() for wf in waveforms])
+
+
+def wave_or(waveforms: Sequence[Waveform]) -> Waveform:
+    """N-ary worst-case OR of waveforms."""
+    return combine(value_or_n, waveforms)
+
+
+def wave_and(waveforms: Sequence[Waveform]) -> Waveform:
+    """N-ary worst-case AND of waveforms."""
+    return combine(value_and_n, waveforms)
+
+
+def wave_xor(waveforms: Sequence[Waveform]) -> Waveform:
+    """N-ary worst-case XOR of waveforms."""
+    return combine(value_xor_n, waveforms)
+
+
+def wave_chg(waveforms: Sequence[Waveform]) -> Waveform:
+    """N-ary CHANGE function of waveforms (section 2.4.2)."""
+    return combine(value_chg, waveforms)
+
+
+def wave_apply(
+    fn: Callable[..., Value], waveforms: Sequence[Waveform]
+) -> Waveform:
+    """Combine through an arbitrary positional value function.
+
+    Convenience wrapper for model code (e.g. the multiplexer select
+    function), with the same skew-folding rule as :func:`combine`.
+    """
+    return combine(lambda vals: fn(*vals), waveforms)
+
+
+def all_equal_constant(waveforms: Iterable[Waveform]) -> bool:
+    """True when every waveform is the same full-period constant."""
+    consts = {wf.segments[0][0] if wf.is_constant else None for wf in waveforms}
+    return len(consts) == 1 and None not in consts

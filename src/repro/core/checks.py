@@ -1,0 +1,375 @@
+"""Constraint checkers (sections 2.4.4, 2.4.5 and 2.6).
+
+Checkers run after the evaluation fixed point (section 2.9): they read the
+final signal values and report violations; they never drive outputs.
+
+All functions here operate on prepared waveforms (interconnection delay
+applied, complements taken) and absolute picosecond parameters.
+"""
+
+from __future__ import annotations
+
+from .values import ONE, STABLE_VALUES, UNKNOWN, ZERO, Value
+from .violations import Violation, ViolationKind
+from .waveform import Waveform
+
+
+def check_setup_hold(
+    component: str,
+    signal_name: str,
+    data: Waveform,
+    clock_name: str,
+    clock: Waveform,
+    setup_ps: int,
+    hold_ps: int,
+    case_index: int = 0,
+) -> list[Violation]:
+    """The SETUP HOLD CHK primitive (Figure 2-3, upper).
+
+    The input must be stable for ``setup`` before the rising edge of the
+    clock and remain stable for ``hold`` after it.  With clock skew the
+    edge is a window ``[r0, r1]`` and the stable requirement spans
+    ``[r0 - setup, r1 + hold]``.
+    """
+    out: list[Violation] = []
+    if data.is_fully_unknown or clock.is_fully_unknown:
+        return out  # undefined signals are reported via the cross-reference
+    clockm = clock.materialized()
+    edges = clockm.rising_windows()
+    if not edges:
+        out.append(
+            Violation(
+                kind=ViolationKind.NO_CLOCK_EDGE,
+                component=component,
+                signal=signal_name,
+                clock=clock_name,
+                case_index=case_index,
+                clock_waveform=clockm,
+            )
+        )
+        return out
+    datam = data.materialized()
+    for edge in edges:
+        out.extend(
+            _check_edge_window(
+                component,
+                signal_name,
+                datam,
+                clock_name,
+                clockm,
+                edge=edge,
+                setup_ps=setup_ps,
+                hold_ps=hold_ps,
+                case_index=case_index,
+            )
+        )
+    return out
+
+
+def check_setup_rise_hold_fall(
+    component: str,
+    signal_name: str,
+    data: Waveform,
+    clock_name: str,
+    clock: Waveform,
+    setup_ps: int,
+    hold_ps: int,
+    case_index: int = 0,
+) -> list[Violation]:
+    """The SETUP RISE HOLD FALL CHK primitive (Figure 2-3, lower).
+
+    Checks the setup interval before the *rising* edge, the hold interval
+    after the *falling* edge, and that the input is stable for the entire
+    time the clock is true — the constraint shape of write-enable pulses on
+    memory parts (Figure 3-5 uses it for the RAM address lines).
+    """
+    out: list[Violation] = []
+    if data.is_fully_unknown or clock.is_fully_unknown:
+        return out
+    clockm = clock.materialized()
+    rises = clockm.rising_windows()
+    falls = clockm.falling_windows()
+    if not rises or not falls:
+        out.append(
+            Violation(
+                kind=ViolationKind.NO_CLOCK_EDGE,
+                component=component,
+                signal=signal_name,
+                clock=clock_name,
+                case_index=case_index,
+                clock_waveform=clockm,
+            )
+        )
+        return out
+    datam = data.materialized()
+    period = clock.period
+    for r0, r1 in rises:
+        # Pair this rise with the first fall that begins at or after the
+        # rise window starts (circularly) — the end of this assertion pulse.
+        def fall_key(fw: tuple[int, int]) -> int:
+            return (fw[0] - r0) % period
+        f0, f1 = min(falls, key=fall_key)
+        f0 = r0 + ((f0 - r0) % period)
+        f1 = f0 + (f1 - f0 if f1 >= f0 else 0)
+        span_setup = (r0 - setup_ps, r1)
+        span_high = (r1, f0)
+        span_hold = (f0, f1 + hold_ps)
+        for window, kind, required in (
+            (span_setup, ViolationKind.SETUP, setup_ps),
+            (span_high, ViolationKind.STABLE_WHILE_TRUE, None),
+            (span_hold, ViolationKind.HOLD, hold_ps),
+        ):
+            lo, hi = window
+            if hi <= lo:
+                continue
+            bad = datam.instability_in(lo, hi)
+            if not bad:
+                continue
+            if kind is ViolationKind.SETUP:
+                missed = max(h for _l, h, _v in bad) - lo
+            elif kind is ViolationKind.HOLD:
+                missed = hi - min(l for l, _h, _v in bad)
+            else:
+                missed = None
+            out.append(
+                Violation(
+                    kind=kind,
+                    component=component,
+                    signal=signal_name,
+                    clock=clock_name,
+                    required_ps=required,
+                    missed_by_ps=missed,
+                    window=window,
+                    case_index=case_index,
+                    signal_waveform=datam,
+                    clock_waveform=clockm,
+                )
+            )
+    return out
+
+
+def _check_edge_window(
+    component: str,
+    signal_name: str,
+    datam: Waveform,
+    clock_name: str,
+    clockm: Waveform,
+    edge: tuple[int, int],
+    setup_ps: int,
+    hold_ps: int,
+    case_index: int,
+) -> list[Violation]:
+    """Check one clock-edge window ``edge = (r0, r1)``.
+
+    The input must be stable throughout ``[r0 - setup, r1 + hold]``.  The
+    hold time may be negative (Figure 3-5 checks -1.0 ns on the register
+    file's data inputs), shrinking the window from the right.  Instability
+    that begins before the edge window ends is attributed to setup;
+    instability that persists past the edge window start is attributed to
+    hold — instability right at the edge therefore reports as both.
+    """
+    r0, r1 = edge
+    w_lo, w_hi = r0 - setup_ps, r1 + hold_ps
+    if w_hi <= w_lo:
+        return []
+    bad = datam.instability_in(w_lo, w_hi)
+    if not bad:
+        return []
+    out: list[Violation] = []
+    setup_side = [iv for iv in bad if iv[0] < r1 or iv[0] == iv[1] == r1]
+    hold_side = [iv for iv in bad if iv[1] > r0 or iv[0] == iv[1] == r0]
+    if setup_side and setup_ps > 0:
+        # "The data didn't go stable until 47.5 ns into the cycle and the
+        # clock starts rising at 49.0, thereby missing the specified setup
+        # interval of 2.5 ns by 1.0 ns" (Figure 3-11).  Data that is not
+        # stable at all before the edge misses "by the full" setup time.
+        missed = min(max(hi for _lo, hi, _v in setup_side) - w_lo, setup_ps)
+        out.append(
+            Violation(
+                kind=ViolationKind.SETUP,
+                component=component,
+                signal=signal_name,
+                clock=clock_name,
+                required_ps=setup_ps,
+                missed_by_ps=missed,
+                window=(w_lo, r1),
+                case_index=case_index,
+                signal_waveform=datam,
+                clock_waveform=clockm,
+            )
+        )
+    if hold_side and w_hi > r0:
+        missed = w_hi - min(lo for lo, _hi, _v in hold_side)
+        if hold_ps > 0:
+            missed = min(missed, hold_ps)
+        out.append(
+            Violation(
+                kind=ViolationKind.HOLD,
+                component=component,
+                signal=signal_name,
+                clock=clock_name,
+                required_ps=hold_ps,
+                missed_by_ps=missed,
+                window=(r0, w_hi),
+                case_index=case_index,
+                signal_waveform=datam,
+                clock_waveform=clockm,
+            )
+        )
+    return out
+
+
+def check_min_pulse_width(
+    component: str,
+    signal_name: str,
+    signal: Waveform,
+    min_high_ps: int | None,
+    min_low_ps: int | None,
+    case_index: int = 0,
+    glitch_warnings: bool = True,
+) -> list[Violation]:
+    """The MIN PULSE WIDTH checker (Figure 2-4).
+
+    Works on the *nominal* waveform: separately-carried skew delays both
+    pulse edges equally and must not narrow the pulse (the entire reason
+    the skew field exists, section 2.8).  Skew already folded into
+    RISE/FALL values *does* narrow the guaranteed level runs — exactly the
+    pessimism the thesis describes for combined signals.
+
+    Additionally flags level runs of CHANGE bounded by the same level on
+    both sides as possible glitches (the Figure 1-5 hazard, when the runt
+    pulse is entirely uncertain).
+    """
+    out: list[Violation] = []
+    if signal.is_fully_unknown:
+        return out
+    for level, minimum, kind in (
+        (ONE, min_high_ps, ViolationKind.MIN_PULSE_WIDTH_HIGH),
+        (ZERO, min_low_ps, ViolationKind.MIN_PULSE_WIDTH_LOW),
+    ):
+        if minimum is None:
+            continue
+        for start, end in signal.level_runs(level):
+            width = end - start
+            if width >= signal.period:
+                continue  # constant level: not a pulse
+            if width < minimum:
+                out.append(
+                    Violation(
+                        kind=kind,
+                        component=component,
+                        signal=signal_name,
+                        required_ps=minimum,
+                        actual_ps=width,
+                        window=(start, end),
+                        case_index=case_index,
+                        signal_waveform=signal,
+                    )
+                )
+    if glitch_warnings and (min_high_ps is not None or min_low_ps is not None):
+        for start, end, vals, before, after in signal.materialized()._circular_runs(
+            lambda v: v not in STABLE_VALUES and v is not UNKNOWN
+        ):
+            if before == after and before in (ZERO, ONE) and end > start:
+                out.append(
+                    Violation(
+                        kind=ViolationKind.POSSIBLE_GLITCH,
+                        component=component,
+                        signal=signal_name,
+                        window=(start, end),
+                        case_index=case_index,
+                        signal_waveform=signal,
+                        note=(
+                            "signal may pulse away from its resting level "
+                            "within this window; pulse width cannot be "
+                            "guaranteed"
+                        ),
+                    )
+                )
+    return out
+
+
+def check_gating_stability(
+    component: str,
+    control_name: str,
+    control: Waveform,
+    clock_name: str,
+    clock: Waveform,
+    case_index: int = 0,
+) -> list[Violation]:
+    """The ``&A``/``&H`` directive check (section 2.6).
+
+    Every control signal gated with a clock must be stable during the
+    entire interval in which the clock is asserted, so that the gate output
+    is either a clean clock pulse or no pulse at all — never a runt pulse
+    clocking a register unexpectedly (the Figure 1-5 hazard).
+    """
+    out: list[Violation] = []
+    if control.is_fully_unknown or clock.is_fully_unknown:
+        return out
+    clockm = clock.materialized()
+    controlm = control.materialized()
+    from .values import CHANGING_VALUES
+
+    # The asserted window is everywhere the clock *may* be high: each
+    # guaranteed-high run together with the transition windows flanking it
+    # (the clock may already be high during its rise window).
+    maybe_high = clockm._circular_runs(
+        lambda v: v is ONE or v in CHANGING_VALUES
+    )
+    for lo, hi, vals, _before, _after in maybe_high:
+        if ONE not in vals or hi - lo >= clock.period:
+            continue
+        bad = controlm.instability_in(lo, hi)
+        if bad:
+            out.append(
+                Violation(
+                    kind=ViolationKind.GATING_STABILITY,
+                    component=component,
+                    signal=control_name,
+                    clock=clock_name,
+                    window=(lo, hi),
+                    case_index=case_index,
+                    signal_waveform=controlm,
+                    clock_waveform=clockm,
+                )
+            )
+    return out
+
+
+def check_stable_assertion(
+    signal_name: str,
+    computed: Waveform,
+    asserted: Waveform,
+    case_index: int = 0,
+) -> list[Violation]:
+    """Check a generated signal against its designer stable assertion.
+
+    Section 2.5.2: "the designer's initial timing assertion is checked
+    against the timing of the actual signal, and an error is given if the
+    assertion is violated."  The computed signal must be stable throughout
+    every STABLE range of the assertion.
+    """
+    out: list[Violation] = []
+    if computed.is_fully_unknown:
+        return out
+    from .values import STABLE
+
+    for start, end in asserted.level_runs(STABLE):
+        bad = computed.instability_in(start, end)
+        if bad:
+            out.append(
+                Violation(
+                    kind=ViolationKind.ASSERTION_MISMATCH,
+                    component="assertion",
+                    signal=signal_name,
+                    window=(bad[0][0], bad[-1][1]),
+                    case_index=case_index,
+                    signal_waveform=computed.materialized(),
+                    note=(
+                        "asserted stable "
+                        f"{start / 1000:.1f}..{end / 1000:.1f} ns but may change"
+                    ),
+                )
+            )
+    return out

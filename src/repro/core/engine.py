@@ -1,0 +1,519 @@
+"""The event-driven evaluation engine (section 2.9).
+
+The verification technique: initialize every signal from its assertion (or
+to UNKNOWN), then repeatedly evaluate primitives whose inputs changed until
+every signal's full-period waveform stops changing.  An *event* is an output
+acquiring a new value, which schedules every primitive reading that output
+for re-evaluation — the thesis processed 20 052 such events for the 6 357
+chip example at about 20 ms each.
+
+Case analysis (section 2.7) re-enters the same fixed point incrementally:
+between cases only the signals whose case mapping changed are disturbed, so
+"only those parts of the circuit that are affected by the case analysis are
+reevaluated".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..netlist.circuit import Circuit, Component, Connection, Net
+from .checks import (
+    check_gating_stability,
+    check_min_pulse_width,
+    check_setup_hold,
+    check_setup_rise_hold_fall,
+    check_stable_assertion,
+)
+from .config import VerifyConfig
+from .models import (
+    ENABLING_LEVEL,
+    GATE_FUNCTIONS,
+    eval_gate,
+    eval_latch,
+    eval_mux,
+    eval_register,
+)
+from .values import ONE, STABLE, UNKNOWN, ZERO, Value, value_not
+from .violations import CheckReport, Violation
+from .waveform import Waveform
+
+#: Net names treated as supply rails.
+_SUPPLY = {"GND": ZERO, "VSS": ZERO, "VCC": ONE, "VDD": ONE}
+
+#: Directive letters that zero the interconnection delay at their input.
+_ZERO_WIRE = frozenset("WZH")
+#: Directive letters that zero the gate's own delay.
+_ZERO_GATE = frozenset("ZH")
+#: Directive letters that trigger the stability check / enabling assumption.
+_ASSUME = frozenset("AH")
+
+_GATE_PRIMS = frozenset(GATE_FUNCTIONS)
+
+
+class OscillationError(RuntimeError):
+    """The fixed point failed to converge — an unbroken feedback loop.
+
+    Synchronous sequential systems must contain a clocked element in every
+    feedback path (section 1.2.2); a combinational loop violates that and
+    makes the waveforms oscillate between passes.
+    """
+
+    def __init__(self, component: Component, evals: int) -> None:
+        self.component = component
+        super().__init__(
+            f"evaluation did not converge: {component.prim.name} "
+            f"{component.name!r} re-evaluated {evals} times — the design "
+            "likely contains a feedback path with no register or latch"
+        )
+
+
+@dataclass
+class EngineStats:
+    """Counters in the shape of the section 3.3.2 discussion."""
+
+    events: int = 0
+    evaluations: int = 0
+    events_by_case: list[int] = field(default_factory=list)
+
+    @property
+    def events_last_case(self) -> int:
+        return self.events_by_case[-1] if self.events_by_case else 0
+
+
+class Engine:
+    """Evaluates one circuit to a fixed point and runs its checkers."""
+
+    def __init__(self, circuit: Circuit, config: VerifyConfig | None = None) -> None:
+        self.circuit = circuit
+        self.config = config or VerifyConfig()
+        self.period = circuit.period_ps
+        self.values: dict[Net, Waveform] = {}
+        self.stats = EngineStats()
+        self.xref_assumed_stable: list[str] = []
+        self._case_map: dict[Net, Value] = {}
+        self._fixed: set[Net] = set()
+        self._gating: dict[str, str] = {}  # component name -> directive pin
+        self._eval_counts: dict[str, int] = {}
+        self._queue: deque[Component] = deque()
+        self._queued: set[str] = set()
+        # Static topology maps.
+        self._drivers: dict[Net, tuple[Component, str]] = {}
+        self._loads: dict[Net, list[Component]] = {}
+        for comp in circuit.iter_components():
+            for pin, conn in comp.output_pins():
+                self._drivers[circuit.find(conn.net)] = (comp, pin)
+            for pin, conn in comp.input_pins():
+                self._loads.setdefault(circuit.find(conn.net), []).append(comp)
+
+    # ------------------------------------------------------------------
+    # preparation of input waveforms
+    # ------------------------------------------------------------------
+
+    def _wire_delay(self, conn: Connection) -> tuple[int, int]:
+        if conn.wire_delay_ps is not None:
+            return conn.wire_delay_ps
+        rep = self.circuit.find(conn.net)
+        if rep.wire_delay_ps is not None:
+            return rep.wire_delay_ps
+        if conn.net.wire_delay_ps is not None:
+            return conn.net.wire_delay_ps
+        lo, hi = self.config.default_wire_delay_ps
+        per_load = self.config.wire_delay_per_load_ps
+        if per_load:
+            # Section 3.3's refined rule: a heavily loaded run is slower.
+            extra_loads = max(0, len(self._loads.get(rep, ())) - 1)
+            hi += per_load * extra_loads
+        return lo, hi
+
+    def raw_value(self, net: Net) -> Waveform:
+        rep = self.circuit.find(net)
+        wf = self.values.get(rep)
+        if wf is None:
+            wf = Waveform.constant(self.period, UNKNOWN)
+        return wf
+
+    def prepared_input(
+        self, conn: Connection, zero_wire: bool = False
+    ) -> Waveform:
+        """The signal as seen at a component input pin.
+
+        Applies the complement marker and the interconnection delay
+        (section 2.5.3) unless a ``W``/``Z``/``H`` directive zeroed the
+        wire at this input.
+        """
+        wf = self.raw_value(conn.net)
+        if conn.invert:
+            wf = wf.mapped(value_not)
+        if not zero_wire:
+            dmin, dmax = self._wire_delay(conn)
+            if (dmin, dmax) != (0, 0):
+                wf = wf.delayed(dmin, dmax)
+        return wf
+
+    def _directive_letter(self, conn: Connection, raw: Waveform) -> tuple[str, str]:
+        """The directive letter governing this gate input, plus the rest.
+
+        A string written at the connection starts a fresh directive string;
+        otherwise one riding on the incoming waveform continues an earlier
+        one, each gate consuming one letter (section 2.8's EVAL STR PTR).
+        """
+        if conn.directives:
+            return conn.directives[0], conn.directives[1:]
+        if raw.eval_str:
+            return raw.eval_str[0], raw.eval_str[1:]
+        return "", ""
+
+    # ------------------------------------------------------------------
+    # initialization (section 2.9, first step)
+    # ------------------------------------------------------------------
+
+    def initialize(self, case: dict[str, int] | None = None) -> None:
+        """Set every signal to its starting value and queue all primitives."""
+        self.values.clear()
+        self._fixed.clear()
+        self.xref_assumed_stable.clear()
+        self._eval_counts.clear()
+        self._gating.clear()
+        self._queue.clear()
+        self._queued.clear()
+        self.stats = EngineStats()
+        self._case_map = self._build_case_map(case or {})
+        for rep in self.circuit.representatives():
+            self.values[rep] = self._initial_value(rep)
+        for comp in self.circuit.iter_components():
+            if not comp.prim.is_checker:
+                self._enqueue(comp)
+
+    def _build_case_map(self, case: dict[str, int]) -> dict[Net, Value]:
+        out: dict[Net, Value] = {}
+        for name, bit in case.items():
+            net = self.circuit.nets.get(name)
+            if net is None:
+                raise KeyError(f"case references unknown signal {name!r}")
+            out[self.circuit.find(net)] = ONE if bit else ZERO
+        return out
+
+    def _apply_case(self, rep: Net, wf: Waveform) -> Waveform:
+        """Map STABLE to the case constant for case-analysis signals.
+
+        Section 2.7: the Verifier sets the signal to the case value
+        "whenever the circuit would normally set it to the value STABLE".
+        """
+        target = self._case_map.get(rep)
+        if target is None:
+            return wf
+        return wf.mapped(lambda v: target if v is STABLE else v)
+
+    def _initial_value(self, rep: Net) -> Waveform:
+        name = rep.base_name.upper()
+        if name in _SUPPLY:
+            self._fixed.add(rep)
+            return Waveform.constant(self.period, _SUPPLY[name])
+        assertion = rep.assertion
+        driven = rep in self._drivers
+        if assertion is not None and assertion.kind.is_clock:
+            # Clock assertions pin the signal for the whole run.
+            self._fixed.add(rep)
+            skew = self.config.clock_skew_ns(
+                assertion.kind.name == "PRECISION_CLOCK"
+            )
+            return assertion.waveform(self.circuit.timebase, skew)
+        if driven:
+            return Waveform.constant(self.period, UNKNOWN)
+        if assertion is not None:
+            # Interface signal: the designer's assertion drives it until
+            # hardware generates it (section 2.5.2).
+            self._fixed.add(rep)
+            wf = assertion.waveform(self.circuit.timebase)
+            return self._apply_case(rep, wf)
+        # Undefined signal with no assertion: taken to be always stable and
+        # put on a special cross-reference listing (section 2.5).
+        self._fixed.add(rep)
+        self.xref_assumed_stable.append(rep.name)
+        return self._apply_case(rep, Waveform.constant(self.period, STABLE))
+
+    # ------------------------------------------------------------------
+    # fixed point
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, comp: Component) -> None:
+        if comp.prim.is_checker or comp.name in self._queued:
+            return
+        self._queue.append(comp)
+        self._queued.add(comp.name)
+
+    def _store(self, conn: Connection, wf: Waveform) -> None:
+        rep = self.circuit.find(conn.net)
+        if rep in self._fixed:
+            return  # assertion or supply wins over the driver
+        wf = self._apply_case(rep, wf)
+        if self.values.get(rep) == wf:
+            return
+        self.values[rep] = wf
+        self.stats.events += 1
+        for load in self._loads.get(rep, ()):
+            self._enqueue(load)
+
+    def run(self) -> int:
+        """Drain the worklist to a fixed point; returns events processed."""
+        start_events = self.stats.events
+        limit = self.config.max_evals_per_component
+        while self._queue:
+            comp = self._queue.popleft()
+            self._queued.discard(comp.name)
+            count = self._eval_counts.get(comp.name, 0) + 1
+            self._eval_counts[comp.name] = count
+            if count > limit:
+                raise OscillationError(comp, count)
+            self.stats.evaluations += 1
+            self._evaluate(comp)
+        events = self.stats.events - start_events
+        self.stats.events_by_case.append(events)
+        return events
+
+    def apply_case(self, case: dict[str, int]) -> None:
+        """Switch to the next case, disturbing only affected signals."""
+        new_map = self._build_case_map(case)
+        affected = {
+            rep
+            for rep in set(new_map) | set(self._case_map)
+            if new_map.get(rep) is not self._case_map.get(rep)
+        }
+        self._case_map = new_map
+        for rep in affected:
+            if rep in self._drivers:
+                # Re-evaluating the driver re-stores the value through the
+                # new case mapping.
+                self._enqueue(self._drivers[rep][0])
+            else:
+                wf = self._initial_value_for_case_change(rep)
+                if self.values.get(rep) != wf:
+                    self.values[rep] = wf
+                    self.stats.events += 1
+                    for load in self._loads.get(rep, ()):
+                        self._enqueue(load)
+
+    def _initial_value_for_case_change(self, rep: Net) -> Waveform:
+        assertion = rep.assertion
+        if assertion is not None and not assertion.kind.is_clock:
+            return self._apply_case(rep, assertion.waveform(self.circuit.timebase))
+        if assertion is None and rep.base_name.upper() not in _SUPPLY:
+            return self._apply_case(rep, Waveform.constant(self.period, STABLE))
+        return self.values[rep]
+
+    # ------------------------------------------------------------------
+    # primitive evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, comp: Component) -> None:
+        prim = comp.prim.name
+        if prim in _GATE_PRIMS:
+            out = self._evaluate_gate(comp)
+        elif prim in ("REG", "REG_RS"):
+            out = eval_register(
+                clock=self.prepared_input(comp.pins["CLOCK"]),
+                data=self.prepared_input(comp.pins["DATA"]),
+                delay=comp.delay_ps(),
+                set_=self._optional_input(comp, "SET"),
+                reset=self._optional_input(comp, "RESET"),
+            )
+        elif prim in ("LATCH", "LATCH_RS"):
+            out = eval_latch(
+                enable=self.prepared_input(comp.pins["ENABLE"]),
+                data=self.prepared_input(comp.pins["DATA"]),
+                delay=comp.delay_ps(),
+                set_=self._optional_input(comp, "SET"),
+                reset=self._optional_input(comp, "RESET"),
+            )
+        elif prim.startswith("MUX"):
+            n = int(prim[3:])
+            n_sel = max(1, n.bit_length() - 1)
+            selects = [
+                self.prepared_input(comp.pins[f"S{i}"]) for i in range(n_sel)
+            ]
+            data = [self.prepared_input(comp.pins[f"I{i}"]) for i in range(n)]
+            out = eval_mux(
+                selects,
+                data,
+                delay=comp.delay_ps(),
+                select_delay=comp.delay_ps("select_delay"),
+            )
+        else:  # pragma: no cover - registry covers everything else
+            raise AssertionError(f"no model for primitive {prim}")
+        self._store(comp.pins["OUT"], out)
+
+    def _optional_input(self, comp: Component, pin: str) -> Waveform | None:
+        conn = comp.pins.get(pin)
+        return self.prepared_input(conn) if conn is not None else None
+
+    def _evaluate_gate(self, comp: Component) -> Waveform:
+        """Gate evaluation with directive handling (section 2.6)."""
+        conns = [conn for _pin, conn in comp.input_pins()]
+        pins = [pin for pin, _conn in comp.input_pins()]
+        raws = [self.raw_value(c.net) for c in conns]
+        letters: list[str] = []
+        rests: list[str] = []
+        for conn, raw in zip(conns, raws):
+            letter, rest = self._directive_letter(conn, raw)
+            letters.append(letter)
+            rests.append(rest)
+        prepared = [
+            self.prepared_input(conn, zero_wire=(letter in _ZERO_WIRE))
+            for conn, letter in zip(conns, letters)
+        ]
+        delay = comp.delay_ps()
+        gate_zeroed = any(letter in _ZERO_GATE for letter in letters)
+        if gate_zeroed:
+            delay = (0, 0)
+        assume_idx = next(
+            (i for i, letter in enumerate(letters) if letter in _ASSUME), None
+        )
+        if assume_idx is not None:
+            self._gating[comp.name] = pins[assume_idx]
+            enabling = ENABLING_LEVEL.get(comp.prim.name, STABLE)
+            enabling_wf = Waveform.constant(self.period, enabling)
+            prepared = [
+                wf if i == assume_idx else enabling_wf
+                for i, wf in enumerate(prepared)
+            ]
+        else:
+            self._gating.pop(comp.name, None)
+        rise = comp.params.get("rise_delay")
+        fall = comp.params.get("fall_delay")
+        if (rise or fall) and not gate_zeroed:
+            # Asymmetric technology (section 4.2.2): combine at zero delay,
+            # then apply the per-edge ranges to the *output* transitions.
+            # Inversions need no special handling — the zero-delay output
+            # already carries the inverted edge directions, so alternating
+            # rise/fall roles through multiple inverting levels (the
+            # thesis's adjustment) falls out automatically.
+            from .risefall import rise_fall_delayed
+
+            rise = rise or delay
+            fall = fall or delay
+            out = eval_gate(
+                comp.prim.name,
+                [wf.with_eval_str("") for wf in prepared],
+                (0, 0),
+                comp.prim.inverting,
+            )
+            out = rise_fall_delayed(out, rise, fall)
+        else:
+            out = eval_gate(
+                comp.prim.name,
+                [wf.with_eval_str("") for wf in prepared],
+                delay,
+                comp.prim.inverting,
+            )
+        remaining = next((r for r in rests if r), "")
+        return out.with_eval_str(remaining)
+
+    # ------------------------------------------------------------------
+    # checking phase (section 2.9, third step)
+    # ------------------------------------------------------------------
+
+    def check(self, case_index: int = 0) -> list[Violation]:
+        """Evaluate every checker against the converged signal values."""
+        violations: list[Violation] = []
+        for comp in self.circuit.iter_components():
+            if not comp.prim.is_checker:
+                continue
+            violations.extend(self._check_one(comp, case_index))
+        violations.extend(self._check_gating(case_index))
+        if self.config.check_assertions:
+            violations.extend(self._check_assertions(case_index))
+        return violations
+
+    def _check_one(self, comp: Component, case_index: int) -> list[Violation]:
+        prim = comp.prim.name
+        if prim == "MIN_PULSE_WIDTH":
+            conn = comp.pins["I"]
+            return check_min_pulse_width(
+                comp.name,
+                conn.net.name,
+                self.prepared_input(conn),
+                comp.params.get("min_high"),
+                comp.params.get("min_low"),
+                case_index=case_index,
+                glitch_warnings=self.config.glitch_warnings,
+            )
+        i_conn, ck_conn = comp.pins["I"], comp.pins["CK"]
+        data = self.prepared_input(i_conn)
+        clock = self.prepared_input(ck_conn)
+        checker = (
+            check_setup_hold
+            if prim == "SETUP_HOLD_CHK"
+            else check_setup_rise_hold_fall
+        )
+        return checker(
+            comp.name,
+            i_conn.net.name,
+            data,
+            ("-" if ck_conn.invert else "") + ck_conn.net.name,
+            clock,
+            comp.params["setup"],
+            comp.params["hold"],
+            case_index=case_index,
+        )
+
+    def _check_gating(self, case_index: int) -> list[Violation]:
+        """The ``&A``/``&H`` stability checks recorded during evaluation."""
+        out: list[Violation] = []
+        for comp_name, directive_pin in sorted(self._gating.items()):
+            comp = self.circuit.components[comp_name]
+            clock_conn = comp.pins[directive_pin]
+            raw = self.raw_value(clock_conn.net)
+            letter, _rest = self._directive_letter(clock_conn, raw)
+            clock = self.prepared_input(
+                clock_conn, zero_wire=(letter in _ZERO_WIRE)
+            )
+            for pin, conn in comp.input_pins():
+                if pin == directive_pin:
+                    continue
+                control = self.prepared_input(conn)
+                out.extend(
+                    check_gating_stability(
+                        comp.name,
+                        conn.net.name,
+                        control,
+                        clock_conn.net.name,
+                        clock,
+                        case_index=case_index,
+                    )
+                )
+        return out
+
+    def _check_assertions(self, case_index: int) -> list[Violation]:
+        """Generated signals must honour their stable assertions."""
+        out: list[Violation] = []
+        for rep in self.circuit.representatives():
+            assertion = rep.assertion
+            if (
+                assertion is None
+                or assertion.kind.is_clock
+                or rep not in self._drivers
+            ):
+                continue
+            asserted = assertion.waveform(self.circuit.timebase)
+            out.extend(
+                check_stable_assertion(
+                    rep.name, self.values[rep], asserted, case_index=case_index
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # results access
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Waveform]:
+        """The converged waveform of every representative signal, by name."""
+        return {rep.name: self.values[rep] for rep in self.circuit.representatives()}
+
+    def waveform_of(self, name: str) -> Waveform:
+        net = self.circuit.nets.get(name)
+        if net is None:
+            raise KeyError(f"no signal named {name!r}")
+        return self.raw_value(net)

@@ -1,0 +1,304 @@
+"""The seven-value signal algebra of the Timing Verifier (section 2.4.1).
+
+At any instant every signal carries exactly one of seven values::
+
+    0  false
+    1  true
+    S  stable, not changing (value unknown)
+    C  may be changing (value and direction unknown)
+    R  rising, going from zero to one
+    F  falling, going from one to zero
+    U  unknown; the initial value of every signal
+
+The combinational functions over these values (section 2.4.2) are uniformly
+defined to give *worst-case* results: ``S OR R`` is ``R`` because the output
+is either stable or a rising edge, and the rising edge is the worst case.
+
+The ``STABLE`` value is the heart of the thesis: by representing most signals
+only as stable/changing, one symbolic evaluation of a single clock period
+covers the state transitions that a conventional logic simulator would need
+an exponential number of input vectors to exercise.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import reduce
+from typing import Iterable
+
+
+class Value(enum.Enum):
+    """One of the seven signal values."""
+
+    ZERO = "0"
+    ONE = "1"
+    STABLE = "S"
+    CHANGE = "C"
+    RISE = "R"
+    FALL = "F"
+    UNKNOWN = "U"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Value.{self.name}"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# Short aliases used heavily by the truth tables and tests.
+ZERO = Value.ZERO
+ONE = Value.ONE
+STABLE = Value.STABLE
+CHANGE = Value.CHANGE
+RISE = Value.RISE
+FALL = Value.FALL
+UNKNOWN = Value.UNKNOWN
+
+#: Values during which a signal is guaranteed not to be changing.
+STABLE_VALUES = frozenset({ZERO, ONE, STABLE})
+
+#: Values during which a signal may be in transition.
+CHANGING_VALUES = frozenset({CHANGE, RISE, FALL})
+
+#: Values that carry a known boolean level.
+CONSTANT_VALUES = frozenset({ZERO, ONE})
+
+
+def is_stable(v: Value) -> bool:
+    """True when the value denotes a signal guaranteed not to change."""
+    return v in STABLE_VALUES
+
+
+def is_changing(v: Value) -> bool:
+    """True when the value denotes a possible transition."""
+    return v in CHANGING_VALUES
+
+
+def is_constant(v: Value) -> bool:
+    """True for the known boolean levels 0 and 1."""
+    return v in CONSTANT_VALUES
+
+
+def _build_or_table() -> dict[tuple[Value, Value], Value]:
+    """INCLUSIVE-OR over the seven values, worst case (section 2.4.2).
+
+    A definite 1 on either input dominates; a definite 0 is the identity;
+    otherwise uncertainty propagates, with R/F kept when only one direction
+    of change is possible and C when both are.
+    """
+    table: dict[tuple[Value, Value], Value] = {}
+    order = list(Value)
+    for a in order:
+        for b in order:
+            if a == ONE or b == ONE:
+                v = ONE
+            elif a == UNKNOWN or b == UNKNOWN:
+                v = UNKNOWN
+            elif a == ZERO:
+                v = b
+            elif b == ZERO:
+                v = a
+            elif a == b:
+                v = a
+            elif STABLE in (a, b):
+                # stable OR x: output is either unchanged or follows x.
+                v = a if b == STABLE else b
+            else:
+                # two distinct changing values (R/F/C mixtures)
+                v = CHANGE
+            table[(a, b)] = v
+    return table
+
+
+def _build_and_table() -> dict[tuple[Value, Value], Value]:
+    """AND over the seven values: the dual of OR (0 dominates, 1 is identity)."""
+    table: dict[tuple[Value, Value], Value] = {}
+    for a in Value:
+        for b in Value:
+            if a == ZERO or b == ZERO:
+                v = ZERO
+            elif a == UNKNOWN or b == UNKNOWN:
+                v = UNKNOWN
+            elif a == ONE:
+                v = b
+            elif b == ONE:
+                v = a
+            elif a == b:
+                v = a
+            elif STABLE in (a, b):
+                v = a if b == STABLE else b
+            else:
+                v = CHANGE
+            table[(a, b)] = v
+    return table
+
+
+def value_not(a: Value) -> Value:
+    """NOT over the seven values: levels and edge directions invert."""
+    return {
+        ZERO: ONE,
+        ONE: ZERO,
+        STABLE: STABLE,
+        CHANGE: CHANGE,
+        RISE: FALL,
+        FALL: RISE,
+        UNKNOWN: UNKNOWN,
+    }[a]
+
+
+def _build_xor_table() -> dict[tuple[Value, Value], Value]:
+    """EXCLUSIVE-OR over the seven values.
+
+    A known 0 passes the other input through; a known 1 inverts it.  Any
+    transition combined with a stable-but-unknown input yields CHANGE, since
+    the output's direction of change cannot be known without the value.
+    """
+    table: dict[tuple[Value, Value], Value] = {}
+    for a in Value:
+        for b in Value:
+            if a == UNKNOWN or b == UNKNOWN:
+                v = UNKNOWN
+            elif a == ZERO:
+                v = b
+            elif b == ZERO:
+                v = a
+            elif a == ONE:
+                v = value_not(b)
+            elif b == ONE:
+                v = value_not(a)
+            elif a == STABLE and b == STABLE:
+                v = STABLE
+            else:
+                # At least one input is in transition and no input value is
+                # known, so the output may change in either direction.
+                v = CHANGE
+            table[(a, b)] = v
+    return table
+
+
+OR_TABLE = _build_or_table()
+AND_TABLE = _build_and_table()
+XOR_TABLE = _build_xor_table()
+
+
+def value_or(a: Value, b: Value) -> Value:
+    """Binary worst-case OR."""
+    return OR_TABLE[(a, b)]
+
+
+def value_and(a: Value, b: Value) -> Value:
+    """Binary worst-case AND."""
+    return AND_TABLE[(a, b)]
+
+
+def value_xor(a: Value, b: Value) -> Value:
+    """Binary worst-case XOR."""
+    return XOR_TABLE[(a, b)]
+
+
+def value_or_n(values: Iterable[Value]) -> Value:
+    """N-ary OR (associative fold over :data:`OR_TABLE`)."""
+    return reduce(value_or, values)
+
+
+def value_and_n(values: Iterable[Value]) -> Value:
+    """N-ary AND."""
+    return reduce(value_and, values)
+
+
+def value_xor_n(values: Iterable[Value]) -> Value:
+    """N-ary XOR."""
+    return reduce(value_xor, values)
+
+
+def value_chg(values: Iterable[Value]) -> Value:
+    """The CHANGE function (section 2.4.2).
+
+    UNKNOWN if any input is undefined; CHANGE if any input may be changing;
+    STABLE otherwise.  This models complex combinational logic — adders,
+    parity trees — where only *when* the output changes matters, which is
+    the source of the factorial-level reduction in modelling effort.
+    """
+    vals = list(values)
+    if any(v == UNKNOWN for v in vals):
+        return UNKNOWN
+    if any(is_changing(v) for v in vals):
+        return CHANGE
+    return STABLE
+
+
+def value_either(a: Value, b: Value) -> Value:
+    """Worst case of a signal that is *one of* ``a`` or ``b`` (unordered).
+
+    Used for multiplexers with an unknown-but-stable select: the output is
+    one of the two data inputs, we just do not know which.  Two stable
+    operands give a stable (possibly unknown-level) result; one changing
+    operand makes the worst case that changing value.
+    """
+    if a == b:
+        return a
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if is_stable(a) and is_stable(b):
+        return STABLE
+    if is_stable(a):
+        return b
+    if is_stable(b):
+        return a
+    return CHANGE
+
+
+def transition_value(before: Value, after: Value) -> Value:
+    """Classify the boundary between two adjacent segment values.
+
+    When skew is folded into a waveform (section 2.8, Figure 2-9), each
+    boundary becomes an interval during which the signal holds the
+    *transition* value: RISE for ``0 -> 1``, FALL for ``1 -> 0``, CHANGE
+    when the direction cannot be known, and UNKNOWN when either side is
+    undefined.  Boundaries flowing into or out of an edge value extend that
+    edge (``0 -> R`` is still a rise in progress).
+    """
+    if before == after:
+        return before
+    if before == UNKNOWN or after == UNKNOWN:
+        return UNKNOWN
+    if CHANGE in (before, after):
+        return CHANGE
+    pair = (before, after)
+    if pair == (ZERO, ONE):
+        return RISE
+    if pair == (ONE, ZERO):
+        return FALL
+    riseish = {ZERO, ONE, STABLE, RISE}
+    fallish = {ZERO, ONE, STABLE, FALL}
+    if RISE in pair and before in riseish and after in riseish:
+        return RISE
+    if FALL in pair and before in fallish and after in fallish:
+        return FALL
+    if RISE in pair and FALL in pair:
+        return CHANGE
+    # Remaining cases: a stable level meeting STABLE (0 -> S, S -> 1, ...).
+    # The level may differ across the boundary, so a change is possible.
+    return CHANGE
+
+
+def merge_overlay(a: Value, b: Value) -> Value:
+    """Combine two overlapping transition overlays, worst case.
+
+    When the skew windows of two nearby boundaries overlap, the order of the
+    transitions is uncertain: identical overlay values merge, mixed rise and
+    fall collapse to CHANGE, and UNKNOWN dominates.
+    """
+    if a == b:
+        return a
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return CHANGE
+
+
+def parse_value(text: str) -> Value:
+    """Parse a single-character value mnemonic (``0 1 S C R F U``)."""
+    try:
+        return Value(text.upper())
+    except ValueError as exc:
+        raise ValueError(f"not a signal value: {text!r}") from exc

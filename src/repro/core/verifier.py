@@ -1,0 +1,153 @@
+"""The Timing Verifier façade.
+
+Orchestrates a complete verification (section 2.9): structural validation,
+initialization from assertions, the evaluation fixed point, case-by-case
+incremental re-evaluation (section 2.7), the checking pass, and result
+collection.  Phase wall-times are recorded in the shape of Table 3-1 so the
+benchmarks can print the same rows the thesis reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..netlist.circuit import Circuit
+from ..netlist.validate import ValidationIssue, check as check_structure
+from .config import VerifyConfig
+from .engine import Engine, EngineStats
+from .violations import CheckReport, Violation
+from .waveform import Waveform
+
+
+@dataclass
+class CaseResult:
+    """The converged state of one simulated case (section 2.7)."""
+
+    index: int
+    assignments: dict[str, int]
+    waveforms: dict[str, Waveform]
+    events: int
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock seconds per verification phase (Table 3-1's categories)."""
+
+    build: float = 0.0
+    cross_reference: float = 0.0
+    verify: float = 0.0
+    summary: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.build + self.cross_reference + self.verify + self.summary
+
+
+@dataclass
+class VerificationResult:
+    """Everything a verification run produced."""
+
+    circuit_name: str
+    report: CheckReport
+    cases: list[CaseResult]
+    stats: EngineStats
+    phases: PhaseTimes
+    xref_assumed_stable: list[str] = field(default_factory=list)
+    structure_warnings: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        return self.report.violations
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def waveform(self, signal: str, case: int = 0) -> Waveform:
+        """The converged waveform of ``signal`` in the given case."""
+        return self.cases[case].waveforms[signal]
+
+    def summary_listing(self, case: int = 0) -> str:
+        """The Figure 3-10 style signal-value listing."""
+        from ..reporting.listing import timing_summary
+
+        return timing_summary(self, case=case)
+
+    def error_listing(self) -> str:
+        """The Figure 3-11 style violation listing."""
+        from ..reporting.listing import violation_listing
+
+        return violation_listing(self)
+
+
+class TimingVerifier:
+    """Verify all timing constraints of a synchronous sequential circuit.
+
+    Usage::
+
+        verifier = TimingVerifier(circuit)
+        result = verifier.verify()
+        for violation in result.violations:
+            print(violation.message())
+    """
+
+    def __init__(self, circuit: Circuit, config: VerifyConfig | None = None) -> None:
+        self.circuit = circuit
+        self.config = config or VerifyConfig()
+
+    def verify(self) -> VerificationResult:
+        """Run the full verification and return the collected results."""
+        phases = PhaseTimes()
+
+        t0 = time.perf_counter()
+        warnings = check_structure(self.circuit)
+        engine = Engine(self.circuit, self.config)
+        cases = self.circuit.cases or [{}]
+        engine.initialize(cases[0])
+        phases.build = time.perf_counter() - t0
+
+        # Cross-reference generation: in the thesis this lists where every
+        # signal is used; the part that matters to verification is the list
+        # of signals assumed stable for lack of an assertion (section 2.5).
+        t0 = time.perf_counter()
+        xref = list(engine.xref_assumed_stable)
+        phases.cross_reference = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        report = CheckReport()
+        case_results: list[CaseResult] = []
+        for index, case in enumerate(cases):
+            if index > 0:
+                engine.apply_case(case)
+            events = engine.run()
+            report.extend(engine.check(case_index=index))
+            case_results.append(
+                CaseResult(
+                    index=index,
+                    assignments=dict(case),
+                    waveforms=engine.snapshot(),
+                    events=events,
+                )
+            )
+        phases.verify = time.perf_counter() - t0
+
+        result = VerificationResult(
+            circuit_name=self.circuit.name,
+            report=report,
+            cases=case_results,
+            stats=engine.stats,
+            phases=phases,
+            xref_assumed_stable=xref,
+            structure_warnings=warnings,
+        )
+
+        t0 = time.perf_counter()
+        result.summary_listing()
+        phases.summary = time.perf_counter() - t0
+        return result
+
+
+def verify(circuit: Circuit, config: VerifyConfig | None = None) -> VerificationResult:
+    """Convenience one-shot verification."""
+    return TimingVerifier(circuit, config).verify()

@@ -1,0 +1,21 @@
+"""SCALD-style hardware description: assertions, macros, the expander."""
+
+from .assertions import (
+    Assertion,
+    AssertionKind,
+    AssertionSyntaxError,
+    TimeRange,
+    parse_assertion_spec,
+    parse_signal_name,
+    split_signal_name,
+)
+
+__all__ = [
+    "Assertion",
+    "AssertionKind",
+    "AssertionSyntaxError",
+    "TimeRange",
+    "parse_assertion_spec",
+    "parse_signal_name",
+    "split_signal_name",
+]

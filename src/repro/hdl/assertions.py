@@ -1,0 +1,213 @@
+"""Signal-name timing assertions (section 2.5).
+
+Assertions are written *inside* signal names, preceded by a period, and are
+considered part of the name by the rest of the SCALD system — which is what
+guarantees that every use of a signal carries the same assertion.  Three
+kinds exist:
+
+* ``.P`` — precision clock (default skew trimmed tight, ±1 ns in the S-1);
+* ``.C`` — non-precision clock (default skew ±5 ns in the S-1);
+* ``.S`` — stable assertion for control and data signals.
+
+The grammar (section 2.5.1)::
+
+    <clock>      ::= <name> .P <spec> | <name> .C <spec>
+    <stable>     ::= <name> .S <spec>
+    <spec>       ::= <ranges> [ ( <minus skew> , <plus skew> ) ] [ L ]
+    <ranges>     ::= <range> { , <range> }
+    <range>      ::= <time> | <time> - <time> | <time> + <time>
+
+Times are in designer clock units and are taken modulo the cycle.  The
+``t1 + w`` form gives a pulse whose *width* ``w`` is in absolute nanoseconds
+so it does not scale with the cycle time (section 2.5.1's ``XYZ .P2+10.0``).
+``L`` asserts the signal is LOW during the listed ranges instead of high.
+Skew is in nanoseconds relative to the stated times.
+
+Example: ``MAIN CLOCK .P2-3,5-6 L`` or ``WRITE .S0-6``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.timeline import Timebase, ns_to_ps
+from ..core.values import CHANGE, ONE, STABLE, ZERO
+from ..core.waveform import Waveform
+
+
+class AssertionKind(Enum):
+    """The three assertion categories of section 2.5."""
+
+    PRECISION_CLOCK = "P"
+    CLOCK = "C"
+    STABLE = "S"
+
+    @property
+    def is_clock(self) -> bool:
+        return self is not AssertionKind.STABLE
+
+
+@dataclass(frozen=True)
+class TimeRange:
+    """One asserted range in clock units.
+
+    ``width_ns`` is set for the ``start + width`` form, whose width is in
+    absolute nanoseconds; otherwise ``end`` is in clock units.  A bare time
+    ``t`` is ``t - (t + 1)``: "if a single time is given instead of a range,
+    a time interval of one clock unit is assumed."
+    """
+
+    start: float
+    end: float | None = None
+    width_ns: float | None = None
+
+    def bounds_ps(self, timebase: Timebase) -> tuple[int, int]:
+        start_ps = timebase.units_to_ps(self.start)
+        if self.width_ns is not None:
+            return start_ps, start_ps + ns_to_ps(self.width_ns)
+        end = self.start + 1 if self.end is None else self.end
+        end_ps = timebase.units_to_ps(end)
+        if end_ps < start_ps:
+            # e.g. .S4-1 on an 8-unit cycle: the range wraps.
+            end_ps += timebase.period_ps
+        return start_ps, end_ps
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """A parsed signal-name assertion.
+
+    Attributes:
+        kind: precision clock, non-precision clock, or stable.
+        ranges: the asserted time ranges, in clock units.
+        skew_ns: explicit ``(minus, plus)`` skew in nanoseconds, or None to
+            use the verifier's per-kind default.
+        low: True when the ``L`` polarity assertion is present (the signal
+            is low during the ranges).
+        text: the original assertion text (everything from the period on).
+    """
+
+    kind: AssertionKind
+    ranges: tuple[TimeRange, ...]
+    skew_ns: tuple[float, float] | None = None
+    low: bool = False
+    text: str = ""
+
+    def skew_ps(self, default_ns: tuple[float, float]) -> tuple[int, int]:
+        minus, plus = self.skew_ns if self.skew_ns is not None else default_ns
+        early, late = ns_to_ps(minus), ns_to_ps(plus)
+        if early > late:
+            early, late = late, early
+        return min(early, 0), max(late, 0)
+
+    def waveform(
+        self,
+        timebase: Timebase,
+        default_skew_ns: tuple[float, float] = (0.0, 0.0),
+    ) -> Waveform:
+        """Build the initial waveform this assertion pins a signal to.
+
+        Clock assertions give a 0/1 waveform (inverted under ``L``) with the
+        skew in the separate skew field.  Stable assertions give STABLE
+        during the ranges and CHANGE elsewhere (section 2.9).
+        """
+        intervals = [r.bounds_ps(timebase) for r in self.ranges]
+        if self.kind.is_clock:
+            inside, outside = (ZERO, ONE) if self.low else (ONE, ZERO)
+            skew = self.skew_ps(default_skew_ns)
+        else:
+            inside, outside = STABLE, CHANGE
+            skew = (0, 0)
+        return Waveform.from_intervals(
+            timebase.period_ps,
+            outside,
+            [(lo, hi, inside) for lo, hi in intervals],
+            skew=skew,
+        )
+
+
+class AssertionSyntaxError(ValueError):
+    """Raised when a signal name contains a malformed assertion."""
+
+
+_NUMBER = r"-?\d+(?:\.\d+)?"
+_UNSIGNED = r"\d+(?:\.\d+)?"
+_ASSERT_RE = re.compile(
+    r"""^\s*
+        (?P<ranges>{u}(?:[-+]{u})?(?:\s*,\s*{u}(?:[-+]{u})?)*)
+        (?:\s*\(\s*(?P<minus>{n})\s*,\s*(?P<plus>{n})\s*\))?
+        (?:\s*(?P<low>L))?
+        \s*$""".format(n=_NUMBER, u=_UNSIGNED),
+    re.VERBOSE,
+)
+_RANGE_RE = re.compile(
+    r"^(?P<start>{u})(?:(?P<op>[-+])(?P<second>{u}))?$".format(u=_UNSIGNED)
+)
+
+#: Finds the assertion suffix: the *last* ``.P`` / ``.C`` / ``.S`` marker.
+_MARKER_RE = re.compile(r"\s\.(?P<kind>[PCS])(?=[\s\d])")
+
+
+def split_signal_name(name: str) -> tuple[str, str | None, str | None]:
+    """Split a full signal name into ``(base, kind_letter, spec_text)``.
+
+    ``"WRITE .S0-6 L"`` gives ``("WRITE", "S", "0-6 L")``; a name with no
+    assertion gives ``(name, None, None)``.  The marker must be preceded by
+    a space and followed by a digit or space, mirroring the drawings in the
+    thesis (``CLK A .P2-3``).
+    """
+    matches = list(_MARKER_RE.finditer(name))
+    if not matches:
+        return name.strip(), None, None
+    m = matches[-1]
+    base = name[: m.start()].strip()
+    spec = name[m.end() :].strip()
+    return base, m.group("kind"), spec
+
+
+def _parse_range(text: str) -> TimeRange:
+    m = _RANGE_RE.match(text.strip())
+    if not m:
+        raise AssertionSyntaxError(f"malformed time range {text!r}")
+    start = float(m.group("start"))
+    if m.group("op") is None:
+        return TimeRange(start=start)
+    second = float(m.group("second"))
+    if m.group("op") == "-":
+        return TimeRange(start=start, end=second)
+    return TimeRange(start=start, width_ns=second)
+
+
+def parse_assertion_spec(kind_letter: str, spec: str, text: str = "") -> Assertion:
+    """Parse the part of an assertion after the ``.P``/``.C``/``.S`` marker."""
+    kind = AssertionKind(kind_letter)
+    m = _ASSERT_RE.match(spec)
+    if not m:
+        raise AssertionSyntaxError(f"malformed assertion spec {spec!r}")
+    ranges = tuple(_parse_range(r) for r in m.group("ranges").split(","))
+    skew = None
+    if m.group("minus") is not None:
+        skew = (float(m.group("minus")), float(m.group("plus")))
+    return Assertion(
+        kind=kind,
+        ranges=ranges,
+        skew_ns=skew,
+        low=m.group("low") is not None,
+        text=text or f".{kind_letter}{spec}",
+    )
+
+
+def parse_signal_name(name: str) -> tuple[str, Assertion | None]:
+    """Parse a full signal name, returning ``(base_name, assertion)``.
+
+    Raises :class:`AssertionSyntaxError` on a malformed assertion; a name
+    with no assertion marker parses to ``(name, None)``.
+    """
+    base, kind, spec = split_signal_name(name)
+    if kind is None:
+        return base, None
+    if not spec:
+        raise AssertionSyntaxError(f"empty assertion spec in {name!r}")
+    return base, parse_assertion_spec(kind, spec, text=name[len(base) :].strip())

@@ -1,0 +1,121 @@
+"""Arithmetic expressions over macro parameters.
+
+SCALD macro definitions size their signals with expressions such as
+``SIZE-1`` in ``I<0:SIZE-1>`` (Figure 3-5).  This module provides a small,
+safe evaluator for integer/float arithmetic over named parameters —
+no ``eval``, no attribute access, just ``+ - * / ( )`` and names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+Number = int | float
+
+
+class ExpressionError(ValueError):
+    """Raised for malformed expressions or unknown parameter names."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d+)?)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)|(?P<op>[-+*/()]))"
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            raise ExpressionError(f"bad character in expression {text!r} at {pos}")
+        tokens.append(m.group(m.lastgroup))  # type: ignore[arg-type]
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser for ``expr := term (('+'|'-') term)*``."""
+
+    def __init__(self, tokens: list[str], env: Mapping[str, Number]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.env = env
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ExpressionError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def expr(self) -> Number:
+        value = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            rhs = self.term()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def term(self) -> Number:
+        value = self.unary()
+        while self.peek() in ("*", "/"):
+            op = self.take()
+            rhs = self.unary()
+            if op == "*":
+                value = value * rhs
+            else:
+                if rhs == 0:
+                    raise ExpressionError("division by zero in expression")
+                value = value / rhs
+                if isinstance(value, float) and value.is_integer():
+                    value = int(value)
+        return value
+
+    def unary(self) -> Number:
+        if self.peek() == "-":
+            self.take()
+            return -self.unary()
+        return self.atom()
+
+    def atom(self) -> Number:
+        tok = self.take()
+        if tok == "(":
+            value = self.expr()
+            if self.take() != ")":
+                raise ExpressionError("missing closing parenthesis")
+            return value
+        if re.fullmatch(r"\d+(?:\.\d+)?", tok):
+            return float(tok) if "." in tok else int(tok)
+        if tok in self.env:
+            return self.env[tok]
+        if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", tok):
+            raise ExpressionError(f"unknown parameter {tok!r}")
+        raise ExpressionError(f"unexpected token {tok!r}")
+
+
+def evaluate(text: str, env: Mapping[str, Number] | None = None) -> Number:
+    """Evaluate an arithmetic expression with parameters from ``env``.
+
+    >>> evaluate("SIZE-1", {"SIZE": 32})
+    31
+    """
+    parser = _Parser(_tokenize(text), env or {})
+    value = parser.expr()
+    if parser.peek() is not None:
+        raise ExpressionError(f"trailing input in expression {text!r}")
+    return value
+
+
+def evaluate_int(text: str, env: Mapping[str, Number] | None = None) -> int:
+    """Evaluate and require an integral result (for widths and counts)."""
+    value = evaluate(text, env)
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ExpressionError(f"expression {text!r} is not an integer")
+        value = int(value)
+    return value

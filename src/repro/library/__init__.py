@@ -1,0 +1,34 @@
+"""Component library: the Chapter III chip macros.
+
+Available two ways: as Python builder functions (below), and as textual
+SCALD macros in ``scald/ecl10k.scald`` for ``include``-ing from ``.scald``
+sources (:func:`scald_library_path`).
+"""
+
+from pathlib import Path
+
+from .ecl10k import (
+    alu_with_latch,
+    and2_chip,
+    corr_delay,
+    mux2_chip,
+    or2_chip,
+    ram_16w_10145a,
+    register_chip,
+)
+
+def scald_library_path() -> str:
+    """Absolute path of the textual chip library, for ``include``."""
+    return str(Path(__file__).parent / "scald" / "ecl10k.scald")
+
+
+__all__ = [
+    "scald_library_path",
+    "alu_with_latch",
+    "and2_chip",
+    "corr_delay",
+    "mux2_chip",
+    "or2_chip",
+    "ram_16w_10145a",
+    "register_chip",
+]

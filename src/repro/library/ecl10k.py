@@ -1,0 +1,209 @@
+"""The Chapter III component library (Figures 3-5 through 3-9).
+
+Each function plays the role of a SCALD graphics macro: it expands one chip
+into Timing Verifier primitives inside a :class:`~repro.netlist.Circuit`.
+Timing parameters are the ones printed in the thesis figures (transcribed
+from the Fairchild F10145A data sheet and the ECL-10K/100K family).
+
+Macro-internal nets carry zero interconnection delay — they are on-die —
+while the macro's pin signals keep whatever wire delay the design assigns.
+"""
+
+from __future__ import annotations
+
+from ..core.timeline import ns_to_ps
+from ..netlist.circuit import Circuit, Component, Connection, Net
+
+
+def _internal(circuit: Circuit, name: str, width: int = 1) -> Net:
+    """An on-die net: no interconnection delay."""
+    net = circuit.net(name, width=width)
+    net.wire_delay_ps = (0, 0)
+    return net
+
+
+def ram_16w_10145a(
+    circuit: Circuit,
+    name: str,
+    i,
+    a,
+    cs,
+    we,
+    out,
+    size: int = 4,
+) -> dict[str, Component]:
+    """The 16-word by ``size``-bit register file chip (Figure 3-5, F10145A).
+
+    * data out changes 1.5/3.0 ns after the data inputs change and
+      3.0/6.0 ns after the address, chip-select or write-enable change;
+    * data inputs must be stable 4.5 ns before the falling edge of the
+      write-enable pulse and -1.0 ns after it;
+    * address lines must be stable 3.5 ns before the rising edge of the
+      write-enable pulse, while it is high, and 1.0 ns after its fall;
+    * chip select obeys a 3.0/1.0 ns setup/hold against the WE fall;
+    * the write-enable pulse must be high for at least 4.0 ns.
+
+    Args:
+        circuit: design under construction.
+        name: instance name; internal nets are prefixed with it.
+        i / a / cs / we / out: the pin signals (nets or names).
+        size: data-path width in bits.
+
+    Returns:
+        the created components, keyed by role.
+    """
+    m_addr = _internal(circuit, f"{name}/ADDR CHG", width=size)
+    m_data = _internal(circuit, f"{name}/DATA CHG", width=size)
+    comps = {
+        "addr_chg": circuit.chg(
+            m_addr, [a, cs, we], delay=(3.0, 6.0), name=f"{name}/3chg", width=size
+        ),
+        "data_chg": circuit.chg(
+            m_data, [i], delay=(1.5, 3.0), name=f"{name}/chg", width=size
+        ),
+        "out": circuit.chg(
+            out, [m_addr, m_data], delay=(0.0, 0.0), name=f"{name}/out", width=size
+        ),
+        "data_su": circuit.setup_hold(
+            i, Connection(net=circuit._as_net(we), invert=True),
+            setup=4.5, hold=-1.0, name=f"{name}/su data", width=size,
+        ),
+        "addr_su": circuit.setup_rise_hold_fall(
+            a, we, setup=3.5, hold=1.0, name=f"{name}/su addr", width=4
+        ),
+        "cs_su": circuit.setup_hold(
+            cs, Connection(net=circuit._as_net(we), invert=True),
+            setup=3.0, hold=1.0, name=f"{name}/su cs",
+        ),
+        "we_mpw": circuit.min_pulse_width(
+            we, min_high=4.0, name=f"{name}/mpw we"
+        ),
+    }
+    return comps
+
+
+def mux2_chip(
+    circuit: Circuit,
+    name: str,
+    out,
+    select,
+    i0,
+    i1,
+    width: int = 1,
+) -> Component:
+    """The 2-input multiplexer chip (Figure 3-6).
+
+    1.2/3.3 ns from any input to the output, plus an additional
+    0.3/1.2 ns from the select input.
+    """
+    return circuit.mux(
+        out,
+        selects=[select],
+        inputs=[i0, i1],
+        delay=(1.2, 3.3),
+        select_delay=(0.3, 1.2),
+        name=name,
+        width=width,
+    )
+
+
+def register_chip(
+    circuit: Circuit,
+    name: str,
+    out,
+    clock,
+    data,
+    width: int = 1,
+) -> dict[str, Component]:
+    """The edge-triggered register chip (Figure 3-7).
+
+    1.5/4.5 ns clock-to-output; the data inputs carry a 2.5 ns setup and
+    1.5 ns hold requirement against the clock's rising edge.
+    """
+    return {
+        "reg": circuit.reg(
+            out, clock=clock, data=data, delay=(1.5, 4.5), name=name, width=width
+        ),
+        "su": circuit.setup_hold(
+            data, clock, setup=2.5, hold=1.5, name=f"{name}/su", width=width
+        ),
+    }
+
+
+def or2_chip(circuit: Circuit, name: str, out, a, b, width: int = 1) -> Component:
+    """The 2-input OR gate (Figure 3-8): 1.0/2.9 ns."""
+    return circuit.gate("OR", out, [a, b], delay=(1.0, 2.9), name=name, width=width)
+
+
+def and2_chip(circuit: Circuit, name: str, out, a, b, width: int = 1) -> Component:
+    """A 2-input AND gate with the Figure 3-8 family timing (1.0/2.9 ns)."""
+    return circuit.gate("AND", out, [a, b], delay=(1.0, 2.9), name=name, width=width)
+
+
+def alu_with_latch(
+    circuit: Circuit,
+    name: str,
+    out,
+    a,
+    b,
+    carry_in,
+    select,
+    enable,
+    width: int = 4,
+) -> dict[str, Component]:
+    """The arithmetic/logic chip with output latch (Figure 3-9).
+
+    One of 16 functions of the data inputs is selected by ``select``; the
+    Verifier only needs to know *when* the result can change, so the whole
+    function network is a CHG gate (the parity-tree/adder modelling trick
+    of section 2.4.2).  The latch-enable input closes the output latch; the
+    data inputs obey a setup/hold constraint against the close.
+    """
+    m_fn = _internal(circuit, f"{name}/FN CHG", width=width)
+    comps = {
+        "fn": circuit.chg(
+            m_fn,
+            [a, b, carry_in, select],
+            delay=(2.5, 7.0),
+            name=f"{name}/chg",
+            width=width,
+        ),
+        "latch": circuit.latch(
+            out, enable=enable, data=m_fn, delay=(1.0, 3.5),
+            name=f"{name}/latch", width=width,
+        ),
+        "su": circuit.setup_hold(
+            m_fn,
+            Connection(net=circuit._as_net(enable), invert=True),
+            setup=2.0,
+            hold=1.0,
+            name=f"{name}/su",
+            width=width,
+        ),
+    }
+    return comps
+
+
+def corr_delay(
+    circuit: Circuit,
+    name: str,
+    out,
+    input_,
+    delay_ns: float,
+    width: int = 1,
+) -> Component:
+    """The ``CORR`` fictitious delay macro (section 4.2.3, Figure 4-2).
+
+    The Verifier calculates in absolute times and ignores the correlation
+    between a register's clock and its own output feeding back through a
+    multiplexer, producing false hold errors on feedback circuits.  The
+    designer suppresses them by inserting this explicitly-named fictitious
+    delay — at least as long as the clock skew — into the feedback path.
+    """
+    return circuit.add(
+        name,
+        "DELAY",
+        {"I": input_, "OUT": out},
+        delay=(delay_ns, delay_ns),
+        width=width,
+    )

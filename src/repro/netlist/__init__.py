@@ -1,0 +1,20 @@
+"""Circuit substrate: primitive registry, netlist graph, validation."""
+
+from .circuit import Circuit, Component, Connection, Net, NetlistError
+from .primitives import PRIMITIVES, PrimitiveType, lookup
+from .validate import InvalidCircuitError, ValidationIssue, check, validate
+
+__all__ = [
+    "Circuit",
+    "Component",
+    "Connection",
+    "Net",
+    "NetlistError",
+    "PRIMITIVES",
+    "PrimitiveType",
+    "lookup",
+    "InvalidCircuitError",
+    "ValidationIssue",
+    "check",
+    "validate",
+]

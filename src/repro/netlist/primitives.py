@@ -1,0 +1,243 @@
+"""The primitive vocabulary of the Timing Verifier (sections 2.4 and 3.1).
+
+Circuits are described in terms of a fixed set of built-in primitives —
+gates, the CHANGE function, multiplexers, registers, latches, and the three
+constraint checkers — and all more complex components (register files, ALUs,
+RAMs) are *macros* expanded into these primitives by the SCALD Macro
+Expander.  Each primitive represents an arbitrarily wide data path, which is
+why the thesis needed only 8 282 primitives (average width 6.5 bits) instead
+of 53 833 for the 6 357-chip S-1 example (Table 3-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter of a primitive.
+
+    ``kind`` is ``"delay"`` for a ``(min, max)`` nanosecond pair, ``"time"``
+    for a single nanosecond value, and ``"int"`` for counts.
+    """
+
+    name: str
+    kind: str
+    required: bool = True
+    default: object = None
+
+
+@dataclass(frozen=True)
+class PrimitiveType:
+    """Static description of one primitive type.
+
+    Attributes:
+        name: canonical identifier (e.g. ``REG_RS``).
+        display: the name as printed in the thesis (e.g. ``REG RS``).
+        inputs: fixed input pin names, in order.
+        outputs: output pin names (checkers have none).
+        variadic_input: prefix for an unbounded input list (``I`` gives
+            pins ``I1, I2, ...``), or None.
+        params: accepted parameters.
+        family: ``and``/``or``/``xor``/``none`` — determines the *enabling*
+            level assumed for the other inputs under the ``&A``/``&H``
+            evaluation directives (1 for AND-type gates, 0 for OR-type).
+        inverting: output is complemented (NAND/NOR/XNOR/NOT).
+        is_checker: evaluated after the fixed point to report violations
+            rather than to drive an output (section 2.9).
+        min_variadic: minimum number of variadic inputs.
+    """
+
+    name: str
+    display: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ("OUT",)
+    variadic_input: str | None = None
+    params: tuple[ParamSpec, ...] = ()
+    family: str = "none"
+    inverting: bool = False
+    is_checker: bool = False
+    min_variadic: int = 1
+
+    def all_fixed_pins(self) -> tuple[str, ...]:
+        return self.inputs + self.outputs
+
+
+_DELAY = ParamSpec("delay", "delay", required=False, default=(0.0, 0.0))
+_WIDTH = ParamSpec("width", "int", required=False, default=1)
+#: Per-edge delay ranges for asymmetric technologies (section 4.2.2);
+#: when given they replace the symmetric ``delay``.
+_RISE_DELAY = ParamSpec("rise_delay", "delay", required=False, default=None)
+_FALL_DELAY = ParamSpec("fall_delay", "delay", required=False, default=None)
+_GATE_PARAMS = (_DELAY, _WIDTH, _RISE_DELAY, _FALL_DELAY)
+
+
+def _gate(name: str, display: str, family: str, inverting: bool) -> PrimitiveType:
+    return PrimitiveType(
+        name=name,
+        display=display,
+        variadic_input="I",
+        params=_GATE_PARAMS,
+        family=family,
+        inverting=inverting,
+    )
+
+
+def _mux(n: int) -> PrimitiveType:
+    selects = tuple(f"S{i}" for i in range(max(1, n.bit_length() - 1)))
+    data = tuple(f"I{i}" for i in range(n))
+    return PrimitiveType(
+        name=f"MUX{n}",
+        display=f"{n} MUX",
+        inputs=selects + data,
+        params=(
+            _DELAY,
+            _WIDTH,
+            ParamSpec("select_delay", "delay", required=False, default=(0.0, 0.0)),
+        ),
+    )
+
+
+PRIMITIVES: dict[str, PrimitiveType] = {}
+
+
+def _register(prim: PrimitiveType) -> PrimitiveType:
+    PRIMITIVES[prim.name] = prim
+    return prim
+
+
+# -- combinational gates (section 2.4.2) -----------------------------------
+AND = _register(_gate("AND", "AND", "and", False))
+NAND = _register(_gate("NAND", "NAND", "and", True))
+OR = _register(_gate("OR", "OR", "or", False))
+NOR = _register(_gate("NOR", "NOR", "or", True))
+XOR = _register(_gate("XOR", "XOR", "xor", False))
+XNOR = _register(_gate("XNOR", "XNOR", "xor", True))
+CHG = _register(
+    PrimitiveType(
+        name="CHG",
+        display="CHG",
+        variadic_input="I",
+        params=_GATE_PARAMS,
+    )
+)
+NOT = _register(
+    PrimitiveType(
+        name="NOT", display="NOT", inputs=("I",), params=_GATE_PARAMS,
+        inverting=True,
+    )
+)
+BUF = _register(
+    PrimitiveType(name="BUF", display="BUF", inputs=("I",), params=_GATE_PARAMS)
+)
+#: Pure delay element; also the substrate of the ``CORR`` fictitious delay
+#: macro used to suppress correlation false errors (section 4.2.3).
+DELAY = _register(
+    PrimitiveType(name="DELAY", display="DELAY", inputs=("I",), params=_GATE_PARAMS)
+)
+
+# -- multiplexers (Figure 3-6, Table 3-2's "2 MUX" / "8 MUX") ---------------
+MUX2 = _register(_mux(2))
+MUX4 = _register(_mux(4))
+MUX8 = _register(_mux(8))
+
+# -- storage elements (section 2.4.3, Figures 2-1 and 2-2) ------------------
+REG = _register(
+    PrimitiveType(
+        name="REG",
+        display="REG",
+        inputs=("CLOCK", "DATA"),
+        params=(_DELAY, _WIDTH),
+    )
+)
+REG_RS = _register(
+    PrimitiveType(
+        name="REG_RS",
+        display="REG RS",
+        inputs=("CLOCK", "DATA", "SET", "RESET"),
+        params=(_DELAY, _WIDTH),
+    )
+)
+LATCH = _register(
+    PrimitiveType(
+        name="LATCH",
+        display="LATCH",
+        inputs=("ENABLE", "DATA"),
+        params=(_DELAY, _WIDTH),
+    )
+)
+LATCH_RS = _register(
+    PrimitiveType(
+        name="LATCH_RS",
+        display="LATCH RS",
+        inputs=("ENABLE", "DATA", "SET", "RESET"),
+        params=(_DELAY, _WIDTH),
+    )
+)
+
+# -- constraint checkers (sections 2.4.4 and 2.4.5, Figures 2-3 and 2-4) ----
+SETUP_HOLD_CHK = _register(
+    PrimitiveType(
+        name="SETUP_HOLD_CHK",
+        display="SETUP HOLD CHK",
+        inputs=("I", "CK"),
+        outputs=(),
+        params=(
+            ParamSpec("setup", "time"),
+            ParamSpec("hold", "time"),
+            _WIDTH,
+        ),
+        is_checker=True,
+    )
+)
+SETUP_RISE_HOLD_FALL_CHK = _register(
+    PrimitiveType(
+        name="SETUP_RISE_HOLD_FALL_CHK",
+        display="SETUP RISE HOLD FALL CHK",
+        inputs=("I", "CK"),
+        outputs=(),
+        params=(
+            ParamSpec("setup", "time"),
+            ParamSpec("hold", "time"),
+            _WIDTH,
+        ),
+        is_checker=True,
+    )
+)
+MIN_PULSE_WIDTH = _register(
+    PrimitiveType(
+        name="MIN_PULSE_WIDTH",
+        display="MIN PULSE WIDTH",
+        inputs=("I",),
+        outputs=(),
+        params=(
+            ParamSpec("min_high", "time", required=False, default=None),
+            ParamSpec("min_low", "time", required=False, default=None),
+            _WIDTH,
+        ),
+        is_checker=True,
+    )
+)
+
+#: Accepted spellings: canonical names, the thesis's display names, and a
+#: few drawing-style aliases such as ``2 MUX``.
+ALIASES: dict[str, str] = {}
+for _prim in list(PRIMITIVES.values()):
+    ALIASES[_prim.name.upper()] = _prim.name
+    ALIASES[_prim.display.upper()] = _prim.name
+ALIASES.update({"2 OR": "OR", "2 AND": "AND", "2 MUX": "MUX2", "4 MUX": "MUX4",
+                "8 MUX": "MUX8", "INV": "NOT", "BUFFER": "BUF"})
+
+
+def lookup(name: str) -> PrimitiveType:
+    """Find a primitive type by any accepted spelling.
+
+    Raises ``KeyError`` with the full vocabulary on an unknown name.
+    """
+    key = name.strip().upper().replace("-", "_")
+    canonical = ALIASES.get(key) or ALIASES.get(key.replace("_", " "))
+    if canonical is None:
+        known = ", ".join(sorted(PRIMITIVES))
+        raise KeyError(f"unknown primitive {name!r}; known primitives: {known}")
+    return PRIMITIVES[canonical]

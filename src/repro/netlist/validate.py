@@ -1,0 +1,144 @@
+"""Structural validation of a circuit before verification.
+
+The Macro Expander performed these checks while expanding the design
+(section 3.3.1 — "checks the design for syntax errors"); we run them on the
+flat circuit so that hand-built circuits get the same protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .circuit import Circuit, Component, Net
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One structural problem found in a circuit."""
+
+    severity: str  # "error" or "warning"
+    message: str
+    component: str | None = None
+    net: str | None = None
+
+    def __str__(self) -> str:
+        where = f" [{self.component or self.net}]" if (self.component or self.net) else ""
+        return f"{self.severity.upper()}{where}: {self.message}"
+
+
+class InvalidCircuitError(ValueError):
+    """Raised by :func:`check` when a circuit has structural errors."""
+
+    def __init__(self, issues: list[ValidationIssue]) -> None:
+        self.issues = issues
+        super().__init__(
+            "; ".join(str(i) for i in issues if i.severity == "error")
+        )
+
+
+def validate(circuit: Circuit) -> list[ValidationIssue]:
+    """Collect structural issues without raising.
+
+    Errors: missing required input pins, unconnected outputs on non-checker
+    primitives, more than one driver on a net.  Warnings: driven nets that
+    also carry a clock/stable assertion (the assertion will be *checked*
+    against the computed value rather than drive it — section 2.5.2), and
+    case signals that are never referenced.
+    """
+    issues: list[ValidationIssue] = []
+    driver_count: dict[Net, list[str]] = {}
+
+    for comp in circuit.iter_components():
+        connected_inputs = {pin for pin, _ in comp.input_pins()}
+        for pin in comp.prim.inputs:
+            if pin not in connected_inputs:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        f"required input pin {pin!r} is not connected",
+                        component=comp.name,
+                    )
+                )
+        if comp.prim.variadic_input and not connected_inputs:
+            issues.append(
+                ValidationIssue(
+                    "error", "gate has no inputs connected", component=comp.name
+                )
+            )
+        for pin in comp.prim.outputs:
+            if pin not in comp.pins:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        f"output pin {pin!r} is not connected",
+                        component=comp.name,
+                    )
+                )
+        for pin, conn in comp.output_pins():
+            rep = circuit.find(conn.net)
+            driver_count.setdefault(rep, []).append(f"{comp.name}.{pin}")
+            if conn.invert:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        f"output pin {pin!r} may not be inverted at the net",
+                        component=comp.name,
+                    )
+                )
+            if conn.directives:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        f"evaluation directives belong on inputs, not output {pin!r}",
+                        component=comp.name,
+                    )
+                )
+
+    for rep, drivers in driver_count.items():
+        if len(drivers) > 1:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    f"net has {len(drivers)} drivers ({', '.join(drivers)}); "
+                    "wired logic must be modelled with an explicit gate",
+                    net=rep.name,
+                )
+            )
+        if rep.assertion is not None and rep.assertion.kind.is_clock:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    "clock-asserted signal is also driven by logic; the "
+                    "assertion value wins and the driver is ignored",
+                    net=rep.name,
+                )
+            )
+
+    referenced = set()
+    for comp in circuit.iter_components():
+        for _pin, conn in list(comp.input_pins()) + list(comp.output_pins()):
+            referenced.add(circuit.find(conn.net))
+    for case in circuit.cases:
+        for name in case:
+            net = circuit.nets.get(name)
+            if net is not None and circuit.find(net) not in referenced:
+                issues.append(
+                    ValidationIssue(
+                        "warning",
+                        "case-analysis signal is not referenced by any primitive",
+                        net=name,
+                    )
+                )
+    return issues
+
+
+def check(circuit: Circuit) -> list[ValidationIssue]:
+    """Validate and raise :class:`InvalidCircuitError` on any error.
+
+    Returns the warnings (if any) when the circuit is structurally sound.
+    """
+    issues = validate(circuit)
+    errors = [i for i in issues if i.severity == "error"]
+    if errors:
+        raise InvalidCircuitError(issues)
+    return [i for i in issues if i.severity == "warning"]

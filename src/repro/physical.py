@@ -1,0 +1,206 @@
+"""The physical-design interconnect substrate (sections 1.3.2 and 2.5.3).
+
+The thesis consumes interconnection delays computed elsewhere: "the detailed
+transmission line analysis required to determine the possible range of
+signal delays of a given interconnection is done in the SCALD Physical
+Design Subsystem."  That subsystem is not in the thesis, so this module is
+the substitution: a first-order transmission-line model good enough to
+produce the per-signal min/max delay ranges the Verifier needs, plus the
+reflection flagging the thesis describes:
+
+    "For interconnections having propagation times longer than roughly a
+    quarter period of the voltage wave, a detailed analysis of the
+    transmission line characteristics is required ... and whether there are
+    any voltage wave reflections ... of sufficient magnitude to cause extra
+    clock transitions to occur ... Runs with such reflections on them can
+    be flagged by the transmission line simulator, allowing the timing
+    verification process to flag them if they affect edge-sensitive
+    inputs."
+
+Model: a run of length L with N lumped loads on a line of impedance Z0
+terminated into Zt.  Propagation delay per cm is the unloaded line delay
+scaled by the loading factor sqrt(1 + C_load/C_line); the min/max range
+covers layout and process variation.  A run is reflection-risky when its
+one-way propagation time exceeds a quarter of the signal's rise time (the
+"quarter period of the voltage wave") *and* the termination mismatch
+reflects more than a threshold fraction of the wave.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .core.timeline import ns_to_ps
+from .netlist.circuit import Circuit, Net
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Electrical parameters of an interconnect technology.
+
+    Defaults approximate the S-1's wire-wrapped/stripline ECL-10K world:
+    ~0.07 ns/cm unloaded propagation, 1 pF per ECL load against 1 pF/cm of
+    line capacitance, 2 ns edges, 50-ohm lines.
+    """
+
+    unloaded_delay_ns_per_cm: float = 0.07
+    line_capacitance_pf_per_cm: float = 1.0
+    load_capacitance_pf: float = 1.0
+    rise_time_ns: float = 2.0
+    z0_ohms: float = 50.0
+    #: layout/process spread applied to the nominal delay: (min, max) factors
+    delay_spread: tuple[float, float] = (0.85, 1.25)
+    #: reflection coefficient magnitude above which a long run is flagged
+    reflection_threshold: float = 0.25
+
+
+ECL10K = Technology()
+
+
+@dataclass(frozen=True)
+class WireRun:
+    """One physical signal run, driver to loads."""
+
+    net: str
+    length_cm: float
+    loads: int = 1
+    termination_ohms: float | None = None  # None: properly terminated
+
+    def __post_init__(self) -> None:
+        if self.length_cm < 0:
+            raise ValueError(f"negative run length on {self.net!r}")
+        if self.loads < 1:
+            raise ValueError(f"run {self.net!r} must have at least one load")
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """The physical subsystem's verdict on one run."""
+
+    net: str
+    delay_ps: tuple[int, int]
+    propagation_ns: float
+    reflection_coefficient: float
+    reflection_risk: bool
+    reason: str = ""
+
+    def __str__(self) -> str:
+        lo, hi = self.delay_ps
+        flag = "  ** REFLECTION RISK" if self.reflection_risk else ""
+        return (
+            f"{self.net}: {lo / 1000:.2f}/{hi / 1000:.2f} ns "
+            f"(gamma={self.reflection_coefficient:+.2f}){flag}"
+        )
+
+
+def analyze_run(run: WireRun, tech: Technology = ECL10K) -> RunAnalysis:
+    """First-order transmission-line analysis of one run."""
+    line_c = tech.line_capacitance_pf_per_cm * max(run.length_cm, 1e-9)
+    loading = math.sqrt(
+        1.0 + (run.loads * tech.load_capacitance_pf) / line_c
+    )
+    nominal_ns = run.length_cm * tech.unloaded_delay_ns_per_cm * loading
+    lo = ns_to_ps(round(nominal_ns * tech.delay_spread[0], 4))
+    hi = ns_to_ps(round(nominal_ns * tech.delay_spread[1], 4))
+
+    if run.termination_ohms is None:
+        gamma = 0.0
+    else:
+        zt = run.termination_ohms
+        gamma = (zt - tech.z0_ohms) / (zt + tech.z0_ohms)
+    # "Propagation times longer than roughly a quarter period of the
+    # voltage wave" — the wave's period is set by the edge rate.
+    long_line = nominal_ns > tech.rise_time_ns / 4.0
+    risky = long_line and abs(gamma) > tech.reflection_threshold
+    reason = ""
+    if risky:
+        reason = (
+            f"one-way delay {nominal_ns:.2f} ns exceeds a quarter of the "
+            f"{tech.rise_time_ns:.1f} ns edge and the termination reflects "
+            f"{abs(gamma):.0%} of the wave"
+        )
+    return RunAnalysis(
+        net=run.net,
+        delay_ps=(lo, hi),
+        propagation_ns=nominal_ns,
+        reflection_coefficient=gamma,
+        reflection_risk=risky,
+        reason=reason,
+    )
+
+
+def edge_sensitive_nets(circuit: Circuit) -> set[str]:
+    """Nets feeding edge-sensitive inputs: storage-element clocks/enables
+    and checker clock pins — the inputs a reflection could falsely clock."""
+    sensitive: set[str] = set()
+    for comp in circuit.iter_components():
+        for pin, conn in comp.input_pins():
+            if pin in ("CLOCK", "ENABLE", "CK"):
+                sensitive.add(circuit.find(conn.net).name)
+    return sensitive
+
+
+@dataclass
+class PhysicalReport:
+    """Outcome of applying a physical design to a circuit."""
+
+    analyses: dict[str, RunAnalysis] = field(default_factory=dict)
+    applied: list[str] = field(default_factory=list)
+    unknown_nets: list[str] = field(default_factory=list)
+    #: reflection-risky runs that feed edge-sensitive inputs — the flags
+    #: the thesis says the verification process must surface
+    edge_sensitive_reflections: list[RunAnalysis] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.edge_sensitive_reflections
+
+    def listing(self) -> str:
+        lines = ["PHYSICAL DESIGN INTERCONNECT ANALYSIS", ""]
+        for name in sorted(self.analyses):
+            lines.append(f"  {self.analyses[name]}")
+        if self.unknown_nets:
+            lines.append("")
+            lines.append(
+                f"  runs naming unknown nets (ignored): "
+                f"{', '.join(sorted(self.unknown_nets))}"
+            )
+        lines.append("")
+        if self.edge_sensitive_reflections:
+            lines.append("  REFLECTIONS ON EDGE-SENSITIVE INPUTS:")
+            for a in self.edge_sensitive_reflections:
+                lines.append(f"    {a.net}: {a.reason}")
+        else:
+            lines.append("  no reflections reach edge-sensitive inputs")
+        return "\n".join(lines)
+
+
+def apply_physical_design(
+    circuit: Circuit,
+    runs: list[WireRun],
+    tech: Technology = ECL10K,
+) -> PhysicalReport:
+    """Compute and install calculated interconnection delays.
+
+    Section 2.5.3: "If the interconnection delays can be calculated from
+    detailed simulation of the transmission line properties ... then these
+    delay values are used by the Timing Verifier."  Each analysed run's
+    delay range replaces the Verifier's default for that net; runs with
+    reflection risk that feed edge-sensitive inputs are reported.
+    """
+    report = PhysicalReport()
+    sensitive = edge_sensitive_nets(circuit)
+    for run in runs:
+        analysis = analyze_run(run, tech)
+        report.analyses[run.net] = analysis
+        net = circuit.nets.get(run.net)
+        if net is None:
+            report.unknown_nets.append(run.net)
+            continue
+        rep = circuit.find(net)
+        rep.wire_delay_ps = analysis.delay_ps
+        report.applied.append(rep.name)
+        if analysis.reflection_risk and rep.name in sensitive:
+            report.edge_sensitive_reflections.append(analysis)
+    return report

@@ -1,0 +1,20 @@
+"""Output listings, statistics tables, and path explanations."""
+
+from .diagram import render_waveform, timing_diagram
+from .explain import PathHop, SettleExplainer, explain_violation
+from .listing import phase_table, timing_summary, violation_listing, xref_listing
+from .stats import StorageReport, measure_storage
+
+__all__ = [
+    "render_waveform",
+    "timing_diagram",
+    "PathHop",
+    "SettleExplainer",
+    "explain_violation",
+    "phase_table",
+    "timing_summary",
+    "violation_listing",
+    "xref_listing",
+    "StorageReport",
+    "measure_storage",
+]

@@ -1,0 +1,89 @@
+"""ASCII timing diagrams of verified signal waveforms.
+
+The thesis's listings are tabular (Figure 3-10); a drawn waveform is often
+faster to read.  :func:`timing_diagram` renders each signal's seven-value
+waveform over the cycle as a one-line trace::
+
+    MAIN CLK .P2-3  __________/~~~~~\\__________________________
+    BUS IN .S0-6    ==============================xxxxxxxxxxxxx
+    STAGE IN        ====xx====================================
+
+Glyphs: ``_`` low, ``~`` high, ``=`` stable (level unknown), ``x`` may be
+changing, ``/`` and ``\\`` rise/fall windows, ``?`` undefined.  One column
+spans ``period / width`` of time; a column containing any possible change
+shows the change, so narrow events never disappear from the picture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+from ..core.timeline import format_ns
+from ..core.values import Value
+from ..core.waveform import Waveform
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.verifier import VerificationResult
+
+#: Per-value glyphs, in worst-first order for column conflicts.
+_GLYPHS = {
+    Value.UNKNOWN: "?",
+    Value.CHANGE: "x",
+    Value.RISE: "/",
+    Value.FALL: "\\",
+    Value.STABLE: "=",
+    Value.ONE: "~",
+    Value.ZERO: "_",
+}
+#: Priority when several values share one column: show the worst.
+_PRIORITY = list(_GLYPHS)
+
+
+def render_waveform(wf: Waveform, width: int = 60) -> str:
+    """One signal's trace, ``width`` characters for one period."""
+    if width < 1:
+        raise ValueError("diagram width must be positive")
+    m = wf.materialized()
+    period = m.period
+    out = []
+    for col in range(width):
+        lo = col * period // width
+        hi = max((col + 1) * period // width, lo + 1)
+        present = m.values_in_window(lo, hi - 1)
+        worst = min(present, key=_PRIORITY.index)
+        out.append(_GLYPHS[worst])
+    return "".join(out)
+
+
+def timing_diagram(
+    result: "VerificationResult",
+    signals: Sequence[str] | None = None,
+    case: int = 0,
+    width: int = 60,
+) -> str:
+    """Draw the converged waveforms of a verification run.
+
+    Args:
+        result: a :class:`VerificationResult`.
+        signals: which signals, in display order; all of them when None.
+        case: which case-analysis cycle to draw.
+        width: columns per clock period.
+    """
+    waveforms = result.cases[case].waveforms
+    names = list(signals) if signals is not None else sorted(waveforms)
+    missing = [n for n in names if n not in waveforms]
+    if missing:
+        raise KeyError(f"no such signal(s): {missing}")
+    label_w = max((len(n) for n in names), default=0)
+    period_ns = format_ns(result.cases[case].waveforms[names[0]].period) if names else "?"
+    header = (
+        f"{'':<{label_w}}  0{'·' * (width - len(period_ns) - 1)}{period_ns} ns"
+    )
+    lines = [header]
+    for name in names:
+        lines.append(f"{name:<{label_w}}  {render_waveform(waveforms[name], width)}")
+    lines.append(
+        f"{'':<{label_w}}  (_ low  ~ high  = stable  x changing  / rise"
+        f"  \\ fall  ? undefined)"
+    )
+    return "\n".join(lines)

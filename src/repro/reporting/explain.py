@@ -1,0 +1,174 @@
+"""Critical-path explanation: *why* a signal settles when it does.
+
+The thesis's error listing (Figure 3-11) shows the offending waveforms; a
+designer then traced the contributing path by hand through the prints.
+This module automates the trace: starting from a checker's data input, it
+walks driver-by-driver toward the assertion or clock edge that launched the
+latest-settling contribution, attributing each hop's wire and element
+delay — the ancestor of the modern STA path report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import VerifyConfig
+from ..core.timeline import format_ns
+from ..core.values import CHANGING_VALUES
+from ..core.verifier import VerificationResult
+from ..core.violations import Violation
+from ..netlist.circuit import Circuit, Component, Connection, Net
+from ..core.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class PathHop:
+    """One element of a settle-time explanation, input-side first."""
+
+    net: str
+    settle_ps: int
+    via: str  # how the next hop is reached ("CHG 1.5/3.0 + wire 0.0/2.0")
+
+    def __str__(self) -> str:
+        via = f"  --{self.via}-->" if self.via else ""
+        return f"{self.net} settles {format_ns(self.settle_ps)} ns{via}"
+
+
+def _settle_ps(wf: Waveform, period: int) -> int | None:
+    """The latest time the signal may still be changing, unwrapped so a
+    changing region crossing time zero reports into the next cycle."""
+    m = wf.materialized()
+    runs = [
+        (start, end)
+        for start, end, vals, _b, _a in m._circular_runs(
+            lambda v: v in CHANGING_VALUES
+        )
+    ]
+    if not runs:
+        return None
+    return max(end for _s, end in runs)
+
+
+class SettleExplainer:
+    """Traces the critical contribution to each net's settle time."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        waveforms: dict[str, Waveform],
+        config: VerifyConfig | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.waveforms = waveforms
+        self.config = config or VerifyConfig()
+        self._drivers: dict[Net, tuple[Component, str]] = {}
+        for comp in circuit.iter_components():
+            for pin, conn in comp.output_pins():
+                self._drivers[circuit.find(conn.net)] = (comp, pin)
+
+    def _wire(self, conn: Connection) -> tuple[int, int]:
+        if conn.wire_delay_ps is not None:
+            return conn.wire_delay_ps
+        rep = self.circuit.find(conn.net)
+        if rep.wire_delay_ps is not None:
+            return rep.wire_delay_ps
+        return self.config.default_wire_delay_ps
+
+    def _wf(self, rep: Net) -> Waveform | None:
+        return self.waveforms.get(rep.name)
+
+    def explain(self, net_name: str, max_hops: int = 32) -> list[PathHop]:
+        """The chain of contributions ending at ``net_name``'s settle time.
+
+        Returned source-first: the first hop is the asserted input or
+        storage element that launched the critical path.
+        """
+        net = self.circuit.nets.get(net_name)
+        if net is None:
+            raise KeyError(f"no signal named {net_name!r}")
+        period = self.circuit.period_ps
+        hops: list[PathHop] = []
+        rep = self.circuit.find(net)
+        seen: set[Net] = set()
+        for _ in range(max_hops):
+            wf = self._wf(rep)
+            if wf is None:
+                break
+            settle = _settle_ps(wf, period)
+            if settle is None:
+                hops.append(PathHop(rep.name, 0, "never changes"))
+                break
+            driver = self._drivers.get(rep)
+            if driver is None or rep in seen:
+                kind = "assertion" if rep.assertion else "input"
+                hops.append(PathHop(rep.name, settle, kind))
+                break
+            seen.add(rep)
+            comp, _pin = driver
+            culprit, via = self._critical_input(comp, settle, period)
+            hops.append(PathHop(rep.name, settle, via))
+            if culprit is None:
+                break
+            rep = culprit
+        return list(reversed(hops))
+
+    def _critical_input(
+        self, comp: Component, out_settle: int, period: int
+    ) -> tuple[Net | None, str]:
+        """The input whose settle best accounts for the output's settle."""
+        prim = comp.prim.name
+        dmax = comp.delay_ps()[1]
+        if prim in ("REG", "REG_RS"):
+            clock = self.circuit.find(comp.pins["CLOCK"].net)
+            return clock, f"{prim} {comp.name!r} clocked (+{format_ns(dmax)} ns)"
+        best: tuple[tuple[int, int], Net, str] | None = None
+        for pin, conn in comp.input_pins():
+            rep = self.circuit.find(conn.net)
+            wf = self._wf(rep)
+            if wf is None:
+                continue
+            settle = _settle_ps(wf, period)
+            if settle is None:
+                continue
+            wmax = self._wire(conn)[1]
+            extra = dmax
+            if prim.startswith("MUX") and pin.startswith("S"):
+                extra += comp.params.get("select_delay", (0, 0))[1]
+            contribution = settle + wmax + extra
+            # Circular slack: how close this contribution lands to the
+            # output settle, modulo the period.
+            gap = (out_settle - contribution) % period
+            gap = min(gap, period - gap)
+            key = (gap, -settle)
+            if best is None or key < best[0]:
+                via = (
+                    f"{prim} {comp.name!r} "
+                    f"+wire {format_ns(wmax)} +{format_ns(extra)} ns"
+                )
+                best = (key, rep, via)
+        if best is None:
+            return None, f"{prim} {comp.name!r}"
+        return best[1], best[2]
+
+
+def explain_violation(
+    circuit: Circuit,
+    result: VerificationResult,
+    violation: Violation,
+    config: VerifyConfig | None = None,
+) -> str:
+    """Render a settle-time trace for a violation's data signal."""
+    waveforms = result.cases[violation.case_index].waveforms
+    explainer = SettleExplainer(circuit, waveforms, config)
+    base = violation.signal
+    # The violation names the net as connected (possibly '-' prefixed).
+    name = base[1:] if base.startswith("-") else base
+    try:
+        hops = explainer.explain(name)
+    except KeyError:
+        return f"(no trace available for {violation.signal!r})"
+    lines = [f"critical contribution to {violation.signal!r}:"]
+    for hop in hops:
+        lines.append(f"  {hop}")
+    lines.append(f"  => {violation.headline()}")
+    return "\n".join(lines)

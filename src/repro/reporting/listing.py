@@ -1,0 +1,81 @@
+"""Text listings in the style of the thesis output figures.
+
+* :func:`timing_summary` — the Figure 3-10 summary listing showing each
+  signal's value over the cycle time;
+* :func:`violation_listing` — the Figure 3-11 set-up/hold/minimum-pulse-
+  width error listing;
+* :func:`xref_listing` — the special cross-reference listing of signals
+  assumed stable for lack of an assertion (section 2.5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.timeline import format_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.verifier import VerificationResult
+
+
+def timing_summary(result: "VerificationResult", case: int = 0) -> str:
+    """Render the signal-value summary listing (Figure 3-10).
+
+    Each line shows a signal name followed by its value trace: the value at
+    the start of the cycle, then each change time and the value after it.
+    """
+    case_result = result.cases[case]
+    lines = [
+        f"TIMING VERIFIER SUMMARY — {result.circuit_name}"
+        + (f" (case {case}: {case_result.assignments})" if case_result.assignments else ""),
+        "",
+    ]
+    width = max((len(n) for n in case_result.waveforms), default=0)
+    for name in sorted(case_result.waveforms):
+        wf = case_result.waveforms[name]
+        lines.append(f"  {name:<{width}}  {wf.describe()}")
+    return "\n".join(lines)
+
+
+def violation_listing(result: "VerificationResult") -> str:
+    """Render the error listing (Figure 3-11)."""
+    if result.ok:
+        return "No setup, hold or minimum pulse width errors detected."
+    lines = ["SETUP, HOLD AND MINIMUM PULSE WIDTH ERRORS", ""]
+    for violation in result.violations:
+        lines.append(violation.message())
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def xref_listing(result: "VerificationResult") -> str:
+    """Signals with no assertion and no driver, assumed always stable."""
+    if not result.xref_assumed_stable:
+        return "All undefined signals carry assertions."
+    lines = [
+        "UNDEFINED SIGNALS ASSUMED STABLE (assertions needed):",
+    ]
+    for name in sorted(result.xref_assumed_stable):
+        lines.append(f"  {name}")
+    return "\n".join(lines)
+
+
+def phase_table(result: "VerificationResult") -> str:
+    """Execution statistics in the shape of Table 3-1's Verifier half."""
+    p = result.phases
+    rows = [
+        ("Reading input files and building data structures", p.build),
+        ("Generating cross reference listings", p.cross_reference),
+        ("Verifying circuit", p.verify),
+        ("Generating timing summary listing", p.summary),
+    ]
+    lines = ["TIMING VERIFIER EXECUTION STATISTICS", ""]
+    for label, seconds in rows:
+        lines.append(f"  {label:<52} {seconds * 1000:10.2f} ms")
+    lines.append(f"  {'Total':<52} {p.total * 1000:10.2f} ms")
+    lines.append("")
+    lines.append(
+        f"  events processed: {result.stats.events}, "
+        f"primitive evaluations: {result.stats.evaluations}"
+    )
+    return "\n".join(lines)

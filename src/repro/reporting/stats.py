@@ -1,0 +1,153 @@
+"""Storage accounting in the shape of Table 3-3.
+
+The thesis breaks the Timing Verifier's working storage into categories:
+circuit description (37.8 %, 260 bytes/primitive), signal values (33 152
+value lists averaging 2.97 value records, 56 bytes/signal), signal names
+(11.6 %), string space (10.6 %), the call-list array mapping signals to the
+primitives they feed (6.9 %), and miscellany (0.7 %).  This module measures
+our implementation's equivalents with recursive ``sys.getsizeof`` so the
+Table 3-3 benchmark can print the same rows.
+
+Objects shared between categories are counted once, in the first category
+that reaches them (measured in the paper's order), exactly as a single
+allocation would have been owned by one data structure in the PASCAL
+implementation.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..core.engine import Engine
+
+
+def deep_size(obj: Any, seen: set[int]) -> int:
+    """Recursive ``getsizeof`` that skips already-counted objects."""
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    if isinstance(obj, (type, type(deep_size), type(sys))):
+        return 0  # classes, functions and modules are code, not data
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_size(key, seen)
+            size += deep_size(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_size(item, seen)
+    elif hasattr(obj, "__dict__"):
+        size += deep_size(obj.__dict__, seen)
+    if hasattr(obj, "__slots__"):
+        for slot in obj.__slots__:  # type: ignore[union-attr]
+            if hasattr(obj, slot):
+                size += deep_size(getattr(obj, slot), seen)
+    return size
+
+
+@dataclass
+class StorageCategory:
+    name: str
+    bytes: int
+    percent: float = 0.0
+
+
+@dataclass
+class StorageReport:
+    """The measured equivalent of Table 3-3."""
+
+    categories: list[StorageCategory] = field(default_factory=list)
+    total_bytes: int = 0
+    primitives: int = 0
+    signals: int = 0
+    bytes_per_primitive: float = 0.0
+    bytes_per_signal_value: float = 0.0
+    value_records_per_signal: float = 0.0
+
+    def table(self) -> str:
+        lines = [
+            "STORAGE REQUIRED (Table 3-3 categories)",
+            "",
+            f"  {'category':<28} {'bytes':>12} {'percent':>9}",
+        ]
+        for cat in self.categories:
+            lines.append(f"  {cat.name:<28} {cat.bytes:>12,} {cat.percent:>8.1f}%")
+        lines.append(f"  {'TOTAL':<28} {self.total_bytes:>12,} {100.0:>8.1f}%")
+        lines.append("")
+        lines.append(
+            f"  {self.bytes_per_primitive:.0f} bytes/primitive circuit "
+            f"description ({self.primitives} primitives)"
+        )
+        lines.append(
+            f"  {self.bytes_per_signal_value:.0f} bytes/signal value, "
+            f"{self.value_records_per_signal:.2f} value records/signal "
+            f"({self.signals} signal value lists)"
+        )
+        return "\n".join(lines)
+
+
+def measure_storage(engine: Engine) -> StorageReport:
+    """Measure a (run) engine's working storage by Table 3-3 category."""
+    circuit = engine.circuit
+    seen: set[int] = set()
+
+    # Strings first would claim the names out from under the other
+    # categories; the paper's order puts the circuit description first.
+    components = list(circuit.iter_components())
+    circuit_description = 0
+    strings: list[str] = []
+    for comp in components:
+        strings.append(comp.name)
+        circuit_description += deep_size(comp.pins, seen)
+        circuit_description += deep_size(comp.params, seen)
+        circuit_description += sys.getsizeof(comp)
+
+    reps = circuit.representatives()
+    signal_values = deep_size(engine.values, seen)
+
+    signal_names = 0
+    for net in circuit.nets.values():
+        strings.append(net.name)
+        strings.append(net.base_name)
+        signal_names += sys.getsizeof(net)
+        signal_names += deep_size(net.assertion, seen)
+    signal_names += sys.getsizeof(circuit.nets)
+
+    string_space = sum(deep_size(s, seen) for s in set(strings))
+
+    call_list = deep_size(engine._loads, seen) + deep_size(engine._drivers, seen)
+
+    misc = (
+        deep_size(engine._case_map, seen)
+        + deep_size(engine.xref_assumed_stable, seen)
+        + deep_size(circuit.cases, seen)
+        + deep_size(circuit._alias_parent, seen)
+    )
+
+    categories = [
+        StorageCategory("circuit description", circuit_description),
+        StorageCategory("signal values", signal_values),
+        StorageCategory("signal names", signal_names),
+        StorageCategory("string space", string_space),
+        StorageCategory("call list array", call_list),
+        StorageCategory("miscellaneous", misc),
+    ]
+    total = sum(c.bytes for c in categories)
+    for cat in categories:
+        cat.percent = 100.0 * cat.bytes / total if total else 0.0
+
+    n_prims = len(components)
+    n_signals = len(reps)
+    segment_count = sum(len(wf.segments) for wf in engine.values.values())
+    return StorageReport(
+        categories=categories,
+        total_bytes=total,
+        primitives=n_prims,
+        signals=n_signals,
+        bytes_per_primitive=circuit_description / n_prims if n_prims else 0.0,
+        bytes_per_signal_value=signal_values / n_signals if n_signals else 0.0,
+        value_records_per_signal=segment_count / n_signals if n_signals else 0.0,
+    )

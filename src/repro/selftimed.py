@@ -1,0 +1,121 @@
+"""Module delay determination for self-timed design (section 4.2.1).
+
+The thesis's first future-work item: in a self-timed (speed-independent)
+system, each module signals completion itself, and "the verification
+technique developed here could be used to determine the delay of the basic
+modules, to determine how much of a delay needs to be inserted in the
+circuit which specifies when the module is 'done'".
+
+:func:`module_delay` does exactly that: it takes a combinational module,
+stimulates every input with a change at time zero, runs the ordinary
+symbolic evaluation, and reads off when each output can start and stop
+changing — the module's min/max propagation delay.  :func:`done_delay_ns`
+turns the result into the delay a matched-delay "done" line must carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core.config import EXACT, VerifyConfig
+from .core.engine import Engine
+from .core.timeline import ns_to_ps
+from .core.values import CHANGE, STABLE
+from .core.waveform import Waveform
+from .netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class ModuleDelay:
+    """The measured propagation-delay envelope of one module output."""
+
+    output: str
+    min_ps: int  # earliest the output can start changing after the inputs
+    max_ps: int  # latest it can still be changing (the settle time)
+
+    @property
+    def min_ns(self) -> float:
+        return self.min_ps / 1000
+
+    @property
+    def max_ns(self) -> float:
+        return self.max_ps / 1000
+
+    def __str__(self) -> str:
+        return f"{self.output}: {self.min_ns:.2f}/{self.max_ns:.2f} ns"
+
+
+def module_delay(
+    circuit: Circuit,
+    inputs: list[str],
+    outputs: list[str],
+    config: VerifyConfig | None = None,
+) -> dict[str, ModuleDelay]:
+    """Measure the min/max delay from a module's inputs to its outputs.
+
+    Every listed input is driven with a simultaneous potential change at
+    time zero (CHANGE for one engine tick, STABLE for the rest of the
+    analysis period); all other undriven signals keep their assertions.
+    The returned envelope for each output is the window in which it may be
+    changing, i.e. the module's propagation-delay range.
+
+    The analysis period must comfortably exceed the module's settle time;
+    the circuit's own period is used, so build the module with a generous
+    one.
+
+    Raises ``ValueError`` when an output never changes (no combinational
+    path from any stimulated input) or never settles inside the period.
+    """
+    engine = Engine(circuit, config or EXACT)
+    engine.initialize()
+    period = circuit.period_ps
+    stimulus = Waveform.from_intervals(period, STABLE, [(0, 1, CHANGE)])
+    for name in inputs:
+        net = circuit.nets.get(name)
+        if net is None:
+            raise KeyError(f"no input named {name!r}")
+        rep = circuit.find(net)
+        engine.values[rep] = stimulus
+        engine._fixed.add(rep)
+    for comp in circuit.iter_components():
+        if not comp.prim.is_checker:
+            engine._enqueue(comp)
+    engine.run()
+
+    results: dict[str, ModuleDelay] = {}
+    for name in outputs:
+        wf = engine.waveform_of(name).materialized()
+        if wf.is_constant and wf.segments[0][0] is CHANGE:
+            raise ValueError(
+                f"output {name!r} does not settle within the {period} ps "
+                "analysis period"
+            )
+        runs = [
+            (start, end)
+            for start, end, value in wf.iter_segments()
+            if value is CHANGE
+        ]
+        if not runs:
+            raise ValueError(
+                f"output {name!r} never changes: no path from the inputs"
+            )
+        start = min(s for s, _e in runs)
+        # The stimulus change occupies [0, 1 ps]; its width rides along to
+        # the settle edge and is not part of the module's delay.
+        end = max(e for _s, e in runs) - 1
+        if end >= period:
+            raise ValueError(
+                f"output {name!r} does not settle within the {period} ps "
+                "analysis period"
+            )
+        results[name] = ModuleDelay(output=name, min_ps=start, max_ps=end)
+    return results
+
+
+def done_delay_ns(
+    delays: dict[str, ModuleDelay], margin_ns: float = 0.0
+) -> float:
+    """The delay a matched 'done' line must carry: the slowest output's
+    settle time plus a designer margin."""
+    worst = max(d.max_ps for d in delays.values())
+    return worst / 1000 + margin_ns

@@ -1,0 +1,20 @@
+"""Workloads: the thesis figure circuits and the S-1-scale synthetic design."""
+
+from .minicpu import BUGS, build_minicpu
+from .figures import (
+    fig_1_5_gated_clock,
+    fig_2_5_register_file,
+    fig_2_6_case_analysis,
+    fig_3_12_alu_datapath,
+    fig_4_1_correlation,
+)
+
+__all__ = [
+    "BUGS",
+    "build_minicpu",
+    "fig_1_5_gated_clock",
+    "fig_2_5_register_file",
+    "fig_2_6_case_analysis",
+    "fig_3_12_alu_datapath",
+    "fig_4_1_correlation",
+]

@@ -1,0 +1,224 @@
+"""The circuits drawn in the thesis figures, as builder functions.
+
+Each function returns a ready-to-verify :class:`~repro.netlist.Circuit`
+reproducing one worked example:
+
+* Figure 1-5  — the gated-clock hazard (a runt pulse clocks a register);
+* Figure 2-5  — the register-file circuit whose verification output is
+  shown in Figures 3-10 and 3-11;
+* Figure 2-6  — the two-multiplexer circuit that needs case analysis;
+* Figure 3-12 — the S-1 ALU / status-register datapath slice;
+* Figures 4-1 and 4-2 — the register-feedback correlation false error and
+  its ``CORR`` fictitious-delay suppression.
+"""
+
+from __future__ import annotations
+
+from ..library import (
+    alu_with_latch,
+    and2_chip,
+    corr_delay,
+    mux2_chip,
+    or2_chip,
+    ram_16w_10145a,
+    register_chip,
+)
+from ..netlist.circuit import Circuit
+
+
+def fig_1_5_gated_clock(use_directive: bool = False) -> Circuit:
+    """The Figure 1-5 hazard: a clock gated by a late control signal.
+
+    ``CLOCK`` is high from 20 to 30 ns; ``ENABLE`` wants to inhibit the
+    register this cycle but only reaches zero at 25 ns, so the gate output
+    is a 5 ns runt pulse that may clock the register.
+
+    With ``use_directive=False`` the hazard is caught by the register
+    clock's minimum-pulse-width checker; with ``use_directive=True`` the
+    ``&A`` evaluation directive on the clock input reports the control
+    signal's instability directly (section 2.6).
+    """
+    c = Circuit("fig-1-5", period_ns=50.0, clock_unit_ns=10.0)
+    # Clock units of 10 ns: .P2-3 is high 20..30 ns.
+    clock = c.net("CLOCK .P2-3")
+    # ENABLE is generated late: it may still be changing from 20 to 25 ns.
+    enable = c.net("ENABLE .S2.5-2")
+    reg_clock = c.net("REG CLOCK")
+    clock_in = "CLOCK .P2-3 &A" if use_directive else clock
+    c.gate("AND", reg_clock, [clock_in, enable], delay=(0.0, 0.0), name="gate")
+    c.reg("Q", clock=reg_clock, data="DATA IN .S0-2", delay=(1.0, 3.0), width=8)
+    c.min_pulse_width(reg_clock, min_high=6.0, name="mpw")
+    # This cycle the control wants to be low (inhibit).  Mapping its stable
+    # value to 0 exposes the runt pulse 20..25 ns.
+    c.add_case_by_name({"ENABLE .S2.5-2": 0})
+    return c
+
+
+def fig_2_5_register_file() -> Circuit:
+    """The Figure 2-5 register-file circuit (Figures 3-10/3-11 output).
+
+    A 16-word by 32-bit register file, a 32-bit output register, a 2-input
+    multiplexer selecting between the read and write addresses, and the
+    write-enable gating.  50 ns cycle, 6.25 ns clock units, default wire
+    delay 0.0/2.0 ns, and a designer-specified 0.0/6.0 ns wire on the
+    register-file address lines.
+    """
+    c = Circuit("fig-2-5", period_ns=50.0, clock_unit_ns=6.25)
+
+    # Write data settles late in the cycle (it comes from the previous
+    # pipeline stage); the write/read addresses carry stable assertions.
+    w_data = c.net("W DATA .S6.5-6", width=32)
+    write_adr = c.net("WRITE ADR .S0-6", width=4)
+    read_adr = c.net("READ ADR .S4-9", width=4)
+    adr = c.net("ADR", width=4)
+    adr.wire_delay_ps = (0, 6_000)  # designer-specified address wire
+
+    # Write address during the first half of the cycle (while the
+    # write-enable pulses), read address during the second.  The select is
+    # a precision clock distributed without additional wire delay.
+    sel = c.net("ADR SEL .P0-4")
+    sel.wire_delay_ps = (0, 0)
+    mux2_chip(c, "adr mux", adr, select=sel, i0=read_adr, i1=write_adr)
+
+    # Write-enable pulse: the precision clock gated by the WRITE control.
+    # The &H directive re-references the clock timing to the gate output
+    # and checks WRITE's stability while the clock is asserted.
+    ram_we = c.net("RAM WE")
+    and2_chip(c, "we gate", ram_we, a="WE CLK .P2-3 &H", b="WRITE .S0-6")
+
+    ram_out = c.net("RAM OUT", width=32)
+    ram_16w_10145a(c, "rf", i=w_data, a=adr, cs="CS .S0-8", we=ram_we,
+                   out=ram_out, size=32)
+
+    # The output register clocks at the very end of the cycle (its rising
+    # edge is nominally at 50 ns; with -1 ns skew it "starts rising at
+    # 49.0 ns" as in the second Figure 3-11 message).  Like all precision
+    # clocks in the S-1, its distribution is hand-trimmed, so the clock net
+    # itself carries no default wire delay — the ±1 ns assertion skew
+    # already covers the distribution variation (section 2.5.1).
+    reg_clk = c.net("REG CLK .P0-1")
+    reg_clk.wire_delay_ps = (0, 0)
+    register_chip(c, "out reg", out=c.net("R DATA", width=32),
+                  clock=reg_clk, data=ram_out, width=32)
+    return c
+
+
+def fig_2_6_case_analysis(with_cases: bool = True) -> Circuit:
+    """The Figure 2-6 circuit whose worst path needs case analysis.
+
+    Two multiplexers share (complementary uses of) one control signal; the
+    long input leg of each carries an extra 10 ns of delay and each element
+    contributes 10 ns.  Without case analysis the verifier cannot see that
+    both multiplexers can never select their long leg at once and reports a
+    40 ns input-to-output delay; the two cases each measure 30 ns.
+    """
+    c = Circuit("fig-2-6", period_ns=100.0, clock_unit_ns=10.0)
+    control = c.net("CONTROL SIGNAL .S0-10")
+    inp = c.net("INPUT .S1-10")  # changes during the first clock unit
+
+    slow1 = c.net("SLOW1")
+    c.buf(slow1, inp, delay=(10.0, 10.0), name="delay1")
+    mid = c.net("MID")
+    c.mux(mid, selects=[control], inputs=[inp, slow1], delay=(10.0, 10.0),
+          name="mux1")
+
+    slow2 = c.net("SLOW2")
+    c.buf(slow2, mid, delay=(10.0, 10.0), name="delay2")
+    out = c.net("OUTPUT")
+    # The second multiplexer uses the complement of the control signal, so
+    # the two long legs are never selected together.
+    c.mux(out, selects=["-CONTROL SIGNAL .S0-10"], inputs=[mid, slow2],
+          delay=(10.0, 10.0), name="mux2")
+
+    if with_cases:
+        c.add_case_by_name({"CONTROL SIGNAL .S0-10": 0})
+        c.add_case_by_name({"CONTROL SIGNAL .S0-10": 1})
+    return c
+
+
+def fig_3_12_alu_datapath(width: int = 36) -> Circuit:
+    """The Figure 3-12 S-1 Mark IIA arithmetic circuit.
+
+    A 36-bit ALU with output latch, a 36-bit debugging/status register with
+    load enable, and a function decoder driving the ALU select lines.  All
+    interface signals carry assertions, so the slice verifies on its own —
+    the modular-verification workflow of section 2.5.2.
+    """
+    c = Circuit("fig-3-12", period_ns=50.0, clock_unit_ns=6.25)
+
+    # Function decoder: opcode to ALU select lines.
+    fn_sel = c.net("FN SEL", width=4)
+    c.chg(fn_sel, ["OPCODE .S0-6"], delay=(2.0, 4.0), name="fn decode", width=4)
+
+    # The ALU output latch is open mid-cycle while the function network is
+    # quiet and closes before the operand buses start changing.  Precision
+    # clock distribution is hand-trimmed (no wire delay beyond the ±1 ns
+    # assertion skew).
+    latch_en = c.net("ALU LATCH EN .P4.5-6")
+    latch_en.wire_delay_ps = (0, 0)
+    alu_out = c.net("ALU OUT .S7-12", width=width)
+    alu_with_latch(
+        c, "alu", out=alu_out, a=c.net("A BUS .S0-6", width=width),
+        b=c.net("B BUS .S0-6", width=width), carry_in="CARRY IN .S0-6",
+        select=fn_sel, enable=latch_en, width=width,
+    )
+
+    # Debugging/status register with load enable: the enable is ANDed with
+    # the clock under an &H directive (adjusted, checked clock gating).
+    # The register clocks at the cycle boundary, after the latched result
+    # has settled.
+    reg_clk = c.net("REG CLK .P0-1")
+    reg_clk.wire_delay_ps = (0, 0)
+    status_clk = c.net("STATUS CLK")
+    status_clk.wire_delay_ps = (0, 0)
+    and2_chip(c, "status gate", status_clk,
+              a=c._as_connection("REG CLK .P0-1 &H"), b="STATUS LOAD .S4-10")
+    register_chip(c, "status reg", out=c.net("STATUS .S1-8", width=width),
+                  clock=status_clk, data=alu_out, width=width)
+    c.min_pulse_width(status_clk, min_high=3.0, name="status mpw")
+    return c
+
+
+def fig_4_1_correlation(with_corr: bool = False, hold_ns: float = 1.0) -> Circuit:
+    """The Figure 4-1 correlation false error (and the Figure 4-2 fix).
+
+    An edge-triggered register reloads either its own output or new data
+    through a multiplexer; the clock reaches the register through a buffer
+    that adds skew.  The minimum register+multiplexer delay exceeds the
+    hold time, so the circuit is safe — but the Verifier computes in
+    absolute times, ignores the correlation between the clock edge and the
+    output change, and emits a false hold error.
+
+    With ``with_corr=True`` the designer's ``CORR`` fictitious delay —
+    as long as the clock skew — is inserted in the feedback path and the
+    false error disappears (section 4.2.3).
+    """
+    c = Circuit("fig-4-1" if not with_corr else "fig-4-2",
+                period_ns=50.0, clock_unit_ns=6.25)
+    for name in ("Q", "FB", "D"):
+        c.net(name, width=8).wire_delay_ps = (0, 0)
+
+    # Clock buffer inserting a relatively large skew into the register
+    # clock; the incoming precision clock itself is distributed trimmed.
+    ck = c.net("CK .P2-3")
+    ck.wire_delay_ps = (0, 0)
+    reg_clk = c.net("REG CLK")
+    reg_clk.wire_delay_ps = (0, 0)
+    c.buf(reg_clk, ck, delay=(1.0, 4.0), name="clock buffer")
+
+    q = c.net("Q", width=8)
+    fb_tail = c.net("FB", width=8)
+    if with_corr:
+        # "At least as long as the skew on the clock signal": 3 ns from
+        # the buffer plus the ±1 ns assertion skew.
+        corr_delay(c, "corr", fb_tail, q, delay_ns=5.0, width=8)
+    else:
+        c.buf(fb_tail, q, delay=(0.0, 0.0), name="fb wire", width=8)
+
+    d = c.net("D", width=8)
+    c.mux(d, selects=["HOLD SEL .S0-8"], inputs=[fb_tail, c.net("NEW DATA .S0-6", width=8)],
+          delay=(1.2, 3.3), name="in mux", width=8)
+
+    c.reg(q, clock=reg_clk, data=d, delay=(1.5, 4.5), name="reg", width=8)
+    c.setup_hold(d, reg_clk, setup=2.5, hold=hold_ns, name="reg su", width=8)
+    return c

@@ -1,0 +1,149 @@
+"""A complete mini-CPU datapath, verified end to end.
+
+The S-1 Mark IIA itself is not reproducible, but its verification workflow
+is: a pipelined processor built from the Chapter III component library,
+with every structure the thesis discusses in one design —
+
+* a program counter with feedback through a ``CORR`` delay (section 4.2.3);
+* an instruction memory and a register file built from the Figure 3-5 RAM
+  macro, with gated write strobes under ``&H`` directives (section 2.6);
+* an address multiplexer sharing the register file between read and
+  writeback phases (the Figure 2-5 idiom);
+* pipeline registers with setup/hold checkers (Figure 3-7);
+* a Figure 3-9 ALU with output latch;
+* interface assertions throughout, so the slice verifies on its own
+  (section 2.5.2).
+
+The clocking plan (100 ns cycle, 12.5 ns units, all precision clocks
+trimmed):
+
+====================  =========  =====================================
+clock                 edge (ns)  captures / strobes
+====================  =========  =====================================
+``PIPE CLK .P0-1``    100 (= 0)  instruction / operand / writeback regs
+``PC CLK .P3-4``      37.5       the program counter
+``ALU EN .P2-3``      25..37.5   the ALU output latch (open window)
+``WE CLK .P5-6``      62.5..75   both RAM write strobes
+====================  =========  =====================================
+
+``build_minicpu(bug=...)`` can plant each of the timing-error species of
+section 1.3.2, for demonstrations and tests.
+"""
+
+from __future__ import annotations
+
+from ..library import (
+    alu_with_latch,
+    and2_chip,
+    corr_delay,
+    mux2_chip,
+    ram_16w_10145a,
+    register_chip,
+)
+from ..netlist.circuit import Circuit
+
+#: Seeded timing bugs: name -> description.
+BUGS = {
+    "slow-decode": "decode takes 14-26 ns: the branch select reaches the PC "
+                    "multiplexer inside the PC's setup window",
+    "late-writeback": "the writeback register is clocked at unit 7 instead "
+                      "of the cycle boundary: its data misses setup",
+    "runt-strobe": "the register-file write strobe is gated by a control "
+                   "that settles mid-pulse: a possible runt write",
+}
+
+
+def build_minicpu(width: int = 16, bug: str | None = None) -> Circuit:
+    """Build the datapath; ``bug`` plants one of :data:`BUGS`."""
+    if bug is not None and bug not in BUGS:
+        raise ValueError(f"unknown bug {bug!r}; known: {sorted(BUGS)}")
+    c = Circuit(f"minicpu{'-' + bug if bug else ''}",
+                period_ns=100.0, clock_unit_ns=12.5)
+
+    def clock(name: str):
+        net = c.net(name)
+        net.wire_delay_ps = (0, 0)  # trimmed precision distribution
+        return net
+
+    pipe_clk = clock("PIPE CLK .P0-1")
+    pc_clk = clock("PC CLK .P3-4")
+    alu_en = clock("ALU EN .P2-3")
+    we_clk = clock("WE CLK .P5-6")
+    wb_clk = clock("WB CLK .P7-8") if bug == "late-writeback" else pipe_clk
+
+    # ------------------------------------------------------------------
+    # Fetch: the program counter and the instruction memory.
+    # ------------------------------------------------------------------
+    pc = c.net("PC", width=4)
+    pc_fb = c.net("PC FB", width=4)
+    corr_delay(c, "pc corr", pc_fb, pc, delay_ns=2.5, width=4)
+    c.chg("PC INC", [pc_fb], delay=(2.0, 5.0), name="pc incr", width=4)
+
+    decode_delay = (14.0, 26.0) if bug == "slow-decode" else (1.0, 2.5)
+    c.chg("CTL", ["INSTR REG"], delay=decode_delay, name="decode", width=8)
+
+    c.mux(c.net("PC NEXT", width=4), selects=["CTL"],
+          inputs=["PC INC", "BRANCH TARGET"],
+          delay=(1.2, 3.3), select_delay=(0.3, 1.2), name="pc mux", width=4)
+    c.chg("BRANCH TARGET", ["INSTR REG"], delay=decode_delay,
+          name="target decode", width=4)
+    register_chip(c, "pc reg", out=pc, clock=pc_clk, data="PC NEXT", width=4)
+
+    imem_we = c.net("IMEM WE")
+    and2_chip(c, "imem we gate", imem_we,
+              a=c._as_connection("WE CLK .P5-6 &H"), b="IMEM LOAD .S0-8")
+    ram_16w_10145a(c, "imem", i=c.net("IMEM WDATA .S0-8", width=width),
+                   a=pc, cs="IMEM CS .S0-8", we=imem_we,
+                   out=c.net("INSTR", width=width), size=width)
+
+    # ------------------------------------------------------------------
+    # Decode / register read: pipeline register, register file.
+    # ------------------------------------------------------------------
+    register_chip(c, "instr reg", out=c.net("INSTR REG", width=width),
+                  clock=pipe_clk, data="INSTR", width=width)
+
+    # Register-file address: read address (from the instruction) in the
+    # first half of the cycle, writeback address in the second — the
+    # Figure 2-5 multiplexer idiom, selected by a phase clock.
+    phase = clock("ADR PHASE .P4-8")
+    rf_adr = c.net("RF ADR", width=4)
+    c.chg("READ ADR", ["INSTR REG"], delay=(1.0, 2.5), name="rsel decode",
+          width=4)
+    mux2_chip(c, "rf adr mux", rf_adr, select=phase,
+              i0="READ ADR", i1="WB ADR", width=4)
+
+    rf_we = c.net("RF WE")
+    strobe_ctl = "WB STROBE CTL .S4.6-5.4" if bug == "runt-strobe" \
+        else "WB EN CTL .S0-8"
+    and2_chip(c, "rf we gate", rf_we,
+              a=c._as_connection("WE CLK .P5-6 &H"), b=strobe_ctl)
+    c.min_pulse_width(rf_we, min_high=4.0, name="rf we width")
+    # The writeback data comes from a register of the same clock family as
+    # the operand register that reads the RAM's write-through output, so
+    # it takes a CORR delay (section 4.2.3) like every register-to-register
+    # path in this design.
+    wb_corr = c.net("WB DATA CORR", width=width)
+    corr_delay(c, "wb corr", wb_corr, c.net("WB DATA", width=width),
+               delay_ns=2.5, width=width)
+    ram_16w_10145a(c, "regfile", i=wb_corr,
+                   a=rf_adr, cs="RF CS .S0-8", we=rf_we,
+                   out=c.net("RF OUT", width=width), size=width)
+
+    register_chip(c, "ops reg", out=c.net("OPS REG", width=width),
+                  clock=pipe_clk, data="RF OUT", width=width)
+
+    # ------------------------------------------------------------------
+    # Execute / writeback: ALU with output latch, writeback register.
+    # ------------------------------------------------------------------
+    # The ALU result carries an interface assertion (stable from unit 3.4
+    # to the cycle boundary), so downstream sections can verify against it
+    # independently (section 2.5.2).
+    alu_out = c.net("ALU OUT .S3.4-8", width=width)
+    alu_with_latch(c, "alu", out=alu_out,
+                   a="OPS REG", b="OPERAND B .S0-8", carry_in="CARRY .S0-8",
+                   select="CTL", enable=alu_en, width=width)
+    register_chip(c, "wb reg", out=c.net("WB DATA", width=width),
+                  clock=wb_clk, data=alu_out, width=width)
+    c.chg("WB ADR", ["INSTR REG"], delay=(1.0, 2.5), name="wsel decode",
+          width=4)
+    return c

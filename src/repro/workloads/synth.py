@@ -1,0 +1,495 @@
+"""Synthetic S-1-scale designs for the Chapter III execution statistics.
+
+The thesis measured the Macro Expander and Timing Verifier on a major
+portion of the S-1 Mark IIA: 6 357 MSI ECL-10K/100K chips expanding to
+8 282 primitives of 22 types (1.3 primitives per chip, mean vector width
+6.5 bits), roughly 97 709 two-input-gate equivalents and 1 803 136 memory
+bits (Tables 3-1 and 3-2).  That design is not available, so this module
+generates *deterministic* pipelined designs from the same chip vocabulary,
+calibrated to the same shape: the chip-type mix is tuned so that primitives
+per chip and mean width land near the published figures, and the result is
+emitted as SCALD text so the measured pipeline — read, expand (two passes),
+verify — exercises exactly the phases of Table 3-1.
+
+The generated designs verify cleanly: register-to-register timing is chosen
+so every setup/hold and pulse-width constraint is met, as the (debugged)
+S-1 design's would be.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..hdl.expander import ExpanderStats, MacroExpander
+from ..netlist.circuit import Circuit
+
+#: SCALD text of the chip library used by the generator — the Chapter III
+#: components plus the small-gate family.  One ``use`` of a macro is one
+#: *chip*; the macro bodies determine the primitive count per chip.
+LIBRARY = """
+macro "REG 100141" (SIZE);
+  param "I"<0:SIZE-1>, "CK", "Q"<0:SIZE-1>;
+  prim REG r (CLOCK="CK"/P, DATA="I"/P<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)
+       delay=1.5:4.5 width=SIZE;
+  prim "SETUP HOLD CHK" su (I="I"/P, CK="CK"/P) setup=2.5 hold=1.5 width=SIZE;
+endmacro;
+
+macro "REG RS 100141" (SIZE);
+  param "I"<0:SIZE-1>, "CK", "RST", "Q"<0:SIZE-1>;
+  prim "REG RS" r (CLOCK="CK"/P, DATA="I"/P<0:SIZE-1>, SET="ZERO"/M,
+       RESET="RST"/P, OUT="Q"/P<0:SIZE-1>) delay=1.5:4.5 width=SIZE;
+  prim "SETUP HOLD CHK" su (I="I"/P, CK="CK"/P) setup=2.5 hold=1.5 width=SIZE;
+endmacro;
+
+macro "LATCH 100130" (SIZE);
+  param "I"<0:SIZE-1>, "EN", "Q"<0:SIZE-1>;
+  prim LATCH l (ENABLE="EN"/P, DATA="I"/P<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)
+       delay=1.0:3.5 width=SIZE;
+  prim "SETUP HOLD CHK" su (I="I"/P, CK=-"EN"/P) setup=2.0 hold=1.0 width=SIZE;
+endmacro;
+
+macro "16W RAM 10145A" (SIZE);
+  param "I"<0:SIZE-1>, "A"<0:3>, "CS", "WE", "O"<0:SIZE-1>;
+  prim CHG dchg (I1="I"/P<0:SIZE-1>, OUT="DCHG"/M<0:SIZE-1>)
+       delay=1.5:3.0 width=SIZE;
+  prim CHG achg (I1="A"/P<0:3>, I2="CS"/P, I3="WE"/P, OUT="ACHG"/M<0:SIZE-1>)
+       delay=3.0:6.0 width=SIZE;
+  prim CHG outc (I1="DCHG"/M<0:SIZE-1>, I2="ACHG"/M<0:SIZE-1>,
+       OUT="O"/P<0:SIZE-1>) width=SIZE;
+  prim "SETUP HOLD CHK" dsu (I="I"/P, CK=-"WE"/P) setup=4.5 hold=-1.0 width=SIZE;
+  prim "SETUP RISE HOLD FALL CHK" asu (I="A"/P, CK="WE"/P) setup=3.5 hold=1.0;
+  prim "MIN PULSE WIDTH" mpw (I="WE"/P) min_high=4.0;
+endmacro;
+
+macro "MUX2 10158" (SIZE);
+  param "S", "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim MUX2 m (S0="S"/P, I0="A"/P<0:SIZE-1>, I1="B"/P<0:SIZE-1>,
+       OUT="Q"/P<0:SIZE-1>) delay=1.2:3.3 select_delay=0.3:1.2 width=SIZE;
+endmacro;
+
+macro "ALU 10181" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "S"<0:3>, "EN", "F"<0:SIZE-1>;
+  prim CHG fn (I1="A"/P<0:SIZE-1>, I2="B"/P<0:SIZE-1>, I3="S"/P<0:3>,
+       OUT="FN"/M<0:SIZE-1>) delay=2.5:7.0 width=SIZE;
+  prim LATCH l (ENABLE="EN"/P, DATA="FN"/M<0:SIZE-1>, OUT="F"/P<0:SIZE-1>)
+       delay=1.0:3.5 width=SIZE;
+  prim "SETUP HOLD CHK" su (I="FN"/M, CK=-"EN"/P) setup=2.0 hold=1.0 width=SIZE;
+endmacro;
+
+macro "OR2 10101" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim OR g (I1="A"/P, I2="B"/P, OUT="Q"/P<0:SIZE-1>) delay=1.0:2.9 width=SIZE;
+endmacro;
+
+macro "AND2 10104" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim AND g (I1="A"/P, I2="B"/P, OUT="Q"/P<0:SIZE-1>) delay=1.0:2.9 width=SIZE;
+endmacro;
+
+macro "XOR2 10107" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim XOR g (I1="A"/P, I2="B"/P, OUT="Q"/P<0:SIZE-1>) delay=1.1:3.1 width=SIZE;
+endmacro;
+
+macro "NOR2 10102" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim NOR g (I1="A"/P, I2="B"/P, OUT="Q"/P<0:SIZE-1>) delay=1.0:2.9 width=SIZE;
+endmacro;
+
+macro "NAND2 10106" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim NAND g (I1="A"/P, I2="B"/P, OUT="Q"/P<0:SIZE-1>) delay=1.0:2.9 width=SIZE;
+endmacro;
+
+macro "XNOR2 10113" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim XNOR g (I1="A"/P, I2="B"/P, OUT="Q"/P<0:SIZE-1>) delay=1.1:3.1 width=SIZE;
+endmacro;
+
+macro "MUX4 10174" (SIZE);
+  param "S0", "S1", "A"<0:SIZE-1>, "B"<0:SIZE-1>, "C"<0:SIZE-1>,
+        "D"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim MUX4 m (S0="S0"/P, S1="S1"/P, I0="A"/P<0:SIZE-1>, I1="B"/P<0:SIZE-1>,
+       I2="C"/P<0:SIZE-1>, I3="D"/P<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)
+       delay=1.5:3.9 select_delay=0.3:1.4 width=SIZE;
+endmacro;
+
+macro "MUX8 10164" (SIZE);
+  param "S0", "S1", "S2", "A"<0:SIZE-1>, "B"<0:SIZE-1>, "C"<0:SIZE-1>,
+        "D"<0:SIZE-1>, "E"<0:SIZE-1>, "F"<0:SIZE-1>, "G"<0:SIZE-1>,
+        "H"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim MUX8 m (S0="S0"/P, S1="S1"/P, S2="S2"/P, I0="A"/P<0:SIZE-1>,
+       I1="B"/P<0:SIZE-1>, I2="C"/P<0:SIZE-1>, I3="D"/P<0:SIZE-1>,
+       I4="E"/P<0:SIZE-1>, I5="F"/P<0:SIZE-1>, I6="G"/P<0:SIZE-1>,
+       I7="H"/P<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)
+       delay=1.8:4.2 select_delay=0.3:1.5 width=SIZE;
+endmacro;
+
+macro "INV 10195" (SIZE);
+  param "A"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim NOT g (I="A"/P, OUT="Q"/P<0:SIZE-1>) delay=0.9:2.5 width=SIZE;
+endmacro;
+
+macro "PARITY 10160" (SIZE);
+  param "A"<0:SIZE-1>, "Q";
+  prim CHG g (I1="A"/P<0:SIZE-1>, OUT="Q"/P) delay=2.0:5.5 width=1;
+endmacro;
+
+macro "ADDER 10180" (SIZE);
+  param "A"<0:SIZE-1>, "B"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim CHG g (I1="A"/P, I2="B"/P, OUT="Q"/P<0:SIZE-1>) delay=2.2:6.5 width=SIZE;
+endmacro;
+
+macro "CLOCK GATE" ();
+  param "CK", "EN", "Q";
+  prim AND g (I1="CK"/P&H, I2="EN"/P, OUT="Q"/P) delay=1.0:2.9 width=1;
+  prim "MIN PULSE WIDTH" mpw (I="Q"/P) min_high=4.0;
+endmacro;
+
+-- The fictitious correlation delay of section 4.2.3: inserted in front of
+-- register data inputs fed by other registers of the same clock, at least
+-- as long as the clock skew, to suppress correlation false errors.
+macro "CORR" (SIZE);
+  param "A"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim DELAY d (I="A"/P, OUT="Q"/P<0:SIZE-1>) delay=2.5:2.5 width=SIZE;
+endmacro;
+
+-- A counter chip: register with feedback through an increment network.
+-- The CORR delay in the feedback path is the section 4.2.3 idiom for
+-- exactly this structure ("counters, shift registers, and other circuits
+-- in which there is feedback from the output of a register").
+macro "COUNTER 10136" (SIZE);
+  param "CK", "LD", "Q"<0:SIZE-1>;
+  prim DELAY fb (I="Q"/P, OUT="FB"/M<0:SIZE-1>) delay=2.5:2.5 width=SIZE;
+  prim CHG inc (I1="FB"/M<0:SIZE-1>, I2="LD"/P, OUT="NEXT"/M<0:SIZE-1>)
+       delay=2.0:5.0 width=SIZE;
+  prim REG r (CLOCK="CK"/P, DATA="NEXT"/M<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)
+       delay=1.5:4.5 width=SIZE;
+  prim "SETUP HOLD CHK" su (I="NEXT"/M, CK="CK"/P) setup=2.5 hold=1.5
+       width=SIZE;
+endmacro;
+
+-- A shift-register chip: the same feedback idiom with a 2:1 selector
+-- between shifting and parallel load.
+macro "SHIFT REG 10141" (SIZE);
+  param "CK", "IN"<0:SIZE-1>, "SH", "Q"<0:SIZE-1>;
+  prim DELAY fb (I="Q"/P, OUT="FB"/M<0:SIZE-1>) delay=2.5:2.5 width=SIZE;
+  -- The parallel-load leg also comes from a register of the same clock,
+  -- so it carries its own CORR delay (section 4.2.3).
+  prim DELAY incorr (I="IN"/P, OUT="IND"/M<0:SIZE-1>) delay=2.5:2.5 width=SIZE;
+  prim MUX2 sel (S0="SH"/P, I0="IND"/M<0:SIZE-1>, I1="FB"/M<0:SIZE-1>,
+       OUT="NEXT"/M<0:SIZE-1>) delay=1.2:3.3 select_delay=0.3:1.2 width=SIZE;
+  prim REG r (CLOCK="CK"/P, DATA="NEXT"/M<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)
+       delay=1.5:4.5 width=SIZE;
+  prim "SETUP HOLD CHK" su (I="NEXT"/M, CK="CK"/P) setup=2.5 hold=1.5
+       width=SIZE;
+endmacro;
+"""
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Parameters of one synthetic design.
+
+    ``chips`` is the headline size (the thesis example is 6 357).  The mix
+    fractions are calibrated so primitives/chip lands near the published
+    1.3 and mean width near 6.5 bits.
+    """
+
+    chips: int = 500
+    seed: int = 1980
+    period_ns: float = 50.0
+    clock_unit_ns: float = 6.25
+    stage_chips: int = 250  # chips per pipeline stage (controls depth)
+    #: chip-type mix (fractions of all chips); remainder becomes 2-input gates
+    mux_fraction: float = 0.15
+    reg_fraction: float = 0.09
+    ram_fraction: float = 0.02
+    alu_fraction: float = 0.04
+    wide_fn_fraction: float = 0.08  # parity trees and adders
+    clock_gate_fraction: float = 0.02
+    #: vector widths and their weights (primitive mean lands near the
+    #: published 6.5 bits once the width-1 checkers are averaged in)
+    widths: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    width_weights: tuple[float, ...] = (0.24, 0.12, 0.14, 0.25, 0.16, 0.09)
+
+    #: two-input-gate equivalents per chip type, for the headline totals
+    GATE_EQUIV = {
+        "gate": 2, "inv": 1, "mux": 5, "reg": 18, "ram": 24, "alu": 36,
+        "wide": 12, "cgate": 3,
+    }
+
+
+@dataclass
+class SynthDesign:
+    """A generated design: its SCALD text plus ground-truth statistics."""
+
+    source: str
+    config: SynthConfig
+    chips: int
+    gate_equivalents: int
+    memory_bits: int
+    chips_by_type: dict[str, int] = field(default_factory=dict)
+
+    def expander(self) -> MacroExpander:
+        return MacroExpander.from_source(self.source, filename="<synth>")
+
+    def circuit(self) -> tuple[Circuit, ExpanderStats]:
+        expander = self.expander()
+        return expander.expand(), expander.stats
+
+
+class _Generator:
+    def __init__(self, config: SynthConfig) -> None:
+        self.cfg = config
+        self.rng = random.Random(config.seed)
+        self.lines: list[str] = []
+        self.chips = 0
+        self.gate_equivalents = 0
+        self.memory_bits = 0
+        self.by_type: dict[str, int] = {}
+        self.uid = 0
+
+    def _width(self) -> int:
+        return self.rng.choices(self.cfg.widths, self.cfg.width_weights)[0]
+
+    def _name(self, prefix: str) -> str:
+        self.uid += 1
+        return f"{prefix} {self.uid}"
+
+    def _inst_id(self) -> int:
+        """A unique chip instance number (chips emitted so far + 1)."""
+        return self.chips + 1
+
+    def _chip(self, kind: str, line: str, memory_bits: int = 0) -> None:
+        self.lines.append(line)
+        self.chips += 1
+        self.gate_equivalents += self.cfg.GATE_EQUIV[kind]
+        self.memory_bits += memory_bits
+        self.by_type[kind] = self.by_type.get(kind, 0) + 1
+
+    def generate(self) -> SynthDesign:
+        cfg = self.cfg
+        self.lines = [
+            "design SYNTH;",
+            f"period {cfg.period_ns} ns;",
+            f"clock_unit {cfg.clock_unit_ns} ns;",
+            LIBRARY,
+        ]
+        # Interface signals: primary inputs settle early in the cycle, the
+        # main clock edges at unit 2, the RAM write strobe at unit 6.
+        primaries = []
+        for k in range(8):
+            w = self._width()
+            primaries.append((f"PRIMARY {k} .S0-6", w))
+        clock = "MAIN CLK .P2-3"
+        we_clock = "WE CLK .P5.5-6.5"
+        # Clock distribution is hand-trimmed in the S-1 (section 2.5.1);
+        # the assertion's ±1 ns skew already covers its variation, so the
+        # clock nets carry no default interconnection delay.
+        for clk in (clock, we_clock, "ALU EN .P4.5-6"):
+            self.lines.append(f'wire "{clk}" 0.0:0.0;')
+
+        stages = max(1, -(-cfg.chips // cfg.stage_chips))
+        chips_left = cfg.chips
+        prev_outputs = primaries
+        for stage in range(stages):
+            in_stage = min(cfg.stage_chips, chips_left)
+            chips_left -= in_stage
+            prev_outputs = self._stage(stage, in_stage, prev_outputs, clock, we_clock)
+        source = "\n".join(self.lines) + "\n"
+        return SynthDesign(
+            source=source,
+            config=cfg,
+            chips=self.chips,
+            gate_equivalents=self.gate_equivalents,
+            memory_bits=self.memory_bits,
+            chips_by_type=dict(self.by_type),
+        )
+
+    def _stage(
+        self,
+        stage: int,
+        budget: int,
+        prev_outputs: list[tuple[str, int]],
+        clock: str,
+        we_clock: str,
+    ) -> list[tuple[str, int]]:
+        cfg = self.cfg
+        rng = self.rng
+
+        def pick(pool: list[tuple[str, int]]) -> tuple[str, int]:
+            return rng.choice(pool)
+
+        # 1. Register bank: capture the previous stage's outputs.  Register
+        #    outputs are level-0 nets of this stage.
+        n_regs = max(2, round(budget * cfg.reg_fraction))
+        level0: list[tuple[str, int]] = []
+        for i in range(n_regs):
+            src, w = pick(prev_outputs)
+            # Every register data input goes through a CORR fictitious
+            # delay (section 4.2.3): registers of the same clock feed each
+            # other, and without it the clock skew produces correlation
+            # false hold errors.  CORR is a text macro, not a chip.
+            corr_q = self._name(f"S{stage} CORR")
+            self.lines.append(
+                f'use "CORR" corr{self.uid} (A="{src}"<0:{w-1}>, '
+                f'Q="{corr_q}"<0:{w-1}>) SIZE={w};'
+            )
+            src = corr_q
+            q = self._name(f"S{stage} R")
+            kind = "REG RS 100141" if rng.random() < 0.2 else "REG 100141"
+            if kind == "REG RS 100141":
+                self._chip(
+                    "reg",
+                    f'use "{kind}" c{self._inst_id()} (I="{src}"<0:{w-1}>, CK="{clock}", '
+                    f'RST="MASTER RESET .S0-8", Q="{q}"<0:{w-1}>) SIZE={w};',
+                )
+            else:
+                self._chip(
+                    "reg",
+                    f'use "{kind}" c{self._inst_id()} (I="{src}"<0:{w-1}>, CK="{clock}", '
+                    f'Q="{q}"<0:{w-1}>) SIZE={w};',
+                )
+            level0.append((q, w))
+        budget -= n_regs
+
+        # Sequential MSI: counters and shift registers — the feedback
+        # structures of section 4.2.3, shipped with their CORR delays
+        # built into the macro.
+        n_seq = max(1, n_regs // 5)
+        for i in range(n_seq):
+            w = self._width()
+            q = self._name(f"S{stage} SEQ")
+            if i % 2 == 0:
+                self._chip(
+                    "reg",
+                    f'use "COUNTER 10136" c{self._inst_id()} (CK="{clock}", '
+                    f'LD="COUNT CTL .S0-8", Q="{q}"<0:{w-1}>) SIZE={w};',
+                )
+            else:
+                src, sw = pick(prev_outputs)
+                w = sw
+                self._chip(
+                    "reg",
+                    f'use "SHIFT REG 10141" c{self._inst_id()} (CK="{clock}", '
+                    f'IN="{src}"<0:{w-1}>, SH="SHIFT CTL .S0-8", '
+                    f'Q="{q}"<0:{w-1}>) SIZE={w};',
+                )
+            level0.append((q, w))
+        budget -= n_seq
+
+        # 2. RAM blocks: addressed and written from level-0 nets under the
+        #    late write strobe, so their constraints are met by timing.
+        n_rams = round(budget * cfg.ram_fraction / (1 - cfg.reg_fraction))
+        pools: list[list[tuple[str, int]]] = [level0]
+        outputs: list[tuple[str, int]] = list(level0)
+        for i in range(n_rams):
+            data, w = pick(level0)
+            out = self._name(f"S{stage} RAMQ")
+            we = self._name(f"S{stage} WE")
+            self._chip(
+                "cgate",
+                f'use "CLOCK GATE" c{self._inst_id()} (CK="{we_clock}", '
+                f'EN="WRITE CTL .S0-8", Q="{we}");',
+            )
+            addr, _ = pick(level0)
+            self._chip(
+                "ram",
+                f'use "16W RAM 10145A" c{self._inst_id()} (I="{data}"<0:{w-1}>, '
+                f'A="{addr} ADR .S0-8"<0:3>, CS="CS CTL .S0-8", WE="{we}", '
+                f'O="{out}"<0:{w-1}>) SIZE={w};',
+                memory_bits=16 * w,
+            )
+            outputs.append((out, w))
+        budget -= 2 * n_rams
+
+        # 3. ALUs: operands restricted to level-0 nets so the function
+        #    network is quiet while the output latch is open.
+        n_alus = round(budget * cfg.alu_fraction / (1 - cfg.reg_fraction))
+        for i in range(n_alus):
+            a, w = pick(level0)
+            b, _ = pick(level0)
+            f = self._name(f"S{stage} F")
+            self._chip(
+                "alu",
+                f'use "ALU 10181" c{self._inst_id()} (A="{a}"<0:{w-1}>, B="{b}"<0:{w-1}>, '
+                f'S="ALU CTL .S0-8"<0:3>, EN="ALU EN .P4.5-6", '
+                f'F="{f}"<0:{w-1}>) SIZE={w};',
+            )
+            outputs.append((f, w))
+        budget -= n_alus
+
+        # 4. Combinational fabric in bounded levels (no loops, bounded
+        #    settle time); each level reads only earlier levels.
+        gate_kinds = [
+            ("OR2 10101", "gate"), ("AND2 10104", "gate"), ("XOR2 10107", "gate"),
+            ("NOR2 10102", "gate"), ("NAND2 10106", "gate"),
+            ("XNOR2 10113", "gate"), ("INV 10195", "inv"),
+            ("MUX2 10158", "mux"), ("MUX4 10174", "mux"), ("MUX8 10164", "mux"),
+            ("PARITY 10160", "wide"), ("ADDER 10180", "wide"),
+        ]
+        mux_weight = cfg.mux_fraction / (1 - cfg.reg_fraction)
+        weights = [
+            0.16, 0.16, 0.10, 0.06, 0.05, 0.04, 0.10,
+            mux_weight * 0.7, mux_weight * 0.2, mux_weight * 0.1,
+            cfg.wide_fn_fraction / 2, cfg.wide_fn_fraction / 2,
+        ]
+        # Three levels bounds the worst register-to-register path well
+        # inside the 50 ns cycle.
+        levels = 3
+        per_level = max(1, budget // levels)
+        for level in range(1, levels + 1):
+            new_nets: list[tuple[str, int]] = []
+            count = per_level if level < levels else budget - per_level * (levels - 1)
+            pool = [net for lvl_pool in pools for net in lvl_pool]
+            for i in range(max(0, count)):
+                macro, kind = rng.choices(gate_kinds, weights)[0]
+                a, w = pick(pool)
+                q = self._name(f"S{stage} L{level} N")
+                out_width = 1 if macro == "PARITY 10160" else w
+                if macro == "INV 10195":
+                    conn = f'A="{a}"<0:{w-1}>, Q="{q}"<0:{w-1}>'
+                elif macro == "PARITY 10160":
+                    conn = f'A="{a}"<0:{w-1}>, Q="{q}"'
+                elif macro == "MUX2 10158":
+                    b, _ = pick(pool)
+                    conn = (
+                        f'S="MUX CTL .S0-8", A="{a}"<0:{w-1}>, '
+                        f'B="{b}"<0:{w-1}>, Q="{q}"<0:{w-1}>'
+                    )
+                elif macro in ("MUX4 10174", "MUX8 10164"):
+                    # Every data leg must be exactly SIZE bits wide.
+                    same_width = [n for n, ww in pool if ww == w] or [a]
+                    ports = "ABCD" if macro == "MUX4 10174" else "ABCDEFGH"
+                    legs = ", ".join(
+                        f'{port}="{a if port == "A" else rng.choice(same_width)}"'
+                        f"<0:{w-1}>"
+                        for port in ports
+                    )
+                    selects = 'S0="MUX CTL .S0-8", S1="MUX CTL B .S0-8"'
+                    if macro == "MUX8 10164":
+                        selects += ', S2="MUX CTL C .S0-8"'
+                    conn = f'{selects}, {legs}, Q="{q}"<0:{w-1}>'
+                else:
+                    b, _ = pick(pool)
+                    conn = f'A="{a}"<0:{w-1}>, B="{b}"<0:{w-1}>, Q="{q}"<0:{w-1}>'
+                self._chip(
+                    kind,
+                    f'use "{macro}" c{self._inst_id()} ({conn}) SIZE={w};',
+                )
+                new_nets.append((q, out_width))
+            pools.append(new_nets)
+            outputs.extend(new_nets)
+        return outputs
+
+
+def generate(config: SynthConfig | None = None) -> SynthDesign:
+    """Generate a deterministic synthetic design from ``config``."""
+    return _Generator(config or SynthConfig()).generate()
+
+
+def s1_scale_config() -> SynthConfig:
+    """The full Table 3-1 scale: 6 357 chips."""
+    return SynthConfig(chips=6_357, stage_chips=400)

@@ -1,0 +1,197 @@
+"""Tests for waveform combination and the skew-folding rule (section 2.8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import (
+    all_equal_constant,
+    combine,
+    pointwise,
+    wave_and,
+    wave_apply,
+    wave_chg,
+    wave_or,
+    wave_xor,
+)
+from repro.core.values import (
+    CHANGE,
+    FALL,
+    ONE,
+    RISE,
+    STABLE,
+    UNKNOWN,
+    ZERO,
+    Value,
+    value_or_n,
+)
+from repro.core.waveform import Waveform
+
+P = 50_000
+
+
+def pulse(start, end, skew=(0, 0)):
+    return Waveform.from_intervals(P, ZERO, [(start, end, ONE)], skew=skew)
+
+
+class TestPointwise:
+    def test_or_of_two_pulses(self):
+        out = wave_or([pulse(10_000, 20_000), pulse(15_000, 25_000)])
+        assert out.level_runs(ONE) == [(10_000, 25_000)]
+
+    def test_and_of_two_pulses(self):
+        out = wave_and([pulse(10_000, 20_000), pulse(15_000, 25_000)])
+        assert out.level_runs(ONE) == [(15_000, 20_000)]
+
+    def test_xor(self):
+        out = wave_xor([pulse(10_000, 20_000), pulse(15_000, 25_000)])
+        assert out.value_at(12_000) is ONE
+        assert out.value_at(17_000) is ZERO
+        assert out.value_at(22_000) is ONE
+
+    def test_period_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            wave_or([pulse(0, 10), Waveform.constant(P * 2, ZERO)])
+
+    def test_pointwise_rejects_skew(self):
+        with pytest.raises(ValueError):
+            pointwise(value_or_n, [pulse(0, 10_000, skew=(0, 5))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pointwise(value_or_n, [])
+
+
+class TestSkewRule:
+    def test_single_changing_operand_keeps_skew(self):
+        """Combining a skewed clock with a constant enabling level must keep
+        the skew in the separate field so pulse width survives (Figure 2-8)."""
+        clk = pulse(20_000, 30_000, skew=(0, 5_000))
+        enable = Waveform.constant(P, ONE)
+        out = wave_and([clk, enable])
+        assert out.skew == (0, 5_000)
+        assert out.duration_of(ONE) == 10_000
+
+    def test_constant_result_when_gated_off(self):
+        clk = pulse(20_000, 30_000, skew=(0, 5_000))
+        out = wave_and([clk, Waveform.constant(P, ZERO)])
+        assert out.is_constant
+        assert out.value_at(0) is ZERO
+
+    def test_two_changing_operands_fold_skew(self):
+        """Section 2.8: 'if two or more changing signals are combined, the
+        skew of the resulting signal cannot be represented separately.'"""
+        a = pulse(10_000, 20_000, skew=(0, 2_000))
+        b = pulse(30_000, 40_000, skew=(0, 3_000))
+        out = wave_or([a, b])
+        assert out.skew == (0, 0)
+        assert out.value_at(11_000) is RISE  # a's folded rise window
+        assert out.value_at(41_000) is FALL  # b's folded fall window
+
+    def test_constant_skew_is_vacuous(self):
+        a = pulse(10_000, 20_000)
+        c = Waveform.constant(P, STABLE).with_skew((-1_000, 1_000))
+        out = wave_or([a, c])
+        assert out.skew == (0, 0)
+        assert out.value_at(15_000) is ONE
+
+    def test_fold_is_conservative(self):
+        """The folded combination must cover every behaviour the separate
+        representation allowed: wherever the operands' skew windows fall,
+        the output is marked as possibly changing."""
+        a = pulse(10_000, 20_000, skew=(0, 2_000))
+        b = pulse(12_000, 22_000, skew=(0, 2_000))
+        out = wave_or([a, b])
+        # b holds the OR high until its earliest fall at 22 ns; the output
+        # can only fall within b's fall window [22, 24].
+        assert out.value_at(21_000) is ONE
+        assert out.value_at(23_000) in (FALL, CHANGE)
+        assert out.value_at(25_000) is ZERO
+
+
+class TestChg:
+    def test_chg_collapses_value_behaviour(self):
+        """The CHG function keeps only when signals change - the modelling
+        trick for adders and parity trees (section 2.4.2)."""
+        data = Waveform.from_intervals(P, STABLE, [(5_000, 10_000, CHANGE)])
+        sel = Waveform.from_intervals(P, STABLE, [(7_000, 12_000, CHANGE)])
+        out = wave_chg([data, sel])
+        assert out.value_at(6_000) is CHANGE
+        assert out.value_at(11_000) is CHANGE
+        assert out.value_at(20_000) is STABLE
+
+    def test_chg_of_constants_is_stable(self):
+        out = wave_chg([Waveform.constant(P, ZERO), Waveform.constant(P, ONE)])
+        assert out == Waveform.constant(P, STABLE)
+
+    def test_chg_unknown_dominates(self):
+        out = wave_chg([Waveform.constant(P, UNKNOWN), pulse(0, 10_000)])
+        assert out.is_fully_unknown
+
+
+class TestWaveApply:
+    def test_positional_function(self):
+        def mux(sel, a, b):
+            return a if sel is ZERO else b
+
+        out = wave_apply(mux, [Waveform.constant(P, ZERO), pulse(0, 10_000), pulse(20_000, 30_000)])
+        assert out.value_at(5_000) is ONE
+        assert out.value_at(25_000) is ZERO
+
+
+class TestHelpers:
+    def test_all_equal_constant(self):
+        assert all_equal_constant([Waveform.constant(P, ONE), Waveform.constant(P, ONE)])
+        assert not all_equal_constant([Waveform.constant(P, ONE), pulse(0, 10)])
+        assert not all_equal_constant(
+            [Waveform.constant(P, ONE), Waveform.constant(P, ZERO)]
+        )
+
+
+@st.composite
+def simple_wf(draw):
+    start = draw(st.integers(min_value=0, max_value=P - 2))
+    end = draw(st.integers(min_value=start + 1, max_value=P - 1))
+    value = draw(st.sampled_from([ONE, STABLE, CHANGE]))
+    base = draw(st.sampled_from([ZERO, STABLE]))
+    late = draw(st.integers(min_value=0, max_value=3_000))
+    return Waveform.from_intervals(P, base, [(start, end, value)], skew=(0, late))
+
+
+class TestCombinationProperties:
+    @given(st.lists(simple_wf(), min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_combine_covers_period(self, wfs):
+        out = wave_or(wfs)
+        assert sum(w for _, w in out.segments) == P
+
+    @given(simple_wf(), simple_wf())
+    @settings(max_examples=100)
+    def test_or_commutative(self, a, b):
+        assert wave_or([a, b]) == wave_or([b, a])
+
+    @given(simple_wf())
+    @settings(max_examples=100)
+    def test_or_with_zero_identity_modulo_skew_fold(self, a):
+        out = wave_or([a, Waveform.constant(P, ZERO)])
+        # A constant operand's skew is vacuous and gets dropped.
+        expected = a.with_skew((0, 0)) if a.is_constant else a
+        assert out == expected.with_eval_str("")
+
+    @given(simple_wf(), simple_wf())
+    @settings(max_examples=100)
+    def test_and_soundness(self, a, b):
+        """Wherever the combined output claims a stable value, neither
+        operand may force a change through the gate at that instant."""
+        out = wave_and([a, b]).materialized()
+        am, bm = a.materialized(), b.materialized()
+        for start, end, value in out.iter_segments():
+            if value not in (ZERO, ONE, STABLE):
+                continue
+            probe = (start + end) // 2
+            va, vb = am.value_at(probe), bm.value_at(probe)
+            changing = {CHANGE, RISE, FALL}
+            if va in changing:
+                assert vb is ZERO
+            if vb in changing:
+                assert va is ZERO

@@ -1,0 +1,152 @@
+"""Tests for the signal-name assertion grammar (section 2.5.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timeline import Timebase
+from repro.core.values import CHANGE, ONE, STABLE, ZERO
+from repro.hdl.assertions import (
+    AssertionKind,
+    AssertionSyntaxError,
+    parse_assertion_spec,
+    parse_signal_name,
+    split_signal_name,
+)
+
+TB = Timebase.from_ns(50.0, 6.25)  # the Chapter III timebase
+
+
+class TestSplit:
+    def test_no_assertion(self):
+        assert split_signal_name("PLAIN NAME") == ("PLAIN NAME", None, None)
+
+    def test_clock(self):
+        assert split_signal_name("XYZ .C 4-6 L") == ("XYZ", "C", "4-6 L")
+
+    def test_precision_clock_tight(self):
+        assert split_signal_name("CLK A .P2-3") == ("CLK A", "P", "2-3")
+
+    def test_stable(self):
+        assert split_signal_name("W DATA .S0-6") == ("W DATA", "S", "0-6")
+
+    def test_multiword_base(self):
+        base, kind, spec = split_signal_name("READ ADR .S4-9")
+        assert base == "READ ADR"
+        assert kind == "S"
+
+    def test_dot_without_space_not_an_assertion(self):
+        assert split_signal_name("A.B") == ("A.B", None, None)
+
+
+class TestParseSpec:
+    def test_paper_example_low_clock(self):
+        """'XYZ .C 4-6 L' goes from high to low at 4 and low to high at 6."""
+        a = parse_assertion_spec("C", "4-6 L")
+        assert a.kind is AssertionKind.CLOCK
+        assert a.low is True
+        assert len(a.ranges) == 1
+        assert (a.ranges[0].start, a.ranges[0].end) == (4.0, 6.0)
+
+    def test_multiple_ranges(self):
+        a = parse_assertion_spec("C", "2-3,5-6")
+        assert len(a.ranges) == 2
+
+    def test_single_time_means_one_unit(self):
+        """'XYZ .C2,5' is equivalent to .C2-3,5-6 (one clock unit each)."""
+        a = parse_assertion_spec("C", "2,5")
+        wf_pair = a.waveform(TB)
+        wf_range = parse_assertion_spec("C", "2-3,5-6").waveform(TB)
+        assert wf_pair == wf_range
+
+    def test_plus_width_in_ns(self):
+        """'XYZ .P2+10.0' goes high at unit 2 and stays high 10.0 ns —
+        a width that does not scale with the cycle time."""
+        a = parse_assertion_spec("P", "2+10.0")
+        wf = a.waveform(TB)
+        assert wf.value_at(TB.units_to_ps(2)) is ONE
+        assert wf.value_at(TB.units_to_ps(2) + 9_999) is ONE
+        assert wf.value_at(TB.units_to_ps(2) + 10_001) is ZERO
+
+    def test_explicit_skew(self):
+        a = parse_assertion_spec("P", "2-3 (-0.5,0.5)")
+        assert a.skew_ns == (-0.5, 0.5)
+        wf = a.waveform(TB, default_skew_ns=(-9.0, 9.0))
+        assert wf.skew == (-500, 500)  # explicit skew overrides the default
+
+    def test_default_skew_applies(self):
+        a = parse_assertion_spec("P", "2-3")
+        wf = a.waveform(TB, default_skew_ns=(-1.0, 1.0))
+        assert wf.skew == (-1_000, 1_000)
+
+    def test_fractional_times(self):
+        a = parse_assertion_spec("S", "2.5-2")
+        assert a.ranges[0].start == 2.5
+
+    def test_malformed_rejected(self):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion_spec("C", "4--6")
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion_spec("C", "")
+
+
+class TestWaveforms:
+    def test_clock_high_during_range(self):
+        wf = parse_assertion_spec("P", "2-3").waveform(TB)
+        assert wf.value_at(TB.units_to_ps(2)) is ONE
+        assert wf.value_at(TB.units_to_ps(2.5)) is ONE
+        assert wf.value_at(TB.units_to_ps(3)) is ZERO
+        assert wf.value_at(0) is ZERO
+
+    def test_low_clock_inverted(self):
+        wf = parse_assertion_spec("C", "4-6 L").waveform(TB)
+        assert wf.value_at(TB.units_to_ps(5)) is ZERO
+        assert wf.value_at(TB.units_to_ps(2)) is ONE
+
+    def test_stable_assertion_stable_then_changing(self):
+        """'W DATA .S0-6': stable 0 to 6 and may be changing 6 to 8."""
+        wf = parse_assertion_spec("S", "0-6").waveform(TB)
+        assert wf.value_at(TB.units_to_ps(3)) is STABLE
+        assert wf.value_at(TB.units_to_ps(7)) is CHANGE
+        assert wf.skew == (0, 0)
+
+    def test_wrapping_stable_assertion(self):
+        """'READ ADR .S4-9': stable 4..9 means changing 1..4 (section 3.2,
+        'the assertion specification is taken to be modulo the cycle')."""
+        wf = parse_assertion_spec("S", "4-9").waveform(TB)
+        assert wf.value_at(TB.units_to_ps(5)) is STABLE
+        assert wf.value_at(TB.units_to_ps(0.5)) is STABLE
+        assert wf.value_at(TB.units_to_ps(2)) is CHANGE
+
+    def test_scales_with_clock_rate(self):
+        """Clock units scale with the period (section 2.3)."""
+        slow = Timebase.from_ns(100.0, 12.5)
+        wf = parse_assertion_spec("P", "2-3").waveform(slow)
+        assert wf.value_at(slow.units_to_ps(2)) is ONE
+        assert wf.duration_of(ONE) == 12_500
+
+
+class TestParseSignalName:
+    def test_full_name(self):
+        base, assertion = parse_signal_name("MAIN CLK .P2-3,6-7 L")
+        assert base == "MAIN CLK"
+        assert assertion is not None
+        assert assertion.low
+        assert len(assertion.ranges) == 2
+
+    def test_plain_name(self):
+        base, assertion = parse_signal_name("COUNTER OUT")
+        assert base == "COUNTER OUT"
+        assert assertion is None
+
+    def test_assertion_text_preserved(self):
+        _, assertion = parse_signal_name("X .S0-6")
+        assert assertion.text == ".S0-6"
+
+    @given(st.sampled_from(["P", "C", "S"]), st.integers(0, 7), st.integers(1, 8))
+    def test_round_trip_ranges(self, kind, start, width):
+        end = start + width
+        _, a = parse_signal_name(f"SIG .{kind}{start}-{end}")
+        assert a.kind.value == kind
+        assert a.ranges[0].start == start
+        assert a.ranges[0].end == end

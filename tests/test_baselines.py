@@ -1,0 +1,185 @@
+"""Tests for the two baseline approaches of section 1.4."""
+
+import pytest
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.baselines import (
+    LV,
+    LogicSimulator,
+    PathAnalyzer,
+    exhaustive_vectors,
+    gate_value,
+)
+from repro.workloads import fig_2_6_case_analysis
+
+
+def circuit():
+    return Circuit("t", period_ns=50.0, clock_unit_ns=6.25)
+
+
+class TestSixValueAlgebra:
+    def test_definite_levels(self):
+        assert gate_value("AND", [LV.ONE, LV.ONE]) is LV.ONE
+        assert gate_value("AND", [LV.ZERO, LV.ONE]) is LV.ZERO
+        assert gate_value("OR", [LV.ZERO, LV.ONE]) is LV.ONE
+        assert gate_value("XOR", [LV.ONE, LV.ONE]) is LV.ZERO
+        assert gate_value("NAND", [LV.ONE, LV.ONE]) is LV.ZERO
+
+    def test_transitions_propagate(self):
+        assert gate_value("AND", [LV.ONE, LV.U]) is LV.U
+        assert gate_value("AND", [LV.ONE, LV.D]) is LV.D
+        assert gate_value("OR", [LV.ZERO, LV.U]) is LV.U
+        assert gate_value("NOT", [LV.U]) is LV.D
+
+    def test_controlling_value_masks_transition(self):
+        assert gate_value("AND", [LV.ZERO, LV.U]) is LV.ZERO
+        assert gate_value("OR", [LV.ONE, LV.D]) is LV.ONE
+
+    def test_unknown(self):
+        assert gate_value("AND", [LV.X, LV.ONE]) is LV.X
+        assert gate_value("AND", [LV.X, LV.ZERO]) is LV.ZERO
+
+    def test_spike_propagates_unless_masked(self):
+        assert gate_value("AND", [LV.E, LV.ONE]) is LV.E
+        assert gate_value("AND", [LV.E, LV.ZERO]) is LV.ZERO
+
+    def test_crossing_transitions_are_a_potential_spike(self):
+        """Two rising inputs through an XOR start and end at 0 but may
+        momentarily expose a 1 — TEGAS's E value."""
+        assert gate_value("XOR", [LV.U, LV.U]) is LV.E
+        assert gate_value("AND", [LV.U, LV.D]) is LV.E
+
+
+class TestLogicSimulator:
+    def _pipeline(self):
+        c = circuit()
+        c.gate("AND", "N1", ["A", "B"], delay=(1.0, 3.0))
+        c.reg("Q", clock="CK .P2-3", data="N1", delay=(1.5, 4.5))
+        c.setup_hold("N1", "CK .P2-3", setup=2.5, hold=1.5)
+        return c
+
+    def test_functional_simulation(self):
+        c = self._pipeline()
+        sim = LogicSimulator(c)
+        sim.drive("A", [1, 1])
+        sim.drive("B", [1, 1])
+        result = sim.run(cycles=2)
+        assert result.final_values["Q"] is LV.ONE
+        assert result.ok
+
+    def test_gate_result_depends_on_vector(self):
+        c = self._pipeline()
+        sim = LogicSimulator(c)
+        sim.drive("A", [1, 0])
+        sim.drive("B", [1, 1])
+        result = sim.run(cycles=2)
+        assert result.final_values["N1"] is LV.ZERO
+
+    def test_setup_violation_found_on_sensitising_vector_only(self):
+        """The thesis's core criticism (section 1.4.1): simulation only
+        shows that the *cases simulated* work.  A slow path hides behind a
+        gate until a vector sensitises it."""
+        c = circuit()
+        # Slow path through IN2 lands inside the setup window of the clock
+        # edge at 12.5 ns (the data settles ~11.5 ns into the cycle).
+        c.gate("BUF", "SLOW", ["IN2 .S0-6"], delay=(9.5, 10.5), name="slowbuf")
+        c.gate("AND", "D", ["SLOW", "SEL .S0-8"], delay=(0.5, 1.0), name="g")
+        c.reg("Q", clock="CK .P2-3", data="D", delay=(1.5, 4.5))
+        c.setup_hold("D", "CK .P2-3", setup=2.5, hold=0.0)
+
+        blind = LogicSimulator(c)
+        blind.drive("IN2 .S0-6", [1, 1])
+        blind.drive("SEL .S0-8", [0, 0])  # path never sensitised: looks fine
+        assert blind.run(cycles=2).ok
+
+        seeing = LogicSimulator(c)
+        seeing.drive("IN2 .S0-6", [0, 1])
+        seeing.drive("SEL .S0-8", [1, 1])
+        result = seeing.run(cycles=2)
+        assert any(v.kind == "setup" for v in result.violations)
+
+        # The Verifier needs no vectors at all to find the same error.
+        tv = TimingVerifier(c, EXACT).verify()
+        assert any(v.kind.value == "setup" for v in tv.violations)
+
+    def test_chg_rejected(self):
+        c = circuit()
+        c.chg("OUT", ["A"], delay=(1.0, 2.0))
+        with pytest.raises(ValueError, match="boolean"):
+            LogicSimulator(c)
+
+    def test_cannot_drive_internal_net(self):
+        c = self._pipeline()
+        sim = LogicSimulator(c)
+        with pytest.raises(ValueError, match="driven by logic"):
+            sim.drive("N1", [0])
+
+    def test_unknown_net_rejected(self):
+        sim = LogicSimulator(self._pipeline())
+        with pytest.raises(KeyError):
+            sim.drive("NOPE", [0])
+
+    def test_event_count_grows_with_vectors(self):
+        c = self._pipeline()
+        sim = LogicSimulator(c)
+        sim.drive("A", [0, 1, 0, 1])
+        sim.drive("B", [1, 1, 0, 0])
+        short = sim.run(cycles=2).events
+        long = sim.run(cycles=4).events
+        assert long > short
+
+    def test_exhaustive_vectors(self):
+        assert len(exhaustive_vectors(3)) == 8
+        assert len(exhaustive_vectors(10)) == 1024
+
+
+class TestPathAnalyzer:
+    def test_register_to_register_path(self):
+        c = circuit()
+        c.reg("Q1", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        c.gate("AND", "N", ["Q1", "EN .S0-8"], delay=(1.0, 3.0))
+        c.reg("Q2", clock="CK .P2-3", data="N", delay=(1.5, 4.5))
+        c.setup_hold("N", "CK .P2-3", setup=2.5, hold=0.0)
+        report = PathAnalyzer(c, EXACT).analyze()
+        # Q1 settles at 12.5+4.5 = 17; N at 17+3 = 20 — meets the next edge.
+        assert report.arrivals["N"] == (15_000, 20_000)
+        assert report.ok
+
+    def test_setup_violation_on_long_path(self):
+        c = circuit()
+        c.reg("Q1", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        c.gate("BUF", "N", ["Q1"], delay=(50.0, 55.0), name="slow")
+        c.setup_hold("N", "CK .P2-3", setup=2.5, hold=0.0)
+        report = PathAnalyzer(c, EXACT).analyze()
+        assert any(v.kind == "setup" for v in report.violations)
+
+    def test_figure_2_6_spurious_path(self):
+        """The headline failure mode: without value knowledge the path
+        searcher includes the impossible 40 ns path; the Verifier's case
+        analysis measures 30 ns on the same circuit."""
+        c = fig_2_6_case_analysis(with_cases=True)
+        report = PathAnalyzer(c, EXACT).analyze()
+        assert report.arrivals["OUTPUT"][1] == 50_000  # 10 + (spurious) 40
+
+        tv = TimingVerifier(c, EXACT).verify()
+        out = tv.waveform("OUTPUT")
+        assert out.describe() == "S 30.0 C 40.0 S"  # 10 + (real) 30
+
+    def test_gated_clock_defeats_path_search(self):
+        """A register clocked through a gate has no asserted clock net —
+        the path searcher reports it rather than analysing it."""
+        c = circuit()
+        c.gate("AND", "GCLK", ["CK .P2-3", "EN .S0-8"], delay=(1.0, 2.0))
+        c.reg("Q", clock="GCLK", data="D .S0-6", delay=(1.5, 4.5))
+        report = PathAnalyzer(c, EXACT).analyze()
+        assert any(v.kind == "unclocked" for v in report.violations)
+
+    def test_loop_hits_search_limit(self):
+        """Like GRASP: an unbroken loop stops at the search limit instead
+        of hanging."""
+        c = circuit()
+        # A combinational loop reachable from an asserted input.
+        c.gate("OR", "A", ["B", "SEED .S0-6"], delay=(1.0, 2.0), name="g1")
+        c.gate("BUF", "B", ["A"], delay=(1.0, 2.0), name="g2")
+        report = PathAnalyzer(c, EXACT, search_limit=10).analyze()
+        assert report.loops

@@ -1,0 +1,83 @@
+"""Tests for the scald-tv command-line entry point."""
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+design CLI_TEST;
+period 50 ns;
+clock_unit 6.25 ns;
+prim REG r (CLOCK="CK .P2-3", DATA="D .S0-6", OUT="Q") delay=1.5:4.5;
+prim "SETUP HOLD CHK" s (I="D .S0-6", CK="CK .P2-3") setup=2.5 hold=1.5;
+"""
+
+FAILING = CLEAN.replace('.S0-6', '.S3-6')
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.scald"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def failing_file(tmp_path):
+    path = tmp_path / "failing.scald"
+    path.write_text(FAILING)
+    return str(path)
+
+
+class TestCli:
+    def test_clean_design_exits_zero(self, clean_file, capsys):
+        assert main([clean_file]) == 0
+        assert "No setup" in capsys.readouterr().out
+
+    def test_failing_design_exits_one(self, failing_file, capsys):
+        assert main([failing_file]) == 1
+        assert "SETUP" in capsys.readouterr().out
+
+    def test_summary_flag(self, clean_file, capsys):
+        assert main([clean_file, "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "TIMING VERIFIER SUMMARY" in out
+        assert "CK .P2-3" in out
+
+    def test_stats_flag(self, clean_file, capsys):
+        assert main([clean_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "MACRO EXPANSION EXECUTION STATISTICS" in out
+        assert "TIMING VERIFIER EXECUTION STATISTICS" in out
+
+    def test_xref_flag(self, clean_file, capsys):
+        assert main([clean_file, "--xref"]) == 0
+        assert "undefined signals" in capsys.readouterr().out.lower()
+
+    def test_wire_delay_option(self, clean_file):
+        assert main([clean_file, "--wire-delay", "0.0:0.0"]) == 0
+
+    def test_bad_wire_delay(self, clean_file, capsys):
+        assert main([clean_file, "--wire-delay", "oops"]) == 2
+        assert "wire-delay" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/file.scald"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_storage_flag(self, clean_file, capsys):
+        assert main([clean_file, "--storage"]) == 0
+        out = capsys.readouterr().out
+        assert "STORAGE REQUIRED" in out
+        assert "signal values" in out
+
+    def test_explain_flag(self, failing_file, capsys):
+        assert main([failing_file, "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "critical contribution" in out
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.scald"
+        bad.write_text("design X; this is not scald")
+        assert main([str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

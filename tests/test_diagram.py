@@ -1,0 +1,83 @@
+"""Tests for the ASCII timing-diagram renderer."""
+
+import pytest
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.core.values import CHANGE, ONE, STABLE, UNKNOWN, ZERO
+from repro.core.waveform import Waveform
+from repro.reporting.diagram import render_waveform, timing_diagram
+
+P = 50_000
+
+
+class TestRenderWaveform:
+    def test_clock_shape(self):
+        clk = Waveform.from_intervals(P, ZERO, [(20_000, 30_000, ONE)])
+        trace = render_waveform(clk, width=50)
+        assert trace == "_" * 20 + "~" * 10 + "_" * 20
+
+    def test_stable_and_changing(self):
+        wf = Waveform.from_intervals(P, STABLE, [(25_000, 50_000, CHANGE)])
+        trace = render_waveform(wf, width=10)
+        assert trace == "=====xxxxx"
+
+    def test_skew_shows_as_edges(self):
+        clk = Waveform.from_intervals(
+            P, ZERO, [(20_000, 30_000, ONE)], skew=(0, 5_000)
+        )
+        trace = render_waveform(clk, width=50)
+        assert "/" in trace and "\\" in trace
+
+    def test_narrow_events_never_vanish(self):
+        """A 1 ps change marker must still occupy a column."""
+        wf = Waveform.from_intervals(P, STABLE, [(25_000, 25_001, CHANGE)])
+        assert "x" in render_waveform(wf, width=20)
+
+    def test_unknown_glyph(self):
+        assert render_waveform(Waveform.constant(P, UNKNOWN), width=5) == "?????"
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_waveform(Waveform.constant(P, ZERO), width=0)
+
+    def test_trace_length_matches_width(self):
+        wf = Waveform.from_intervals(P, ZERO, [(1_000, 2_000, ONE)])
+        for width in (7, 31, 60, 111):
+            assert len(render_waveform(wf, width)) == width
+
+
+class TestTimingDiagram:
+    def _result(self):
+        c = Circuit("d", period_ns=50.0, clock_unit_ns=6.25)
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        return TimingVerifier(c, EXACT).verify()
+
+    def test_contains_all_signals_by_default(self):
+        text = timing_diagram(self._result())
+        for name in ("CK .P2-3", "D .S0-6", "Q"):
+            assert name in text
+
+    def test_signal_selection_and_order(self):
+        text = timing_diagram(self._result(), ["Q", "CK .P2-3"])
+        lines = text.splitlines()
+        assert lines[1].startswith("Q")
+        assert lines[2].startswith("CK .P2-3")
+        assert "D .S0-6" not in text
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(KeyError):
+            timing_diagram(self._result(), ["NOPE"])
+
+    def test_legend_present(self):
+        assert "~ high" in timing_diagram(self._result())
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.hdl.writer import save_scald
+
+        c = Circuit("d", period_ns=50.0, clock_unit_ns=6.25)
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        path = tmp_path / "d.scald"
+        save_scald(c, str(path))
+        assert main([str(path), "--diagram"]) == 0
+        assert "~ high" in capsys.readouterr().out

@@ -1,0 +1,368 @@
+"""Tests for the event-driven evaluation engine (section 2.9)."""
+
+import pytest
+
+from repro import Circuit, EXACT, OscillationError, TimingVerifier, VerifyConfig
+from repro.core.engine import Engine
+from repro.core.values import CHANGE, ONE, STABLE, UNKNOWN, ZERO
+from repro.core.violations import ViolationKind
+
+
+def circuit(**kw):
+    return Circuit("t", period_ns=50.0, clock_unit_ns=6.25, **kw)
+
+
+def run(c, config=EXACT):
+    return TimingVerifier(c, config).verify()
+
+
+class TestInitialization:
+    def test_clock_assertion_pins_value(self):
+        c = circuit()
+        c.buf("OUT", "CK .P2-3")
+        e = Engine(c, EXACT)
+        e.initialize()
+        wf = e.waveform_of("CK .P2-3")
+        assert wf.value_at(13_000) is ONE
+        assert wf.value_at(0) is ZERO
+
+    def test_stable_assertion_initializes_interface_signal(self):
+        c = circuit()
+        c.buf("OUT", "D .S0-6")
+        e = Engine(c, EXACT)
+        e.initialize()
+        wf = e.waveform_of("D .S0-6")
+        assert wf.value_at(10_000) is STABLE
+        assert wf.value_at(40_000) is CHANGE
+
+    def test_driven_nets_start_unknown(self):
+        c = circuit()
+        c.buf("OUT", "D .S0-6")
+        e = Engine(c, EXACT)
+        e.initialize()
+        assert e.waveform_of("OUT").is_fully_unknown
+
+    def test_unasserted_undriven_assumed_stable_and_xrefed(self):
+        """Section 2.5: undefined signals with no assertions are taken to
+        be always stable and put on a special cross-reference listing."""
+        c = circuit()
+        c.buf("OUT", "MYSTERY INPUT")
+        e = Engine(c, EXACT)
+        e.initialize()
+        assert e.waveform_of("MYSTERY INPUT") == e.waveform_of("MYSTERY INPUT").constant(
+            c.period_ps, STABLE
+        )
+        assert "MYSTERY INPUT" in e.xref_assumed_stable
+
+    def test_supply_rails(self):
+        c = circuit()
+        c.gate("AND", "OUT", ["GND", "VCC"])
+        e = Engine(c, EXACT)
+        e.initialize()
+        assert e.waveform_of("GND").value_at(0) is ZERO
+        assert e.waveform_of("VCC").value_at(0) is ONE
+
+    def test_precision_vs_nonprecision_default_skew(self):
+        """.P clocks default to ±1 ns skew, .C clocks to ±5 ns
+        (section 3.3's S-1 design rules)."""
+        c = circuit()
+        c.gate("AND", "OUT", ["PC .P2-3", "NC .C2-3"])
+        e = Engine(c, VerifyConfig())
+        e.initialize()
+        assert e.waveform_of("PC .P2-3").skew == (-1_000, 1_000)
+        assert e.waveform_of("NC .C2-3").skew == (-5_000, 5_000)
+
+
+class TestFixedPoint:
+    def test_combinational_chain_converges(self):
+        c = circuit()
+        c.gate("AND", "N1", ["A .S0-6", "B .S0-6"], delay=(1.0, 2.0))
+        c.gate("OR", "N2", ["N1", "C .S0-6"], delay=(1.0, 2.0))
+        c.gate("XOR", "N3", ["N2", "N1"], delay=(1.0, 2.0))
+        r = run(c)
+        assert not r.waveform("N3").is_fully_unknown
+        assert r.stats.events >= 3
+
+    def test_register_feedback_converges(self):
+        """A counter-style feedback loop through a register reaches a fixed
+        point thanks to the STABLE capture rule."""
+        c = circuit()
+        c.chg("NEXT", ["Q"], delay=(2.0, 5.0))
+        c.reg("Q", clock="CK .P2-3", data="NEXT", delay=(1.5, 4.5))
+        r = run(c)
+        q = r.waveform("Q")
+        assert q.value_at(0) is STABLE
+        assert q.value_at(15_000) is CHANGE
+
+    def test_combinational_loop_raises(self):
+        c = circuit()
+        c.gate("NOT", "B", ["A"], delay=(1.0, 1.0), name="inv1")
+        c.gate("NOT", "A", ["B"], delay=(1.0, 1.5), name="inv2")
+        with pytest.raises(OscillationError, match="feedback"):
+            run(c)
+
+    def test_event_counting(self):
+        c = circuit()
+        c.gate("AND", "N1", ["A .S0-6", "B .S0-6"])
+        r = run(c)
+        # One event: N1 acquiring its value (inputs are fixed assertions).
+        assert r.stats.events == 1
+
+    def test_reconvergent_fanout(self):
+        c = circuit()
+        c.gate("NOT", "NA", ["A .S0-4"], delay=(1.0, 2.0))
+        c.gate("AND", "X", ["A .S0-4", "NA"], delay=(1.0, 2.0))
+        r = run(c)
+        x = r.waveform("X")
+        # Both A and NOT A are stable mid-window; NA's wrap-around change
+        # (it settles ~3 ns into the cycle) keeps t=0 changing.
+        assert x.value_at(10_000) is STABLE
+        assert x.value_at(0) is CHANGE
+
+
+class TestWireDelays:
+    def test_default_wire_delay_applied(self):
+        c = circuit()
+        c.buf("OUT", "D .S1-7", delay=(0.0, 0.0))
+        r = run(c, VerifyConfig(default_wire_delay_ns=(0.0, 2.0),
+                                precision_clock_skew_ns=(0, 0),
+                                nonprecision_clock_skew_ns=(0, 0)))
+        assert r.waveform("OUT").skew == (0, 2_000)
+
+    def test_net_override(self):
+        c = circuit()
+        d = c.net("D .S1-7")
+        d.wire_delay_ps = (0, 6_000)
+        c.buf("OUT", d, delay=(0.0, 0.0))
+        r = run(c, VerifyConfig())
+        assert r.waveform("OUT").skew == (0, 6_000)
+
+    def test_load_dependent_wire_rule(self):
+        """Section 3.3's refined rule: more loads, more maximum delay."""
+        config = VerifyConfig(
+            default_wire_delay_ns=(0.0, 2.0),
+            precision_clock_skew_ns=(0, 0),
+            nonprecision_clock_skew_ns=(0, 0),
+            wire_delay_per_load_ns=0.5,
+        )
+        c = circuit()
+        c.buf("LIGHT", "D .S1-7", delay=(0.0, 0.0), name="b1")
+        c.buf("HEAVY A", "E .S1-7", delay=(0.0, 0.0), name="b2")
+        c.buf("HEAVY B", "E .S1-7", delay=(0.0, 0.0), name="b3")
+        c.buf("HEAVY C", "E .S1-7", delay=(0.0, 0.0), name="b4")
+        r = run(c, config)
+        assert r.waveform("LIGHT").skew == (0, 2_000)  # one load: base rule
+        assert r.waveform("HEAVY A").skew == (0, 3_000)  # 2 extra loads
+
+    def test_per_load_rule_never_touches_explicit_delays(self):
+        from dataclasses import replace
+
+        config = VerifyConfig(wire_delay_per_load_ns=1.0)
+        c = circuit()
+        d = c.net("D .S1-7")
+        d.wire_delay_ps = (0, 500)
+        c.buf("O1", d, delay=(0.0, 0.0), name="b1")
+        c.buf("O2", d, delay=(0.0, 0.0), name="b2")
+        r = run(c, config)
+        assert r.waveform("O1").skew == (0, 500)
+
+    def test_connection_override_beats_net(self):
+        from repro.netlist import Connection
+
+        c = circuit()
+        d = c.net("D .S1-7")
+        d.wire_delay_ps = (0, 6_000)
+        c.add("b", "BUF", {"I": Connection(net=d, wire_delay_ps=(0, 0)), "OUT": "OUT"})
+        r = run(c, VerifyConfig())
+        assert r.waveform("OUT").skew == (0, 0)
+
+
+class TestDirectives:
+    def _gated_clock(self, directives, enable="VCC"):
+        c = circuit()
+        clk_in = f"CK .P2-3 {directives}" if directives else "CK .P2-3"
+        c.gate("AND", "GCLK", [clk_in, enable], delay=(1.0, 2.9), name="g")
+        c.min_pulse_width("GCLK", min_high=4.0)
+        return c
+
+    def test_plain_gate_adds_delay(self):
+        r = run(self._gated_clock(""))
+        wf = r.waveform("GCLK")
+        assert wf.value_at(14_000) is ONE  # shifted by the 1.0 min delay
+        assert wf.skew == (0, 1_900)
+
+    def test_unknown_level_enable_hides_the_clock(self):
+        """Without the enabling assumption, 1 AND STABLE is only STABLE:
+        the clock cannot be checked through the gate.  This is precisely
+        the problem the &A/&H directives solve (section 2.6)."""
+        r = run(self._gated_clock("", enable="EN .S0-8"))
+        wf = r.waveform("GCLK")
+        assert wf.value_at(14_000) is STABLE
+
+    def test_z_zeroes_gate_and_wire(self):
+        """&Z: the clock timing refers to the gate output (section 2.6)."""
+        r = run(self._gated_clock("&Z"))
+        wf = r.waveform("GCLK")
+        assert wf.value_at(13_000) is ONE
+        assert wf.skew == (0, 0)
+        assert wf.rising_windows() == [(12_500, 12_500)]
+
+    def test_a_checks_and_assumes_enabling(self):
+        c = circuit()
+        c.gate("AND", "GCLK", ["CK .P2-3 &A", "EN .S3-6"], name="g")
+        r = run(c)
+        # The enable is assumed enabling: the clock propagates...
+        assert r.waveform("GCLK").value_at(15_000) is ONE
+        # ...and the control's instability while the clock is high is an error.
+        assert any(
+            v.kind is ViolationKind.GATING_STABILITY for v in r.violations
+        )
+
+    def test_a_with_stable_control_is_clean(self):
+        c = circuit()
+        c.gate("AND", "GCLK", ["CK .P2-3 &A", "EN .S0-8"], name="g")
+        r = run(c)
+        assert r.ok
+
+    def test_h_combines_z_and_a(self):
+        c = circuit()
+        c.gate("AND", "GCLK", ["CK .P2-3 &H", "EN .S3-6"], delay=(1.0, 2.9), name="g")
+        r = run(c)
+        assert r.waveform("GCLK").skew == (0, 0)  # Z effect
+        assert any(v.kind is ViolationKind.GATING_STABILITY for v in r.violations)
+
+    def test_w_zeroes_wire_only(self):
+        c = circuit()
+        c.gate("BUF", "OUT", ["D .S1-7 &W"], delay=(1.0, 3.0), name="g")
+        r = run(c, VerifyConfig())
+        assert r.waveform("OUT").skew == (0, 2_000)  # gate skew only, no wire
+
+    def test_directive_string_propagates_level_by_level(self):
+        """'&HZ': H governs the first gate, Z the second (section 2.6)."""
+        c = circuit()
+        c.gate("AND", "L1", ["CK .P2-3 &ZZ", "VCC"], delay=(1.0, 2.0), name="g1")
+        c.gate("AND", "L2", ["L1", "VCC"], delay=(1.0, 2.0), name="g2")
+        c.gate("AND", "L3", ["L2", "VCC"], delay=(1.0, 2.0), name="g3")
+        r = run(c)
+        # Two levels zeroed; the third level's delay applies.
+        assert r.waveform("L2").skew == (0, 0)
+        wf = r.waveform("L3")
+        assert wf.skew == (0, 1_000)
+        assert wf.value_at(14_000) is ONE
+
+    def test_or_gate_enabling_level_is_zero(self):
+        c = circuit()
+        c.gate("OR", "GCLK", ["CK .P2-3 &A", "EN .S0-8"], name="g")
+        r = run(c)
+        # EN assumed 0 for an OR: the clock passes through.
+        assert r.waveform("GCLK").value_at(15_000) is ONE
+
+
+class TestCaseAnalysis:
+    def test_case_maps_stable_to_constant(self):
+        c = circuit()
+        c.buf("OUT", "SEL .S0-8")
+        c.add_case_by_name({"SEL .S0-8": 1})
+        r = run(c)
+        assert r.waveform("SEL .S0-8").value_at(0) is ONE
+
+    def test_case_on_driven_signal(self):
+        """Section 2.7.1: mapping applies wherever the circuit would set
+        the signal to STABLE — including computed signals."""
+        c = circuit()
+        c.gate("AND", "SEL", ["A .S0-8", "B .S0-8"])
+        c.add_case_by_name({"SEL": 0})
+        r = run(c)
+        assert r.waveform("SEL").value_at(0) is ZERO
+
+    def test_incremental_reevaluation(self):
+        """Between cases only affected parts re-evaluate (section 2.7)."""
+        c = circuit()
+        c.buf("X1", "UNTOUCHED .S0-6", delay=(1.0, 1.0))
+        c.buf("X2", "X1", delay=(1.0, 1.0))
+        c.mux("OUT", selects=["SEL .S0-8"], inputs=["A .S0-8", "B .S0-8"])
+        c.add_case_by_name({"SEL .S0-8": 0})
+        c.add_case_by_name({"SEL .S0-8": 1})
+        r = run(c)
+        assert len(r.cases) == 2
+        # The second case re-evaluates the mux only, not the buffer chain.
+        assert r.cases[1].events < r.cases[0].events
+
+    def test_unknown_case_signal_rejected(self):
+        c = circuit()
+        c.buf("OUT", "A .S0-6")
+        c.add_case_by_name({"NOT A REAL SIGNAL": 1})
+        # The net now exists (created by add_case), but floats undriven: it
+        # verifies as a constant; a *typo* against a truly unknown name is
+        # caught at engine level.
+        e = Engine(c, EXACT)
+        with pytest.raises(KeyError):
+            e._build_case_map({"TYPO": 1})
+
+    def test_violations_tagged_with_case(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S3-6", delay=(1.0, 2.0))
+        c.setup_hold("D .S3-6", "CK .P2-3", setup=2.5, hold=1.5)
+        c.add_case_by_name({})
+        c.add_case_by_name({})
+        r = run(c)
+        assert {v.case_index for v in r.violations} == {0, 1}
+
+
+class TestAssertionChecking:
+    def test_generated_signal_checked_against_assertion(self):
+        """Section 2.5.2: once hardware generates an asserted signal, the
+        assertion is checked against the actual timing."""
+        c = circuit()
+        # Claimed stable 0-6 but the driving register changes it at 14-17.
+        c.reg("Q .S0-6", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        r = run(c)
+        assert any(
+            v.kind is ViolationKind.ASSERTION_MISMATCH and "Q .S0-6" in v.signal
+            for v in r.violations
+        )
+
+    def test_conforming_generated_signal_passes(self):
+        c = circuit()
+        c.reg("Q .S4-8", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        r = run(c)
+        assert r.ok
+
+    def test_assertion_checking_can_be_disabled(self):
+        c = circuit()
+        c.reg("Q .S0-6", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        from dataclasses import replace
+
+        r = run(c, replace(EXACT, check_assertions=False))
+        assert r.ok
+
+
+class TestVerifierFacade:
+    def test_result_shape(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        r = run(c)
+        assert r.circuit_name == "t"
+        assert len(r.cases) == 1
+        assert r.phases.total > 0
+        assert "Q" in r.cases[0].waveforms
+
+    def test_summary_listing_contains_signals(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        r = run(c)
+        listing = r.summary_listing()
+        assert "Q" in listing and "CK .P2-3" in listing
+
+    def test_error_listing_clean(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        assert "No setup" in run(c).error_listing()
+
+    def test_structure_errors_surface(self):
+        from repro import InvalidCircuitError
+
+        c = circuit()
+        c.add("r", "REG", {"CLOCK": "CK", "OUT": "Q"})
+        with pytest.raises(InvalidCircuitError):
+            run(c)

@@ -1,0 +1,96 @@
+"""Tests for the critical-path settle-time explanation."""
+
+import pytest
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.reporting.explain import SettleExplainer, explain_violation
+from repro.workloads import fig_2_5_register_file
+
+
+def chain_circuit():
+    """SRC --buf(2/5)--> MID --buf(1/3)--> DST, no wire delay."""
+    c = Circuit("chain", period_ns=50.0, clock_unit_ns=6.25)
+    for name in ("MID", "DST"):
+        c.net(name).wire_delay_ps = (0, 0)
+    c.buf("MID", "SRC .S0-6", delay=(2.0, 5.0), name="b1")
+    c.buf("DST", "MID", delay=(1.0, 3.0), name="b2")
+    return c
+
+
+class TestSettleExplainer:
+    def _explainer(self, circuit, config=EXACT):
+        result = TimingVerifier(circuit, config).verify()
+        return SettleExplainer(circuit, result.cases[0].waveforms, config), result
+
+    def test_linear_chain_traced_to_assertion(self):
+        explainer, _ = self._explainer(chain_circuit())
+        hops = explainer.explain("DST")
+        assert [h.net for h in hops] == ["SRC .S0-6", "MID", "DST"]
+        # SRC changes 37.5..50 (settles at 50); +5 and +3 down the chain.
+        assert hops[0].settle_ps == 50_000
+        assert hops[1].settle_ps == 55_000
+        assert hops[2].settle_ps == 58_000
+
+    def test_source_hop_labelled_assertion(self):
+        explainer, _ = self._explainer(chain_circuit())
+        hops = explainer.explain("DST")
+        assert hops[0].via == "assertion"
+
+    def test_critical_input_selection(self):
+        """Of two gate inputs, the one that accounts for the output settle
+        is chosen."""
+        c = Circuit("pick", period_ns=50.0, clock_unit_ns=6.25)
+        for name in ("SLOW", "OUT"):
+            c.net(name).wire_delay_ps = (0, 0)
+        c.buf("SLOW", "LATE .S0-7", delay=(4.0, 9.0), name="slowbuf")
+        c.gate("OR", "OUT", ["SLOW", "EARLY .S0-2"], delay=(1.0, 2.0), name="g")
+        explainer, _ = self._explainer(c)
+        hops = explainer.explain("OUT")
+        assert hops[0].net == "LATE .S0-7"
+
+    def test_register_traced_to_clock(self):
+        c = Circuit("reg", period_ns=50.0, clock_unit_ns=6.25)
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        explainer, _ = self._explainer(c)
+        hops = explainer.explain("Q")
+        assert hops[0].net == "CK .P2-3"
+        assert "clocked" in hops[1].via
+
+    def test_never_changing_signal(self):
+        c = Circuit("const", period_ns=50.0, clock_unit_ns=6.25)
+        c.buf("OUT", "STEADY .S0-8", delay=(1.0, 2.0))
+        explainer, _ = self._explainer(c)
+        hops = explainer.explain("OUT")
+        assert any("never changes" in h.via for h in hops)
+
+    def test_unknown_net_rejected(self):
+        explainer, _ = self._explainer(chain_circuit())
+        with pytest.raises(KeyError):
+            explainer.explain("NOPE")
+
+    def test_feedback_loop_terminates(self):
+        c = Circuit("fb", period_ns=50.0, clock_unit_ns=6.25)
+        c.chg("NEXT", ["Q"], delay=(2.0, 5.0))
+        c.reg("Q", clock="CK .P2-3", data="NEXT", delay=(1.5, 4.5))
+        explainer, _ = self._explainer(c)
+        hops = explainer.explain("NEXT", max_hops=10)
+        assert len(hops) <= 10  # bounded despite the loop
+
+
+class TestExplainViolation:
+    def test_figure_3_11_error_explained(self):
+        circuit = fig_2_5_register_file()
+        result = TimingVerifier(circuit).verify()
+        outreg = next(v for v in result.violations if "RAM OUT" in v.signal)
+        text = explain_violation(circuit, result, outreg)
+        # The late write data is the true culprit of the 47.6 ns settle.
+        assert "W DATA" in text
+        assert "SETUP time violated" in text
+
+    def test_trace_lines_are_ordered_source_first(self):
+        circuit = fig_2_5_register_file()
+        result = TimingVerifier(circuit).verify()
+        outreg = next(v for v in result.violations if "RAM OUT" in v.signal)
+        lines = explain_violation(circuit, result, outreg).splitlines()
+        assert "W DATA" in lines[1]
+        assert lines[-1].lstrip().startswith("=>")

@@ -1,0 +1,195 @@
+"""Tests for the section 4.2 future-work extensions.
+
+* different rising and falling delays (section 4.2.2);
+* probability-based mean/variance analysis (section 4.2.4).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.baselines.statistical import DelayDist, StatisticalAnalyzer
+from repro.core.risefall import combined_range, invert_roles, rise_fall_delayed
+from repro.core.values import CHANGE, FALL, ONE, RISE, STABLE, ZERO
+from repro.core.waveform import Waveform
+
+P = 50_000
+
+
+def clock(high=(20_000, 30_000)):
+    return Waveform.from_intervals(P, ZERO, [(*high, ONE)])
+
+
+class TestRiseFallWaveform:
+    def test_directional_edges(self):
+        out = rise_fall_delayed(clock(), rise=(1_000, 2_000), fall=(4_000, 6_000))
+        assert out.describe() == "0 21.0 R 22.0 1 34.0 F 36.0 0"
+
+    def test_equal_ranges_is_plain_delay(self):
+        out = rise_fall_delayed(clock(), rise=(2_000, 3_000), fall=(2_000, 3_000))
+        assert out == clock().delayed(2_000, 3_000)
+
+    def test_constant_unchanged(self):
+        wf = Waveform.constant(P, ONE)
+        assert rise_fall_delayed(wf, (1_000, 2_000), (3_000, 4_000)) == wf
+
+    def test_unknown_level_falls_back_to_combined_range(self):
+        """Section 4.2.2: without value knowledge 'merely using the maximum
+        of the rising and falling delays is the correct choice'."""
+        wf = Waveform.from_intervals(P, STABLE, [(10_000, 20_000, CHANGE)])
+        out = rise_fall_delayed(wf, (1_000, 2_000), (4_000, 6_000))
+        assert out == wf.delayed(*combined_range((1_000, 2_000), (4_000, 6_000)))
+
+    def test_pulse_width_changes_asymmetrically(self):
+        """Slow fall, fast rise: a high pulse gets wider at minimum."""
+        out = rise_fall_delayed(clock(), rise=(1_000, 1_000), fall=(5_000, 5_000))
+        (start, end), = out.level_runs(ONE)
+        # ~14 ns guaranteed high (modulo the 1 ps edge-observability marker).
+        assert abs(start - 21_000) <= 1 and end == 35_000
+
+    def test_crossing_edges_collapse_to_change(self):
+        """A 3 ns pulse whose rise may land after its fall: the pulse may
+        vanish, so the overlap must be CHANGE."""
+        narrow = Waveform.from_intervals(P, ZERO, [(20_000, 23_000, ONE)])
+        out = rise_fall_delayed(narrow, rise=(1_000, 8_000), fall=(1_000, 2_000))
+        # Fall window [24, 25] opens before the rise window [21, 28] closes.
+        assert out.value_at(24_500) is CHANGE
+
+    def test_invert_roles(self):
+        assert invert_roles((1, 2), (3, 4)) == ((3, 4), (1, 2))
+
+    @given(
+        st.integers(min_value=1_000, max_value=8_000),
+        st.integers(min_value=0, max_value=3_000),
+        st.integers(min_value=1_000, max_value=8_000),
+        st.integers(min_value=0, max_value=3_000),
+    )
+    @settings(max_examples=60)
+    def test_covers_period(self, rmin, rextra, fmin, fextra):
+        out = rise_fall_delayed(
+            clock(), (rmin, rmin + rextra), (fmin, fmin + fextra)
+        )
+        assert sum(w for _v, w in out.segments) == P
+
+
+class TestRiseFallEngine:
+    def _run(self, prim, rise, fall):
+        c = Circuit("nmos", period_ns=50.0, clock_unit_ns=10.0)
+        ck = c.net("CK .P2-3")
+        ck.wire_delay_ps = (0, 0)
+        out = c.net("OUT")
+        out.wire_delay_ps = (0, 0)
+        c.gate(prim, out, [ck], rise_delay=rise, fall_delay=fall, name="g")
+        return TimingVerifier(c, EXACT).verify().waveform("OUT")
+
+    def test_buffer(self):
+        out = self._run("BUF", (1.0, 2.0), (4.0, 6.0))
+        assert out.describe() == "0 21.0 R 22.0 1 34.0 F 36.0 0"
+
+    def test_inverter_edges_take_output_direction_delays(self):
+        """rise_delay/fall_delay are *output-edge* (tPLH/tPHL) ranges: the
+        inverter's falling output edge — caused by the input's rise —
+        takes the fall delay.  Role alternation through multiple inverting
+        levels (the section 4.2.2 adjustment) therefore falls out of the
+        output-edge classification automatically."""
+        out = self._run("NOT", (1.0, 2.0), (4.0, 6.0))
+        assert out.describe() == "1 24.0 F 26.0 0 31.0 R 32.0 1"
+
+    def test_less_pessimistic_than_max_only(self):
+        """The whole point: the fast rising edge is not smeared out to the
+        slow fall's maximum."""
+        directional = self._run("BUF", (1.0, 2.0), (4.0, 6.0))
+        c = Circuit("sym", period_ns=50.0, clock_unit_ns=10.0)
+        ck = c.net("CK .P2-3")
+        ck.wire_delay_ps = (0, 0)
+        out_net = c.net("OUT")
+        out_net.wire_delay_ps = (0, 0)
+        c.gate("BUF", out_net, [ck], delay=(1.0, 6.0), name="g")
+        symmetric = TimingVerifier(c, EXACT).verify().waveform("OUT")
+        d_rise = directional.rising_windows()[0]
+        s_rise = symmetric.materialized().rising_windows()[0]
+        assert d_rise[1] - d_rise[0] < s_rise[1] - s_rise[0]
+
+
+class TestDelayDist:
+    def test_from_range_three_sigma(self):
+        d = DelayDist.from_range(2_000, 8_000)
+        assert d.mean == 5_000
+        assert math.isclose(math.sqrt(d.variance), 1_000)
+
+    def test_independent_sum(self):
+        a = DelayDist(1_000, 900)
+        b = DelayDist(2_000, 1_600)
+        s = a.plus(b)
+        assert s.mean == 3_000
+        assert s.variance == 2_500
+
+    def test_fully_correlated_sum_adds_sigmas(self):
+        a = DelayDist(0, 900)  # sigma 30
+        b = DelayDist(0, 1_600)  # sigma 40
+        s = a.plus(b, correlation=1.0)
+        assert math.isclose(math.sqrt(s.variance), 70)
+
+    def test_quantile(self):
+        d = DelayDist(10_000, 1_000_000)  # sigma 1000
+        assert d.quantile(3.0) == 13_000
+
+
+class TestStatisticalAnalyzer:
+    def _chain(self, n_gates: int) -> Circuit:
+        c = Circuit("stat", period_ns=50.0, clock_unit_ns=6.25)
+        ck = c.net("CK .P2-3")
+        ck.wire_delay_ps = (0, 0)
+        c.reg("Q0", clock=ck, data="D .S0-6", delay=(1.5, 4.5))
+        prev = "Q0"
+        for i in range(n_gates):
+            nxt = f"N{i}"
+            c.net(nxt).wire_delay_ps = (0, 0)
+            c.gate("BUF", nxt, [prev], delay=(2.0, 7.0), name=f"g{i}")
+            prev = nxt
+        c.setup_hold(prev, ck, setup=2.5, hold=0.0)
+        return c
+
+    def test_statistical_slack_beats_min_max(self):
+        """Section 1.4.1.1: a real design usually runs faster than the
+        min/max system predicts, when delays are uncorrelated."""
+        report = StatisticalAnalyzer(self._chain(6), EXACT).analyze()
+        (check,) = report.checks
+        assert check.stat_slack_ps > check.det_slack_ps
+
+    def test_advantage_grows_with_depth(self):
+        shallow = StatisticalAnalyzer(self._chain(2), EXACT).analyze().checks[0]
+        deep = StatisticalAnalyzer(self._chain(8), EXACT).analyze().checks[0]
+        assert (deep.stat_slack_ps - deep.det_slack_ps) > (
+            shallow.stat_slack_ps - shallow.det_slack_ps
+        )
+
+    def test_full_correlation_recovers_min_max(self):
+        """The thesis's warning: chips from one production run are
+        correlated, and then the probability model's advantage vanishes —
+        with rho = 1 and ±3-sigma ranges, the 3-sigma arrival IS the max."""
+        circuit = self._chain(6)
+        independent = StatisticalAnalyzer(circuit, EXACT).analyze().checks[0]
+        correlated = StatisticalAnalyzer(
+            circuit, EXACT, correlation=1.0
+        ).analyze().checks[0]
+        assert math.isclose(
+            correlated.stat_slack_ps, correlated.det_slack_ps, abs_tol=1.0
+        )
+        assert correlated.stat_slack_ps < independent.stat_slack_ps
+
+    def test_min_period_estimates(self):
+        report = StatisticalAnalyzer(self._chain(6), EXACT).analyze()
+        det, stat = report.min_period_ps()
+        assert stat < det
+
+    def test_confidence_level_matters(self):
+        loose = StatisticalAnalyzer(self._chain(6), EXACT, k_sigma=1.0)
+        tight = StatisticalAnalyzer(self._chain(6), EXACT, k_sigma=5.0)
+        assert (
+            loose.analyze().checks[0].stat_slack_ps
+            > tight.analyze().checks[0].stat_slack_ps
+        )

@@ -1,0 +1,155 @@
+"""Tests reproducing the thesis's worked examples (the figure circuits)."""
+
+from repro import EXACT, TimingVerifier
+from repro.core.violations import ViolationKind
+from repro.workloads import (
+    fig_1_5_gated_clock,
+    fig_2_5_register_file,
+    fig_2_6_case_analysis,
+    fig_3_12_alu_datapath,
+    fig_4_1_correlation,
+)
+
+
+class TestFig15Hazard:
+    def test_runt_pulse_detected_by_pulse_checker(self):
+        """Figure 1-5: ENABLE reaches zero at 25 ns while CLOCK is high
+        20-30 ns; the register clock shows a possible 5 ns runt pulse."""
+        result = TimingVerifier(fig_1_5_gated_clock(), EXACT).verify()
+        kinds = {v.kind for v in result.violations}
+        assert ViolationKind.POSSIBLE_GLITCH in kinds
+
+    def test_hazard_window_matches_figure(self):
+        result = TimingVerifier(fig_1_5_gated_clock(), EXACT).verify()
+        glitch = next(
+            v for v in result.violations
+            if v.kind is ViolationKind.POSSIBLE_GLITCH
+        )
+        assert glitch.window == (20_000, 25_000)
+
+    def test_directive_reports_control_instability(self):
+        """With &A on the clock input, the error is reported on the control
+        signal directly (section 2.6)."""
+        result = TimingVerifier(fig_1_5_gated_clock(use_directive=True), EXACT).verify()
+        gating = [
+            v for v in result.violations
+            if v.kind is ViolationKind.GATING_STABILITY
+        ]
+        assert len(gating) == 1
+        assert "ENABLE" in gating[0].signal
+
+    def test_register_sees_possible_clocking(self):
+        """The register output develops a change window from the runt."""
+        result = TimingVerifier(fig_1_5_gated_clock(), EXACT).verify()
+        q = result.waveform("Q")
+        assert q.duration_of(q.value_at(22_000)) > 0  # changing region exists
+
+
+class TestFig25RegisterFile:
+    def test_exactly_the_two_figure_3_11_errors(self):
+        """Figure 3-11 reports two setup errors: the RAM address checker
+        missed by the full 3.5 ns, and the output register missed by about
+        1 ns with its clock starting to rise at 49.0 ns."""
+        result = TimingVerifier(fig_2_5_register_file()).verify()
+        setups = [v for v in result.violations if v.kind is ViolationKind.SETUP]
+        assert len(setups) == 2
+        assert len(result.violations) == 2
+
+        addr = next(v for v in setups if v.signal == "ADR")
+        assert addr.required_ps == 3_500
+        assert addr.missed_by_ps == 3_500  # "missed by the full 3.5 ns"
+
+        outreg = next(v for v in setups if "RAM OUT" in v.signal)
+        assert outreg.required_ps == 2_500
+        assert 500 <= outreg.missed_by_ps <= 1_500  # paper: 1.0 ns
+
+    def test_adr_not_stable_until_11_5(self):
+        """The first message's detail: the address lines are not stable
+        until 11.5 ns into the cycle, exactly when the clock starts rising."""
+        result = TimingVerifier(fig_2_5_register_file()).verify()
+        addr = next(
+            v for v in result.violations
+            if v.kind is ViolationKind.SETUP and v.signal == "ADR"
+        )
+        assert addr.signal_waveform is not None
+        # Stable at exactly 11.5 ns (the materialized change region ends there).
+        assert addr.signal_waveform.value_at(11_400).value in "CRF"
+        assert str(addr.signal_waveform.value_at(11_600)) == "S"
+
+    def test_output_register_clock_rises_at_49(self):
+        result = TimingVerifier(fig_2_5_register_file()).verify()
+        outreg = next(
+            v for v in result.violations if "RAM OUT" in v.signal
+        )
+        r0, _r1 = outreg.window
+        assert r0 == 49_000 - 2_500  # setup window starts 2.5 ns before 49.0
+
+    def test_adr_mux_output_matches_figure_3_10(self):
+        """Figure 3-10's first entry: ADR stable at cycle start, changing
+        at 0.5 ns, stable at 5.5 ns, changing at 25.5 ns, stable at 30.5."""
+        result = TimingVerifier(fig_2_5_register_file()).verify()
+        adr = result.waveform("ADR").materialized()
+        assert adr.describe() == "S 0.5 C 5.5 S 25.5 C 30.5 S"
+
+
+class TestFig26CaseAnalysis:
+    def test_without_cases_40ns_path(self):
+        """Stable select: the verifier must assume both long legs can be
+        selected, so the output settles 40 ns after the input."""
+        result = TimingVerifier(fig_2_6_case_analysis(with_cases=False), EXACT).verify()
+        out = result.waveform("OUTPUT")
+        # INPUT settles at 10 ns; 40 ns of worst path puts the output at 50.
+        assert out.describe() == "S 20.0 C 50.0 S"
+
+    def test_with_cases_30ns_path(self):
+        """Complementary selects: each case measures only 30 ns."""
+        result = TimingVerifier(fig_2_6_case_analysis(with_cases=True), EXACT).verify()
+        for case in (0, 1):
+            out = result.waveform("OUTPUT", case=case)
+            assert out.describe() == "S 30.0 C 40.0 S"
+
+    def test_incremental_case_cost(self):
+        """Section 2.7: between cases only affected parts re-evaluate."""
+        result = TimingVerifier(fig_2_6_case_analysis(with_cases=True), EXACT).verify()
+        assert result.cases[1].events <= result.cases[0].events
+
+
+class TestFig312Datapath:
+    def test_verifies_clean(self):
+        """The S-1 slice with consistent interface assertions has no
+        timing errors — the modular-verification success case."""
+        result = TimingVerifier(fig_3_12_alu_datapath()).verify()
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_alu_output_honours_interface_assertion(self):
+        result = TimingVerifier(fig_3_12_alu_datapath()).verify()
+        alu_out = result.waveform("ALU OUT .S7-12")
+        # Asserted stable from unit 7 (43.75 ns) through unit 12 (=4, 25 ns).
+        assert alu_out.is_stable_in(43_750, 43_750 + 31_250)
+
+    def test_smaller_width_also_clean(self):
+        result = TimingVerifier(fig_3_12_alu_datapath(width=8)).verify()
+        assert result.ok
+
+
+class TestFig41Correlation:
+    def test_false_hold_error_without_corr(self):
+        """Figure 4-1: the verifier ignores the correlation between the
+        skewed clock and the register's own output and reports a hold
+        error that cannot actually occur."""
+        result = TimingVerifier(fig_4_1_correlation(with_corr=False)).verify()
+        kinds = {v.kind for v in result.violations}
+        assert ViolationKind.HOLD in kinds
+
+    def test_corr_delay_suppresses_it(self):
+        """Figure 4-2: the CORR fictitious delay (at least as long as the
+        clock skew) suppresses the false message."""
+        result = TimingVerifier(fig_4_1_correlation(with_corr=True)).verify()
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_corr_does_not_mask_real_errors(self):
+        """A genuinely too-short hold still reports with CORR in place."""
+        result = TimingVerifier(
+            fig_4_1_correlation(with_corr=True, hold_ns=12.0)
+        ).verify()
+        assert any(v.kind is ViolationKind.HOLD for v in result.violations)

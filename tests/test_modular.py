@@ -1,0 +1,88 @@
+"""Tests for section-by-section verification (section 2.5.2)."""
+
+from repro import Circuit, EXACT
+from repro.modular import check_interfaces, verify_sections
+
+
+def producer_section(assertion=".S4-8"):
+    """A section that generates 'BUS DATA' and asserts when it is stable."""
+    c = Circuit("producer", period_ns=50.0, clock_unit_ns=6.25)
+    c.reg(f"BUS DATA {assertion}", clock="CK .P2-3", data="SRC .S0-6",
+          delay=(1.5, 4.5), width=16)
+    return c
+
+
+def consumer_section(assertion=".S4-8"):
+    """A section that consumes 'BUS DATA' relying on its assertion."""
+    c = Circuit("consumer", period_ns=50.0, clock_unit_ns=6.25)
+    c.reg("DST", clock="CK2 .P7-8", data=f"BUS DATA {assertion}",
+          delay=(1.5, 4.5), width=16)
+    c.setup_hold(f"BUS DATA {assertion}", "CK2 .P7-8", setup=2.5, hold=1.5,
+                 width=16)
+    return c
+
+
+class TestInterfaceConsistency:
+    def test_consistent_assertions_pass(self):
+        sections = {"p": producer_section(), "c": consumer_section()}
+        assert check_interfaces(sections) == []
+
+    def test_mismatched_assertions_detected(self):
+        """The producer claims stable 4-8 but the consumer was written
+        against stable 3-8: SCALD flags the interface."""
+        sections = {"p": producer_section(".S4-8"), "c": consumer_section(".S3-8")}
+        issues = check_interfaces(sections)
+        assert len(issues) == 1
+        assert issues[0].base_name == "BUS DATA"
+        assert "producer" not in issues[0].base_name
+
+    def test_private_signals_ignored(self):
+        """Signals appearing in only one section are not interfaces."""
+        sections = {"p": producer_section()}
+        assert check_interfaces(sections) == []
+
+
+class TestVerifySections:
+    def test_whole_design_verified(self):
+        """Clean sections + consistent interfaces = the whole design is
+        free of timing errors (the section 2.5.2 theorem)."""
+        result = verify_sections(
+            {"p": producer_section(), "c": consumer_section()}
+        )
+        assert result.ok
+        assert "free of timing errors" in result.report()
+
+    def test_section_violation_blocks_whole_design(self):
+        bad_consumer = Circuit("consumer", period_ns=50.0, clock_unit_ns=6.25)
+        # Clocked right at the interface signal's changing window.
+        bad_consumer.reg("DST", clock="CK2 .P2-3", data="BUS DATA .S4-8",
+                         delay=(1.5, 4.5), width=16)
+        bad_consumer.setup_hold("BUS DATA .S4-8", "CK2 .P2-3",
+                                setup=2.5, hold=1.5, width=16)
+        result = verify_sections({"p": producer_section(), "c": bad_consumer})
+        assert not result.ok
+        assert result.total_violations >= 1
+        assert "NOT verified" in result.report()
+
+    def test_interface_issue_blocks_whole_design(self):
+        result = verify_sections(
+            {"p": producer_section(".S4-8"), "c": consumer_section(".S5-8")}
+        )
+        assert not result.ok
+        assert result.interface_issues
+
+    def test_producer_assertion_checked_against_hardware(self):
+        """The producer's own run checks the generated signal against the
+        assertion the consumers will rely on."""
+        # Claim stable from unit 2.5 (15.6 ns) but the register is still
+        # changing the bus until 17 ns: the producer section itself fails.
+        result = verify_sections({"p": producer_section(".S2.5-8")}, EXACT)
+        assert not result.ok
+
+    def test_sections_verified_independently(self):
+        """Each section's run never sees the other's netlist."""
+        result = verify_sections(
+            {"p": producer_section(), "c": consumer_section()}
+        )
+        assert "SRC .S0-6" in result.sections["p"].cases[0].waveforms
+        assert "SRC .S0-6" not in result.sections["c"].cases[0].waveforms

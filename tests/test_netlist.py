@@ -1,0 +1,239 @@
+"""Tests for the circuit substrate (nets, components, validation)."""
+
+import pytest
+
+from repro.netlist import (
+    Circuit,
+    Connection,
+    InvalidCircuitError,
+    NetlistError,
+    check,
+    lookup,
+    validate,
+)
+
+
+def circuit():
+    return Circuit("t", period_ns=50.0, clock_unit_ns=6.25)
+
+
+class TestPrimitiveRegistry:
+    def test_lookup_canonical(self):
+        assert lookup("REG").name == "REG"
+
+    def test_lookup_display_names(self):
+        """The thesis spells primitives with spaces: 'REG RS', 'SETUP HOLD
+        CHK', '2 MUX' (Table 3-2)."""
+        assert lookup("REG RS").name == "REG_RS"
+        assert lookup("SETUP HOLD CHK").name == "SETUP_HOLD_CHK"
+        assert lookup("2 MUX").name == "MUX2"
+        assert lookup("8 MUX").name == "MUX8"
+
+    def test_lookup_case_insensitive(self):
+        assert lookup("reg_rs").name == "REG_RS"
+
+    def test_unknown_rejected_with_vocabulary(self):
+        with pytest.raises(KeyError, match="known primitives"):
+            lookup("FLUX_CAPACITOR")
+
+    def test_checkers_marked(self):
+        assert lookup("MIN PULSE WIDTH").is_checker
+        assert not lookup("REG").is_checker
+
+    def test_gate_families(self):
+        assert lookup("NAND").family == "and"
+        assert lookup("NOR").family == "or"
+
+
+class TestNets:
+    def test_net_created_on_reference(self):
+        c = circuit()
+        n = c.net("FOO .S0-6", width=8)
+        assert n.base_name == "FOO"
+        assert n.assertion is not None
+        assert n.width == 8
+
+    def test_net_reference_idempotent(self):
+        c = circuit()
+        assert c.net("X") is c.net("X")
+
+    def test_width_widens(self):
+        c = circuit()
+        c.net("X", width=4)
+        assert c.net("X", width=16).width == 16
+        assert c.net("X", width=2).width == 16
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit().net("X", width=0)
+
+    def test_connection_string_sugar(self):
+        """'-NAME &HZ' means the complement with directives HZ."""
+        c = circuit()
+        conn = c._as_connection("-WE &HZ")
+        assert conn.invert
+        assert conn.directives == "HZ"
+        assert conn.net.name == "WE"
+
+    def test_bad_directive_letters_rejected(self):
+        c = circuit()
+        with pytest.raises(NetlistError, match="directive"):
+            c._as_connection("X &Q")
+
+
+class TestAliases:
+    def test_alias_unifies(self):
+        c = circuit()
+        a, b = c.net("A"), c.net("B")
+        c.alias(a, b)
+        assert c.find(a) is c.find(b)
+
+    def test_alias_keeps_asserted_representative(self):
+        c = circuit()
+        plain = c.net("PLAIN")
+        asserted = c.net("CLK .P2-3")
+        c.alias(plain, asserted)
+        assert c.find(plain) is asserted
+
+    def test_alias_widens(self):
+        c = circuit()
+        a = c.net("A", width=4)
+        b = c.net("B", width=16)
+        c.alias(a, b)
+        assert c.find(a).width == 16
+
+    def test_representatives_deduplicate(self):
+        c = circuit()
+        c.net("A"), c.net("B"), c.net("C")
+        c.alias("A", "B")
+        assert len(c.representatives()) == 2
+
+    def test_transitive(self):
+        c = circuit()
+        c.alias("A", "B")
+        c.alias("B", "C")
+        assert c.find(c.net("A")) is c.find(c.net("C"))
+
+
+class TestBuilders:
+    def test_gate_builder(self):
+        c = circuit()
+        comp = c.gate("AND", "OUT", ["A", "B", "C"], delay=(1.0, 2.0))
+        assert [p for p, _ in comp.input_pins()] == ["I1", "I2", "I3"]
+        assert comp.delay_ps() == (1_000, 2_000)
+
+    def test_gate_requires_inputs(self):
+        with pytest.raises(NetlistError):
+            circuit().gate("AND", "OUT", [])
+
+    def test_reg_builder_with_set_reset(self):
+        c = circuit()
+        comp = c.reg("Q", clock="CK", data="D", set_="S")
+        assert comp.prim.name == "REG_RS"
+        assert comp.pins["RESET"].net.name == "GND"
+
+    def test_mux_select_count_enforced(self):
+        c = circuit()
+        with pytest.raises(NetlistError):
+            c.mux("OUT", selects=["S0"], inputs=["A", "B", "C", "D"])
+
+    def test_mux_input_count_enforced(self):
+        with pytest.raises(NetlistError):
+            circuit().mux("OUT", selects=["S"], inputs=["A", "B", "C"])
+
+    def test_duplicate_component_name_rejected(self):
+        c = circuit()
+        c.gate("AND", "O1", ["A"], name="g")
+        with pytest.raises(NetlistError):
+            c.gate("OR", "O2", ["B"], name="g")
+
+    def test_unknown_pin_rejected(self):
+        c = circuit()
+        with pytest.raises(NetlistError):
+            c.add("r", "REG", {"CLOCK": "CK", "DATA": "D", "OUT": "Q", "BANANA": "X"})
+
+    def test_unknown_param_rejected(self):
+        c = circuit()
+        with pytest.raises(NetlistError, match="parameter"):
+            c.add("r", "REG", {"CLOCK": "CK", "DATA": "D", "OUT": "Q"}, frobnicate=1)
+
+    def test_missing_required_param(self):
+        c = circuit()
+        with pytest.raises(NetlistError, match="requires"):
+            c.add("chk", "SETUP_HOLD_CHK", {"I": "D", "CK": "CK"}, setup=1.0)
+
+    def test_delay_ns_converted_to_ps(self):
+        c = circuit()
+        comp = c.reg("Q", clock="CK", data="D", delay=(1.5, 4.5))
+        assert comp.delay_ps() == (1_500, 4_500)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetlistError):
+            circuit().gate("AND", "O", ["A"], delay=(-1.0, 2.0))
+
+    def test_min_pulse_width_needs_a_bound(self):
+        with pytest.raises(NetlistError):
+            circuit().min_pulse_width("X")
+
+    def test_case_values_validated(self):
+        c = circuit()
+        with pytest.raises(NetlistError):
+            c.add_case_by_name({"X": 2})
+
+    def test_stats_shape(self):
+        c = circuit()
+        c.reg("Q", clock="CK", data="D", width=32)
+        c.gate("AND", "G", ["A", "B"], width=4)
+        stats = c.stats()
+        assert stats["primitive_count"] == 2
+        assert stats["primitive_types"] == 2
+        assert stats["mean_width"] == 18.0
+        assert stats["bit_blasted_count"] == 36
+
+
+class TestValidation:
+    def test_clean_circuit_passes(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        assert check(c) == []
+
+    def test_missing_input_is_error(self):
+        c = circuit()
+        c.add("r", "REG", {"CLOCK": "CK", "OUT": "Q"})
+        with pytest.raises(InvalidCircuitError, match="DATA"):
+            check(c)
+
+    def test_missing_output_is_error(self):
+        c = circuit()
+        c.add("r", "REG", {"CLOCK": "CK", "DATA": "D"})
+        with pytest.raises(InvalidCircuitError, match="OUT"):
+            check(c)
+
+    def test_multiple_drivers_is_error(self):
+        c = circuit()
+        c.gate("AND", "X", ["A"], name="g1")
+        c.gate("OR", "X", ["B"], name="g2")
+        with pytest.raises(InvalidCircuitError, match="drivers"):
+            check(c)
+
+    def test_driven_clock_assertion_warns(self):
+        c = circuit()
+        c.gate("AND", "CK .P2-3", ["A"], name="g1")
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        warnings = check(c)
+        assert any("clock-asserted" in str(w) for w in warnings)
+
+    def test_inverted_output_is_error(self):
+        c = circuit()
+        c.add("g", "BUF", {"I": "A", "OUT": Connection(net=c.net("B"), invert=True)})
+        issues = validate(c)
+        assert any(i.severity == "error" and "inverted" in i.message for i in issues)
+
+    def test_directive_on_output_is_error(self):
+        c = circuit()
+        c.add(
+            "g", "BUF",
+            {"I": "A", "OUT": Connection(net=c.net("B"), directives="H")},
+        )
+        issues = validate(c)
+        assert any("directives belong on inputs" in i.message for i in issues)

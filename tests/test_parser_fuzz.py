@@ -1,0 +1,86 @@
+"""Robustness fuzzing for the SCALD parser and assertion grammar.
+
+Malformed input must always fail with the domain error types (with line
+context), never with an internal exception — the property a tool meant for
+day-by-day designer use needs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.assertions import AssertionSyntaxError, parse_signal_name
+from repro.hdl.expander import ExpansionError, expand_source
+from repro.hdl.parser import ScaldSyntaxError, parse
+
+# Characters that appear in real sources, plus noise.
+_SOUP = st.text(
+    alphabet='abcXYZ0129 .,;:()<>&"-=+*/\n\t_', min_size=0, max_size=200
+)
+
+_TOKENS = st.lists(
+    st.sampled_from([
+        "design", "period", "clock_unit", "macro", "endmacro", "prim", "use",
+        "param", "wire", "case", "REG", "AND", '"SIG .S0-6"', '"M"', "x1",
+        "50", "6.25", "ns", ";", ",", "(", ")", "<", ">", ":", "=", "&",
+        "-", "/P", "/M", "SIZE",
+    ]),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestParserFuzz:
+    @given(_SOUP)
+    @settings(max_examples=200, deadline=None)
+    def test_random_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except ScaldSyntaxError:
+            pass  # the only acceptable failure
+
+    @given(_TOKENS)
+    @settings(max_examples=200, deadline=None)
+    def test_token_soup_never_crashes(self, tokens):
+        try:
+            parse(" ".join(tokens))
+        except ScaldSyntaxError:
+            pass
+
+    @given(_SOUP)
+    @settings(max_examples=150, deadline=None)
+    def test_expansion_never_crashes(self, text):
+        source = f"design F; period 50 ns;\n{text}"
+        try:
+            expand_source(source)
+        except (ScaldSyntaxError, ExpansionError, AssertionSyntaxError):
+            pass
+        except ValueError as exc:
+            # Netlist-level structural rejections are also domain errors.
+            assert type(exc).__module__.startswith("repro")
+
+
+class TestAssertionFuzz:
+    @given(st.text(min_size=0, max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_signal_names_never_crash(self, name):
+        try:
+            parse_signal_name(name)
+        except AssertionSyntaxError:
+            pass
+
+    @given(
+        st.sampled_from(["P", "C", "S"]),
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=64),
+        st.booleans(),
+    )
+    @settings(max_examples=150)
+    def test_wellformed_assertions_always_parse(self, kind, qa, qb, low):
+        a, b = qa / 4, qb / 4  # quarter-unit design times, e.g. 2.75
+        suffix = " L" if low else ""
+        name = f"SIG .{kind}{a:g}-{b:g}{suffix}"
+        base, assertion = parse_signal_name(name)
+        assert base == "SIG"
+        assert assertion is not None
+        assert assertion.low is low

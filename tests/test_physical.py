@@ -1,0 +1,127 @@
+"""Tests for the physical-design interconnect substrate (section 2.5.3)."""
+
+import pytest
+
+from repro import Circuit, TimingVerifier, VerifyConfig
+from repro.physical import (
+    ECL10K,
+    Technology,
+    WireRun,
+    analyze_run,
+    apply_physical_design,
+    edge_sensitive_nets,
+)
+
+
+def circuit():
+    c = Circuit("phys", period_ns=50.0, clock_unit_ns=6.25)
+    c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+    c.setup_hold("D .S0-6", "CK .P2-3", setup=2.5, hold=1.5)
+    return c
+
+
+class TestAnalyzeRun:
+    def test_delay_grows_with_length(self):
+        short = analyze_run(WireRun("A", length_cm=5.0))
+        long = analyze_run(WireRun("A", length_cm=20.0))
+        assert long.delay_ps[1] > short.delay_ps[1]
+
+    def test_loading_slows_the_line(self):
+        light = analyze_run(WireRun("A", length_cm=10.0, loads=1))
+        heavy = analyze_run(WireRun("A", length_cm=10.0, loads=8))
+        assert heavy.delay_ps[0] > light.delay_ps[0]
+
+    def test_spread_gives_a_range(self):
+        a = analyze_run(WireRun("A", length_cm=10.0))
+        assert a.delay_ps[0] < a.delay_ps[1]
+
+    def test_matched_termination_never_reflects(self):
+        a = analyze_run(WireRun("A", length_cm=100.0, termination_ohms=None))
+        assert not a.reflection_risk
+        assert a.reflection_coefficient == 0.0
+
+    def test_short_run_tolerates_mismatch(self):
+        """'For short interconnections ... length, capacitance and
+        inductance' — no transmission-line analysis below a quarter edge."""
+        a = analyze_run(WireRun("A", length_cm=2.0, termination_ohms=1_000.0))
+        assert not a.reflection_risk
+
+    def test_long_mismatched_run_flagged(self):
+        """The section 1.3.2 hazard: a long, badly terminated run can
+        double-clock a register."""
+        a = analyze_run(WireRun("A", length_cm=15.0, termination_ohms=1_000.0))
+        assert a.reflection_risk
+        assert "quarter" in a.reason
+
+    def test_reflection_coefficient_sign(self):
+        open_ish = analyze_run(WireRun("A", 15.0, termination_ohms=500.0))
+        short_ish = analyze_run(WireRun("A", 15.0, termination_ohms=5.0))
+        assert open_ish.reflection_coefficient > 0
+        assert short_ish.reflection_coefficient < 0
+
+    def test_technology_knobs(self):
+        slow = Technology(unloaded_delay_ns_per_cm=0.2)
+        a_fast = analyze_run(WireRun("A", 10.0), ECL10K)
+        a_slow = analyze_run(WireRun("A", 10.0), slow)
+        assert a_slow.delay_ps[1] > a_fast.delay_ps[1]
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ValueError):
+            WireRun("A", length_cm=-1.0)
+        with pytest.raises(ValueError):
+            WireRun("A", length_cm=1.0, loads=0)
+
+
+class TestEdgeSensitive:
+    def test_clock_pins_are_sensitive(self):
+        c = circuit()
+        sensitive = edge_sensitive_nets(c)
+        assert "CK .P2-3" in sensitive
+        assert "D .S0-6" not in sensitive
+
+    def test_latch_enables_are_sensitive(self):
+        c = Circuit("l", period_ns=50.0, clock_unit_ns=6.25)
+        c.latch("Q", enable="EN .P2-5", data="D .S0-8")
+        assert "EN .P2-5" in edge_sensitive_nets(c)
+
+
+class TestApplyPhysicalDesign:
+    def test_calculated_delays_replace_defaults(self):
+        """Section 2.5.3: calculated interconnection delays are used by the
+        Timing Verifier in place of the default."""
+        c = circuit()
+        report = apply_physical_design(c, [WireRun("D .S0-6", length_cm=10.0)])
+        assert "D .S0-6" in report.applied
+        assert c.nets["D .S0-6"].wire_delay_ps == report.analyses["D .S0-6"].delay_ps
+        result = TimingVerifier(c, VerifyConfig()).verify()
+        assert result.ok
+
+    def test_reflection_on_clock_is_surfaced(self):
+        c = circuit()
+        report = apply_physical_design(
+            c, [WireRun("CK .P2-3", length_cm=15.0, termination_ohms=1_000.0)]
+        )
+        assert not report.ok
+        assert report.edge_sensitive_reflections
+        assert "REFLECTIONS ON EDGE-SENSITIVE" in report.listing()
+
+    def test_reflection_on_data_is_noted_but_not_fatal(self):
+        c = circuit()
+        report = apply_physical_design(
+            c, [WireRun("D .S0-6", length_cm=15.0, termination_ohms=1_000.0)]
+        )
+        assert report.ok  # data inputs are level-sensitive
+        assert report.analyses["D .S0-6"].reflection_risk
+
+    def test_unknown_nets_reported(self):
+        c = circuit()
+        report = apply_physical_design(c, [WireRun("NOPE", length_cm=3.0)])
+        assert "NOPE" in report.unknown_nets
+
+    def test_long_calculated_wire_creates_real_violation(self):
+        """A genuinely slow calculated run turns the default-rule-clean
+        circuit into a failing one — physical design feeds verification."""
+        c = circuit()
+        apply_physical_design(c, [WireRun("D .S0-6", length_cm=120.0, loads=12)])
+        result = TimingVerifier(c, VerifyConfig()).verify()
+        assert any(v.kind.value == "setup" for v in result.violations)

@@ -1,0 +1,114 @@
+"""Tests for the output listings and storage accounting."""
+
+from repro import Circuit, EXACT, TimingVerifier
+from repro.core.engine import Engine
+from repro.reporting import phase_table, timing_summary, violation_listing, xref_listing
+from repro.reporting.stats import deep_size, measure_storage
+
+
+def small_circuit():
+    c = Circuit("listing-test", period_ns=50.0, clock_unit_ns=6.25)
+    c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5), width=8)
+    c.setup_hold("D .S0-6", "CK .P2-3", setup=2.5, hold=1.5)
+    c.buf("Y", "FLOATING INPUT")
+    return c
+
+
+class TestListings:
+    def test_summary_contains_every_signal(self):
+        result = TimingVerifier(small_circuit(), EXACT).verify()
+        text = timing_summary(result)
+        for name in ("Q", "D .S0-6", "CK .P2-3"):
+            assert name in text
+
+    def test_summary_shows_case_assignments(self):
+        c = small_circuit()
+        c.add_case_by_name({"FLOATING INPUT": 1})
+        result = TimingVerifier(c, EXACT).verify()
+        assert "FLOATING INPUT" in timing_summary(result, case=0)
+
+    def test_violation_listing_clean(self):
+        result = TimingVerifier(small_circuit(), EXACT).verify()
+        assert "No setup" in violation_listing(result)
+
+    def test_violation_listing_details(self):
+        c = Circuit("bad", period_ns=50.0, clock_unit_ns=6.25)
+        c.reg("Q", clock="CK .P2-3", data="D .S3-6", delay=(1.5, 4.5))
+        c.setup_hold("D .S3-6", "CK .P2-3", setup=2.5, hold=1.5)
+        result = TimingVerifier(c, EXACT).verify()
+        text = violation_listing(result)
+        assert "SETUP" in text
+        assert "DATA INPUT" in text
+        assert "CLOCK INPUT" in text
+
+    def test_xref_lists_floating_inputs(self):
+        """Section 2.5: undefined signals with no assertions go on a
+        special cross-reference listing."""
+        result = TimingVerifier(small_circuit(), EXACT).verify()
+        assert "FLOATING INPUT" in xref_listing(result)
+
+    def test_xref_clean_when_all_asserted(self):
+        c = Circuit("ok", period_ns=50.0, clock_unit_ns=6.25)
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.5, 4.5))
+        result = TimingVerifier(c, EXACT).verify()
+        assert "All undefined signals" in xref_listing(result)
+
+    def test_phase_table_rows(self):
+        result = TimingVerifier(small_circuit(), EXACT).verify()
+        text = phase_table(result)
+        assert "Reading input files" in text
+        assert "Verifying circuit" in text
+        assert "events processed" in text
+
+
+class TestStorageAccounting:
+    def test_deep_size_counts_once(self):
+        shared = [1, 2, 3]
+        seen: set[int] = set()
+        first = deep_size({"a": shared}, seen)
+        second = deep_size({"b": shared}, seen)
+        assert first > second  # the list was already counted
+
+    def test_categories_cover_total(self):
+        c = small_circuit()
+        engine = Engine(c, EXACT)
+        engine.initialize()
+        engine.run()
+        report = measure_storage(engine)
+        assert report.total_bytes == sum(cat.bytes for cat in report.categories)
+        assert abs(sum(cat.percent for cat in report.categories) - 100.0) < 1e-6
+
+    def test_per_primitive_and_per_signal_metrics(self):
+        c = small_circuit()
+        engine = Engine(c, EXACT)
+        engine.initialize()
+        engine.run()
+        report = measure_storage(engine)
+        assert report.primitives == 3
+        assert report.signals >= 5
+        assert report.bytes_per_primitive > 0
+        # Signals carry a handful of value records, as in the thesis's 2.97.
+        assert 1.0 <= report.value_records_per_signal <= 8.0
+
+    def test_table_renders(self):
+        c = small_circuit()
+        engine = Engine(c, EXACT)
+        engine.initialize()
+        engine.run()
+        text = measure_storage(engine).table()
+        assert "circuit description" in text
+        assert "signal values" in text
+        assert "TOTAL" in text
+
+    def test_storage_grows_with_design(self):
+        from repro.workloads.synth import SynthConfig, generate
+
+        small_c, _ = generate(SynthConfig(chips=50)).circuit()
+        big_c, _ = generate(SynthConfig(chips=200)).circuit()
+        reports = []
+        for circuit in (small_c, big_c):
+            engine = Engine(circuit)
+            engine.initialize()
+            engine.run()
+            reports.append(measure_storage(engine))
+        assert reports[1].total_bytes > reports[0].total_bytes

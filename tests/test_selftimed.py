@@ -1,0 +1,73 @@
+"""Tests for self-timed module delay determination (section 4.2.1)."""
+
+import pytest
+
+from repro import Circuit, EXACT
+from repro.selftimed import done_delay_ns, module_delay
+
+
+def adder_module() -> Circuit:
+    """A two-level function module with distinct fast and slow outputs."""
+    c = Circuit("adder-module", period_ns=200.0, clock_unit_ns=25.0)
+    for name in ("SUM LO", "SUM HI", "CARRY"):
+        c.net(name).wire_delay_ps = (0, 0)
+    c.chg("SUM LO", ["A", "B"], delay=(2.0, 6.5), name="low half", width=8)
+    c.chg("CARRY", ["A", "B"], delay=(1.0, 4.0), name="carry net", width=1)
+    c.chg("SUM HI", ["A", "CARRY"], delay=(2.0, 6.5), name="high half", width=8)
+    return c
+
+
+class TestModuleDelay:
+    def test_single_level_delay(self):
+        d = module_delay(adder_module(), ["A", "B"], ["SUM LO"])
+        md = d["SUM LO"]
+        assert md.min_ns == pytest.approx(2.0)
+        assert md.max_ns == pytest.approx(6.5)
+
+    def test_two_level_path_accumulates(self):
+        d = module_delay(adder_module(), ["A", "B"], ["SUM HI"])
+        md = d["SUM HI"]
+        # Fastest: the direct A leg (2.0); slowest: through the carry
+        # (4.0 + 6.5).
+        assert md.min_ns == pytest.approx(2.0)
+        assert md.max_ns == pytest.approx(10.5)
+
+    def test_all_outputs_at_once(self):
+        d = module_delay(adder_module(), ["A", "B"], ["SUM LO", "SUM HI", "CARRY"])
+        assert set(d) == {"SUM LO", "SUM HI", "CARRY"}
+        assert d["CARRY"].max_ns == pytest.approx(4.0)
+
+    def test_done_delay_covers_slowest_output(self):
+        """The matched 'done' line must outlast the slowest output —
+        section 4.2.1's purpose for the technique."""
+        d = module_delay(adder_module(), ["A", "B"], ["SUM LO", "SUM HI"])
+        assert done_delay_ns(d) == pytest.approx(10.5)
+        assert done_delay_ns(d, margin_ns=1.5) == pytest.approx(12.0)
+
+    def test_unconnected_output_rejected(self):
+        c = adder_module()
+        c.net("FLOATER").wire_delay_ps = (0, 0)
+        c.chg("FLOATER", ["OTHER IN"], delay=(1.0, 2.0), name="island")
+        with pytest.raises(ValueError, match="never changes"):
+            module_delay(c, ["A", "B"], ["FLOATER"])
+
+    def test_unsettled_output_rejected(self):
+        c = Circuit("slow", period_ns=10.0, clock_unit_ns=1.25)
+        c.net("OUT").wire_delay_ps = (0, 0)
+        c.chg("OUT", ["A"], delay=(2.0, 40.0), name="snail")
+        with pytest.raises(ValueError, match="settle"):
+            module_delay(c, ["A"], ["OUT"])
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(KeyError):
+            module_delay(adder_module(), ["NOPE"], ["SUM LO"])
+
+    def test_wire_delays_respected(self):
+        c = adder_module()
+        from dataclasses import replace
+
+        config = replace(EXACT, default_wire_delay_ns=(0.5, 1.0))
+        d = module_delay(c, ["A", "B"], ["SUM LO"], config)
+        # One wire hop into the CHG gate adds 0.5/1.0.
+        assert d["SUM LO"].min_ns == pytest.approx(2.5)
+        assert d["SUM LO"].max_ns == pytest.approx(7.5)

@@ -1,0 +1,76 @@
+"""Tests for the synthetic S-1-scale design generator."""
+
+import pytest
+
+from repro import TimingVerifier
+from repro.workloads.synth import SynthConfig, generate, s1_scale_config
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate(SynthConfig(chips=100))
+        b = generate(SynthConfig(chips=100))
+        assert a.source == b.source
+
+    def test_seed_changes_design(self):
+        a = generate(SynthConfig(chips=100, seed=1))
+        b = generate(SynthConfig(chips=100, seed=2))
+        assert a.source != b.source
+
+    def test_chip_count_exact(self):
+        d = generate(SynthConfig(chips=137))
+        assert d.chips == 137
+
+    def test_headline_statistics_tracked(self):
+        d = generate(SynthConfig(chips=200))
+        assert d.gate_equivalents > 0
+        assert d.memory_bits >= 0
+        assert sum(d.chips_by_type.values()) == d.chips
+
+    def test_expands_to_circuit(self):
+        d = generate(SynthConfig(chips=150))
+        circuit, stats = d.circuit()
+        assert stats.primitives == len(circuit.components)
+        # Every chip is one macro call; CORR fictitious delays add a few
+        # more calls without counting as chips (section 4.2.3).
+        assert stats.macro_calls >= d.chips
+
+    def test_shape_near_published(self):
+        """Primitives/chip and mean width land near Table 3-2's 1.3 / 6.5."""
+        d = generate(SynthConfig(chips=400))
+        circuit, _ = d.circuit()
+        st = circuit.stats()
+        prims_per_chip = st["primitive_count"] / d.chips
+        assert 1.2 <= prims_per_chip <= 1.7
+        assert 3.0 <= st["mean_width"] <= 10.0
+        assert st["bit_blasted_count"] > 3 * st["primitive_count"]
+
+    def test_verifies_clean(self):
+        """The generated design models a debugged S-1: no timing errors."""
+        d = generate(SynthConfig(chips=250))
+        circuit, _ = d.circuit()
+        result = TimingVerifier(circuit).verify()
+        assert result.ok, [str(v) for v in result.violations[:5]]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 7, 42])
+    def test_clean_across_seeds(self, seed):
+        d = generate(SynthConfig(chips=120, seed=seed))
+        circuit, _ = d.circuit()
+        result = TimingVerifier(circuit).verify()
+        assert result.ok, [str(v) for v in result.violations[:5]]
+
+    def test_multiple_stages(self):
+        d = generate(SynthConfig(chips=300, stage_chips=100))
+        circuit, _ = d.circuit()
+        # Stage-2 and -3 nets exist: the pipeline really is deep.
+        assert any(name.startswith("S2 ") for name in circuit.nets)
+
+    def test_s1_scale_config(self):
+        assert s1_scale_config().chips == 6_357
+
+    def test_events_scale_with_size(self):
+        small_c, _ = generate(SynthConfig(chips=60)).circuit()
+        large_c, _ = generate(SynthConfig(chips=240)).circuit()
+        small = TimingVerifier(small_c).verify()
+        large = TimingVerifier(large_c).verify()
+        assert large.stats.events > 2 * small.stats.events

@@ -1,0 +1,293 @@
+"""Tests for the seven-value algebra (sections 2.4.1 and 2.4.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.values import (
+    CHANGE,
+    FALL,
+    ONE,
+    RISE,
+    STABLE,
+    UNKNOWN,
+    ZERO,
+    Value,
+    is_changing,
+    is_constant,
+    is_stable,
+    merge_overlay,
+    parse_value,
+    transition_value,
+    value_and,
+    value_and_n,
+    value_chg,
+    value_either,
+    value_not,
+    value_or,
+    value_or_n,
+    value_xor,
+    value_xor_n,
+)
+
+ALL = list(Value)
+values = st.sampled_from(ALL)
+
+
+class TestClassification:
+    def test_stable_set(self):
+        assert is_stable(ZERO) and is_stable(ONE) and is_stable(STABLE)
+        assert not is_stable(CHANGE) and not is_stable(RISE)
+        assert not is_stable(UNKNOWN)
+
+    def test_changing_set(self):
+        for v in (CHANGE, RISE, FALL):
+            assert is_changing(v)
+        for v in (ZERO, ONE, STABLE, UNKNOWN):
+            assert not is_changing(v)
+
+    def test_constant_set(self):
+        assert is_constant(ZERO) and is_constant(ONE)
+        assert not is_constant(STABLE)
+
+    def test_parse(self):
+        assert parse_value("s") is STABLE
+        assert parse_value("0") is ZERO
+        with pytest.raises(ValueError):
+            parse_value("Q")
+
+
+class TestOr:
+    def test_one_dominates_everything(self):
+        for v in ALL:
+            assert value_or(ONE, v) is ONE
+            assert value_or(v, ONE) is ONE
+
+    def test_zero_is_identity(self):
+        for v in ALL:
+            if v is not ZERO:
+                assert value_or(ZERO, v) is v
+
+    def test_paper_example_stable_or_rising_is_rising(self):
+        """Section 2.4.2's worked example: S OR R gives R, the worst case."""
+        assert value_or(STABLE, RISE) is RISE
+
+    def test_stable_or_falling_is_falling(self):
+        assert value_or(STABLE, FALL) is FALL
+
+    def test_rise_or_fall_is_change(self):
+        assert value_or(RISE, FALL) is CHANGE
+
+    def test_unknown_propagates(self):
+        assert value_or(UNKNOWN, ZERO) is UNKNOWN
+        assert value_or(UNKNOWN, STABLE) is UNKNOWN
+        assert value_or(UNKNOWN, RISE) is UNKNOWN
+
+    @given(values, values)
+    def test_commutative(self, a, b):
+        assert value_or(a, b) is value_or(b, a)
+
+    @given(values)
+    def test_idempotent(self, a):
+        assert value_or(a, a) is a
+
+    @given(values, values, values)
+    def test_associative(self, a, b, c):
+        assert value_or(value_or(a, b), c) is value_or(a, value_or(b, c))
+
+
+class TestAnd:
+    def test_zero_dominates(self):
+        for v in ALL:
+            assert value_and(ZERO, v) is ZERO
+
+    def test_one_is_identity(self):
+        for v in ALL:
+            if v is not ONE:
+                assert value_and(ONE, v) is v
+
+    def test_stable_and_edge(self):
+        assert value_and(STABLE, RISE) is RISE
+        assert value_and(STABLE, FALL) is FALL
+
+    def test_gated_clock_hazard_shape(self):
+        """Figure 1-5: a clock high ANDed with a late-falling enable gives a
+        falling output — the source of the runt pulse."""
+        assert value_and(ONE, FALL) is FALL
+
+    @given(values, values)
+    def test_commutative(self, a, b):
+        assert value_and(a, b) is value_and(b, a)
+
+    @given(values, values, values)
+    def test_associative(self, a, b, c):
+        assert value_and(value_and(a, b), c) is value_and(a, value_and(b, c))
+
+    @given(values, values)
+    def test_de_morgan(self, a, b):
+        assert value_not(value_and(a, b)) is value_or(value_not(a), value_not(b))
+
+
+class TestNot:
+    def test_levels_invert(self):
+        assert value_not(ZERO) is ONE
+        assert value_not(ONE) is ZERO
+
+    def test_edges_swap(self):
+        assert value_not(RISE) is FALL
+        assert value_not(FALL) is RISE
+
+    def test_fixed_points(self):
+        for v in (STABLE, CHANGE, UNKNOWN):
+            assert value_not(v) is v
+
+    @given(values)
+    def test_involution(self, a):
+        assert value_not(value_not(a)) is a
+
+
+class TestXor:
+    def test_zero_identity(self):
+        for v in ALL:
+            assert value_xor(ZERO, v) is v
+
+    def test_one_inverts(self):
+        assert value_xor(ONE, RISE) is FALL
+        assert value_xor(ONE, ZERO) is ONE
+
+    def test_unknown_dominates(self):
+        for v in ALL:
+            assert value_xor(UNKNOWN, v) is UNKNOWN
+
+    def test_edge_with_stable_unknown_is_change(self):
+        """A transition XORed with an unknown level can go either way."""
+        assert value_xor(STABLE, RISE) is CHANGE
+        assert value_xor(STABLE, FALL) is CHANGE
+
+    def test_two_edges_are_change(self):
+        assert value_xor(RISE, RISE) is CHANGE
+        assert value_xor(RISE, FALL) is CHANGE
+
+    @given(values, values)
+    def test_commutative(self, a, b):
+        assert value_xor(a, b) is value_xor(b, a)
+
+
+class TestWorstCaseOrdering:
+    """The tables must never report a stable output when an input change
+    could reach the output — the soundness property behind the whole
+    approach (a missed change would hide a timing error)."""
+
+    @given(values, values)
+    def test_or_sound(self, a, b):
+        out = value_or(a, b)
+        if is_stable(out):
+            # Then either one input pins the output, or both inputs stable.
+            assert a is ONE or b is ONE or (is_stable(a) and is_stable(b))
+
+    @given(values, values)
+    def test_and_sound(self, a, b):
+        out = value_and(a, b)
+        if is_stable(out):
+            assert a is ZERO or b is ZERO or (is_stable(a) and is_stable(b))
+
+    @given(values, values)
+    def test_xor_sound(self, a, b):
+        out = value_xor(a, b)
+        if is_stable(out):
+            assert is_stable(a) and is_stable(b)
+
+
+class TestChg:
+    def test_all_stable_gives_stable(self):
+        assert value_chg([ZERO, ONE, STABLE]) is STABLE
+
+    def test_any_changing_gives_change(self):
+        assert value_chg([ZERO, RISE]) is CHANGE
+        assert value_chg([STABLE, CHANGE, ONE]) is CHANGE
+        assert value_chg([FALL]) is CHANGE
+
+    def test_unknown_dominates_changing(self):
+        assert value_chg([UNKNOWN, RISE]) is UNKNOWN
+
+    def test_single_input(self):
+        assert value_chg([STABLE]) is STABLE
+
+
+class TestEither:
+    def test_equal(self):
+        for v in ALL:
+            assert value_either(v, v) is v
+
+    def test_two_levels_give_stable(self):
+        assert value_either(ZERO, ONE) is STABLE
+
+    def test_stable_with_edge_gives_edge(self):
+        assert value_either(STABLE, RISE) is RISE
+        assert value_either(ZERO, FALL) is FALL
+
+    def test_edge_mix_gives_change(self):
+        assert value_either(RISE, FALL) is CHANGE
+
+    def test_unknown_dominates(self):
+        assert value_either(UNKNOWN, ONE) is UNKNOWN
+
+    @given(values, values)
+    def test_commutative(self, a, b):
+        assert value_either(a, b) is value_either(b, a)
+
+
+class TestTransitionValue:
+    def test_level_changes(self):
+        assert transition_value(ZERO, ONE) is RISE
+        assert transition_value(ONE, ZERO) is FALL
+
+    def test_edge_extensions(self):
+        assert transition_value(ZERO, RISE) is RISE
+        assert transition_value(RISE, ONE) is RISE
+        assert transition_value(ONE, FALL) is FALL
+        assert transition_value(FALL, ZERO) is FALL
+
+    def test_stable_boundaries_are_change(self):
+        assert transition_value(ZERO, STABLE) is CHANGE
+        assert transition_value(STABLE, ONE) is CHANGE
+
+    def test_change_boundaries(self):
+        assert transition_value(STABLE, CHANGE) is CHANGE
+        assert transition_value(CHANGE, STABLE) is CHANGE
+
+    def test_rise_to_fall_is_change(self):
+        assert transition_value(RISE, FALL) is CHANGE
+
+    def test_unknown_dominates(self):
+        assert transition_value(UNKNOWN, ONE) is UNKNOWN
+        assert transition_value(STABLE, UNKNOWN) is UNKNOWN
+
+    @given(values)
+    def test_no_change_at_equal_values(self, v):
+        assert transition_value(v, v) is v
+
+
+class TestMergeOverlay:
+    def test_same_kept(self):
+        assert merge_overlay(RISE, RISE) is RISE
+
+    def test_mixed_becomes_change(self):
+        assert merge_overlay(RISE, FALL) is CHANGE
+
+    def test_unknown_dominates(self):
+        assert merge_overlay(RISE, UNKNOWN) is UNKNOWN
+
+
+class TestNaryFolds:
+    def test_or_n(self):
+        assert value_or_n([ZERO, STABLE, RISE]) is RISE
+        assert value_or_n([ZERO, ONE, CHANGE]) is ONE
+
+    def test_and_n(self):
+        assert value_and_n([ONE, ONE, FALL]) is FALL
+        assert value_and_n([ONE, ZERO, CHANGE]) is ZERO
+
+    def test_xor_n(self):
+        assert value_xor_n([ZERO, ONE, ONE]) is ZERO
+        assert value_xor_n([RISE, ZERO]) is RISE

@@ -1,0 +1,400 @@
+"""Tests for the periodic waveform representation (section 2.8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.values import (
+    CHANGE,
+    FALL,
+    ONE,
+    RISE,
+    STABLE,
+    UNKNOWN,
+    ZERO,
+    Value,
+)
+from repro.core.waveform import Waveform
+
+P = 50_000  # the 50 ns cycle used throughout Chapter III, in picoseconds
+
+
+def clock(period=P, high=(20_000, 30_000), skew=(0, 0)):
+    return Waveform.from_intervals(period, ZERO, [(*high, ONE)], skew=skew)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+value_st = st.sampled_from(list(Value))
+
+
+@st.composite
+def waveform_st(draw, period=P, max_segments=6):
+    n = draw(st.integers(min_value=1, max_value=max_segments))
+    cutpoints = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=period - 1),
+            min_size=n - 1,
+            max_size=n - 1,
+            unique=True,
+        )
+    )
+    cuts = [0, *sorted(cutpoints), period]
+    values = [draw(value_st) for _ in range(n)]
+    skew_late = draw(st.integers(min_value=0, max_value=5_000))
+    skew_early = -draw(st.integers(min_value=0, max_value=5_000))
+    return Waveform(
+        period,
+        [(v, hi - lo) for v, lo, hi in zip(values, cuts, cuts[1:])],
+        skew=(skew_early, skew_late),
+    )
+
+
+class TestConstruction:
+    def test_constant(self):
+        wf = Waveform.constant(P, STABLE)
+        assert wf.is_constant
+        assert wf.value_at(0) is STABLE
+        assert wf.value_at(P - 1) is STABLE
+
+    def test_segments_must_cover_period(self):
+        with pytest.raises(ValueError):
+            Waveform(P, [(ZERO, P - 1)])
+
+    def test_zero_width_segments_dropped(self):
+        wf = Waveform(P, [(ZERO, 0), (ONE, P)])
+        assert wf.segments == ((ONE, P),)
+
+    def test_adjacent_equal_merged(self):
+        wf = Waveform(P, [(ZERO, 10_000), (ZERO, 10_000), (ONE, 30_000)])
+        assert wf.segments == ((ZERO, 20_000), (ONE, 30_000))
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform(P, [(ZERO, -5), (ONE, P + 5)])
+
+    def test_bad_skew_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform.constant(P, ZERO).with_skew((5, 10))
+
+    def test_immutability(self):
+        wf = Waveform.constant(P, ZERO)
+        with pytest.raises(AttributeError):
+            wf.period = 1
+
+    def test_from_intervals_wrapping(self):
+        """A 'stable 4 to 9' assertion on an 8-unit cycle wraps to unit 1
+        (section 3.2's READ ADR .S4-9 example)."""
+        unit = 6_250
+        wf = Waveform.from_intervals(P, CHANGE, [(4 * unit, 9 * unit, STABLE)])
+        assert wf.value_at(0) is STABLE  # inside the wrapped part
+        assert wf.value_at(2 * unit) is CHANGE
+        assert wf.value_at(5 * unit) is STABLE
+
+    def test_from_intervals_later_overrides(self):
+        wf = Waveform.from_intervals(
+            P, ZERO, [(0, 30_000, ONE), (10_000, 20_000, STABLE)]
+        )
+        assert wf.value_at(5_000) is ONE
+        assert wf.value_at(15_000) is STABLE
+        assert wf.value_at(25_000) is ONE
+
+
+class TestQueries:
+    def test_value_at_wraps(self):
+        wf = clock()
+        assert wf.value_at(25_000 + P) is ONE
+        assert wf.value_at(-P + 25_000) is ONE
+
+    def test_boundaries_include_wrap(self):
+        wf = Waveform(P, [(ONE, 10_000), (ZERO, 40_000)])
+        bounds = wf.boundaries()
+        assert (0, ZERO, ONE) in bounds
+        assert (10_000, ONE, ZERO) in bounds
+
+    def test_no_wrap_boundary_when_equal(self):
+        wf = clock()
+        assert all(t != 0 for t, _, _ in wf.boundaries())
+
+    def test_duration_of(self):
+        wf = clock()
+        assert wf.duration_of(ONE) == 10_000
+        assert wf.duration_of(ZERO) == 40_000
+
+    def test_values_present(self):
+        assert clock().values_present() == {ZERO, ONE}
+
+    def test_is_fully_unknown(self):
+        assert Waveform.constant(P, UNKNOWN).is_fully_unknown
+        assert not clock().is_fully_unknown
+
+
+class TestRotationAndDelay:
+    def test_rotation_shifts_values(self):
+        wf = clock().rotated(5_000)
+        assert wf.value_at(25_000) is ONE
+        assert wf.value_at(34_000) is ONE
+        assert wf.value_at(20_000) is ZERO
+
+    def test_rotation_by_period_is_identity(self):
+        wf = clock()
+        assert wf.rotated(P) == wf
+
+    @given(waveform_st(), st.integers(min_value=0, max_value=2 * P))
+    def test_rotation_pointwise(self, wf, dt):
+        rot = wf.rotated(dt)
+        for t in (0, 1, 12_345, P - 1):
+            assert rot.value_at(t) == wf.value_at(t - dt)
+
+    @given(waveform_st(), st.integers(0, P), st.integers(0, P))
+    @settings(max_examples=50)
+    def test_rotation_composes(self, wf, a, b):
+        assert wf.rotated(a).rotated(b) == wf.rotated(a + b)
+
+    def test_delay_shifts_by_min_and_adds_skew(self):
+        """Figure 2-8: a gate with 5/10 ns delay shifts the value list by
+        the minimum delay and puts the 5 ns difference in the skew field."""
+        wf = clock().delayed(5_000, 10_000)
+        assert wf.value_at(26_000) is ONE
+        assert wf.skew == (0, 5_000)
+        # Pulse width information is preserved exactly.
+        assert wf.duration_of(ONE) == 10_000
+
+    def test_delay_accumulates_skew(self):
+        wf = clock().delayed(1_000, 2_000).delayed(3_000, 7_000)
+        assert wf.skew == (0, 5_000)
+        assert wf.value_at(24_500) is ONE
+
+    def test_delay_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            clock().delayed(10, 5)
+
+    def test_zero_delay_is_identity(self):
+        wf = clock()
+        assert wf.delayed(0, 0) == wf
+
+
+class TestMaterialize:
+    def test_figure_2_9(self):
+        """The worked example of section 2.8: output Z of a 5/10 ns gate with
+        its skew folded in shows RISE for 25-30 ns and FALL for 35-40 ns."""
+        z = clock().delayed(5_000, 10_000).materialized()
+        assert z.skew == (0, 0)
+        assert z.value_at(24_000) is ZERO
+        assert z.value_at(27_000) is RISE
+        assert z.value_at(32_000) is ONE
+        assert z.value_at(37_000) is FALL
+        assert z.value_at(42_000) is ZERO
+
+    def test_no_skew_is_identity(self):
+        wf = clock()
+        assert wf.materialized() is wf
+
+    def test_constant_discards_skew(self):
+        wf = Waveform.constant(P, STABLE).with_skew((-500, 500))
+        assert wf.materialized() == Waveform.constant(P, STABLE)
+
+    def test_symmetric_clock_skew(self):
+        """A precision clock with +-1 ns skew (section 3.3) develops 2 ns
+        transition windows centred on its nominal edges."""
+        wf = clock(skew=(-1_000, 1_000)).materialized()
+        assert wf.value_at(19_500) is RISE
+        assert wf.value_at(20_500) is RISE
+        assert wf.value_at(21_500) is ONE
+        assert wf.value_at(29_500) is FALL
+
+    def test_stable_change_boundary_widens_to_change(self):
+        wf = Waveform.from_intervals(
+            P, STABLE, [(10_000, 20_000, CHANGE)], skew=(0, 2_000)
+        ).materialized()
+        assert wf.value_at(11_000) is CHANGE
+        assert wf.value_at(21_000) is CHANGE  # widened by the late skew
+        assert wf.value_at(23_000) is STABLE
+
+    def test_overlapping_windows_merge_to_change(self):
+        """A 4 ns pulse through a gate with 6 ns of delay uncertainty: the
+        widened rise and fall overlap, so the order is unknown - CHANGE."""
+        wf = Waveform.from_intervals(P, ZERO, [(10_000, 14_000, ONE)], skew=(0, 6_000))
+        folded = wf.materialized()
+        # Rise window is [10, 16], fall window is [14, 20]; their overlap
+        # [14, 16] collapses to CHANGE.
+        assert folded.value_at(13_000) is RISE
+        assert folded.value_at(15_000) is CHANGE
+        assert folded.value_at(17_000) is FALL
+
+    @given(waveform_st())
+    @settings(max_examples=100)
+    def test_materialize_idempotent(self, wf):
+        m = wf.materialized()
+        assert m.materialized() == m
+
+    @given(waveform_st())
+    @settings(max_examples=100)
+    def test_materialize_never_invents_stability(self, wf):
+        """Folding skew may only widen uncertainty, never shrink it: any
+        time instant that was changing nominally is still not reported as a
+        known constant level afterwards (soundness)."""
+        m = wf.materialized()
+        for start, end, value in wf.iter_segments():
+            if value in (CHANGE, RISE, FALL):
+                probe = (start + end) // 2
+                assert m.value_at(probe) in (CHANGE, RISE, FALL, UNKNOWN)
+
+
+class TestEdgeWindows:
+    def test_sharp_clock_edges(self):
+        wf = clock()
+        assert wf.rising_windows() == [(20_000, 20_000)]
+        assert wf.falling_windows() == [(30_000, 30_000)]
+
+    def test_skewed_clock_edges(self):
+        wf = clock(skew=(-1_000, 1_000))
+        assert wf.rising_windows() == [(19_000, 21_000)]
+        assert wf.falling_windows() == [(29_000, 31_000)]
+
+    def test_delayed_clock_edge_windows(self):
+        wf = clock().delayed(5_000, 10_000)
+        assert wf.rising_windows() == [(25_000, 30_000)]
+        assert wf.falling_windows() == [(35_000, 40_000)]
+
+    def test_two_phase_clock(self):
+        wf = Waveform.from_intervals(
+            P, ZERO, [(5_000, 10_000, ONE), (30_000, 35_000, ONE)]
+        )
+        assert wf.rising_windows() == [(5_000, 5_000), (30_000, 30_000)]
+
+    def test_wrapping_edge_window(self):
+        """A clock high across the period boundary has its falling edge
+        early in the cycle and its rising edge late."""
+        wf = Waveform.from_intervals(P, ZERO, [(45_000, 55_000, ONE)])
+        assert wf.rising_windows() == [(45_000, 45_000)]
+        assert wf.falling_windows() == [(5_000, 5_000)]
+
+    def test_change_region_is_ambiguous(self):
+        wf = Waveform.from_intervals(P, ZERO, [(10_000, 15_000, CHANGE)])
+        assert (10_000, 15_000) in wf.rising_windows()
+        assert (10_000, 15_000) in wf.falling_windows()
+
+    def test_constant_has_no_edges(self):
+        assert Waveform.constant(P, ONE).rising_windows() == []
+
+
+class TestLevelRuns:
+    def test_single_pulse(self):
+        assert clock().level_runs(ONE) == [(20_000, 30_000)]
+        assert clock().level_runs(ZERO) == [(30_000, 70_000)]
+
+    def test_wrapping_run_reported_once(self):
+        wf = Waveform.from_intervals(P, ZERO, [(45_000, 55_000, ONE)])
+        assert wf.level_runs(ONE) == [(45_000, 55_000)]
+
+    def test_constant_run_covers_period(self):
+        assert Waveform.constant(P, ONE).level_runs(ONE) == [(0, P)]
+
+    def test_skew_does_not_shrink_nominal_pulse(self):
+        """The reason the skew field exists (section 2.8): a delayed pulse's
+        nominal width is unchanged, avoiding false minimum-pulse-width
+        errors."""
+        wf = clock().delayed(5_000, 10_000)
+        (start, end), = wf.level_runs(ONE)
+        assert end - start == 10_000
+
+    def test_folded_pulse_does_shrink(self):
+        """And the contrast: once skew is folded into the values, the
+        guaranteed-high region narrows by the skew amount."""
+        wf = clock().delayed(5_000, 10_000).materialized()
+        (start, end), = wf.level_runs(ONE)
+        assert end - start == 5_000
+
+
+class TestStability:
+    def test_stable_everywhere(self):
+        wf = Waveform.constant(P, STABLE)
+        assert wf.is_stable_in(0, P)
+
+    def test_instability_reports_change_segment(self):
+        wf = Waveform.from_intervals(P, STABLE, [(10_000, 20_000, CHANGE)])
+        bad = wf.instability_in(5_000, 25_000)
+        assert bad == [(10_000, 20_000, CHANGE)]
+
+    def test_instability_clips_to_window(self):
+        wf = Waveform.from_intervals(P, STABLE, [(10_000, 20_000, CHANGE)])
+        bad = wf.instability_in(15_000, 25_000)
+        assert bad == [(15_000, 20_000, CHANGE)]
+
+    def test_instantaneous_transition_inside_window(self):
+        wf = clock()
+        bad = wf.instability_in(19_000, 21_000)
+        assert (20_000, 20_000, RISE) in bad
+
+    def test_transition_at_window_edge_not_counted(self):
+        """Data may change exactly at the end of a hold window."""
+        wf = clock()
+        assert wf.is_stable_in(20_000 - 5_000, 20_000)
+
+    def test_window_wraps_across_period(self):
+        wf = Waveform.from_intervals(P, STABLE, [(2_000, 6_000, CHANGE)])
+        bad = wf.instability_in(45_000, 45_000 + 10_000)
+        assert bad == [(52_000, 55_000, CHANGE)]
+
+    def test_skew_counts_against_stability(self):
+        wf = Waveform.from_intervals(
+            P, STABLE, [(10_000, 20_000, CHANGE)], skew=(0, 3_000)
+        )
+        assert not wf.is_stable_in(21_000, 22_000)
+        assert wf.is_stable_in(23_000, 30_000)
+
+    def test_window_longer_than_period_saturates(self):
+        wf = clock()
+        assert len(wf.instability_in(0, 10 * P)) == len(wf.instability_in(0, P))
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(ValueError):
+            clock().instability_in(10, 5)
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        a = Waveform(P, [(ZERO, 20_000), (ONE, 10_000), (ZERO, 20_000)])
+        assert a == clock()
+
+    def test_skew_matters(self):
+        assert clock() != clock().with_skew((0, 1))
+
+    def test_eval_str_matters(self):
+        assert clock() != clock().with_eval_str("HZ")
+
+    def test_hashable(self):
+        assert len({clock(), clock(), clock(skew=(0, 1))}) == 2
+
+
+class TestPresentation:
+    def test_describe_matches_listing_style(self):
+        """Figure 3-10's first entry: stable at cycle start, changing at
+        0.5 ns, stable at 5.5 ns, changing at 25.5 ns, stable at 30.5 ns."""
+        wf = Waveform.from_intervals(
+            P,
+            STABLE,
+            [(500, 5_500, CHANGE), (25_500, 30_500, CHANGE)],
+        )
+        assert wf.describe() == "S 0.5 C 5.5 S 25.5 C 30.5 S"
+
+    def test_repr_compact(self):
+        assert "0:20000" in repr(clock())
+
+
+class TestMapped:
+    def test_not_mapping(self):
+        from repro.core.values import value_not
+
+        wf = clock().mapped(value_not)
+        assert wf.value_at(25_000) is ZERO
+        assert wf.value_at(5_000) is ONE
+
+    def test_mapped_keeps_skew(self):
+        from repro.core.values import value_not
+
+        wf = clock().with_skew((-100, 100)).mapped(value_not)
+        assert wf.skew == (-100, 100)

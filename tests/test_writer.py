@@ -1,0 +1,110 @@
+"""Round-trip tests for the SCALD serializer."""
+
+import pytest
+
+from repro import Circuit, EXACT, TimingVerifier, VerifyConfig
+from repro.hdl.expander import expand_source
+from repro.hdl.writer import save_scald, write_scald
+from repro.workloads import fig_2_5_register_file, fig_2_6_case_analysis
+from repro.workloads.synth import SynthConfig, generate
+
+
+def roundtrip(circuit: Circuit) -> Circuit:
+    source = write_scald(circuit)
+    reloaded, _stats = expand_source(source, filename="<roundtrip>")
+    return reloaded
+
+
+def results_equal(a, b) -> bool:
+    """Same violations (by kind/signal/window) and same signal waveforms."""
+    va = sorted((v.kind.value, v.signal, v.window or (0, 0)) for v in a.violations)
+    vb = sorted((v.kind.value, v.signal, v.window or (0, 0)) for v in b.violations)
+    return va == vb
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        original = fig_2_5_register_file()
+        reloaded = roundtrip(original)
+        assert len(reloaded.components) == len(original.components)
+        assert reloaded.stats()["by_type"] == original.stats()["by_type"]
+        assert reloaded.timebase == original.timebase
+
+    def test_verification_identical_fig_2_5(self):
+        original = fig_2_5_register_file()
+        reloaded = roundtrip(original)
+        ra = TimingVerifier(original).verify()
+        rb = TimingVerifier(reloaded).verify()
+        assert results_equal(ra, rb)
+        assert len(rb.violations) == 2
+
+    def test_cases_preserved(self):
+        original = fig_2_6_case_analysis(with_cases=True)
+        reloaded = roundtrip(original)
+        assert reloaded.cases == original.cases
+        ra = TimingVerifier(original, EXACT).verify()
+        rb = TimingVerifier(reloaded, EXACT).verify()
+        assert (
+            rb.waveform("OUTPUT", case=0).describe()
+            == ra.waveform("OUTPUT", case=0).describe()
+        )
+
+    def test_wire_overrides_preserved(self):
+        original = fig_2_5_register_file()
+        reloaded = roundtrip(original)
+        assert reloaded.nets["ADR"].wire_delay_ps == (0, 6_000)
+
+    def test_directives_and_inverts_preserved(self):
+        original = fig_2_5_register_file()
+        source = write_scald(original)
+        assert "&H" in source
+        assert '-"RAM WE"' in source
+
+    def test_synth_design_roundtrip(self):
+        circuit, _ = generate(SynthConfig(chips=120)).circuit()
+        reloaded = roundtrip(circuit)
+        ra = TimingVerifier(circuit).verify()
+        rb = TimingVerifier(reloaded).verify()
+        assert ra.ok and rb.ok
+        assert rb.stats.events == ra.stats.events
+
+    def test_aliases_written_as_representatives(self):
+        c = Circuit("alias", period_ns=50.0, clock_unit_ns=6.25)
+        c.buf("OUT", "INNER NAME", delay=(1.0, 2.0))
+        c.alias("INNER NAME", "REAL SIG .S0-6")
+        reloaded = roundtrip(c)
+        result = TimingVerifier(reloaded, EXACT).verify()
+        # The buffer reads the asserted signal, not a floating alias.
+        assert not result.waveform("OUT").is_fully_unknown
+
+    def test_roundtrip_property_random_designs(self):
+        """Any generated design round-trips to an equivalent verification."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.integers(min_value=1, max_value=500))
+        @settings(max_examples=8, deadline=None)
+        def check(seed):
+            circuit, _ = generate(SynthConfig(chips=60, seed=seed)).circuit()
+            reloaded = roundtrip(circuit)
+            ra = TimingVerifier(circuit).verify()
+            rb = TimingVerifier(reloaded).verify()
+            assert results_equal(ra, rb)
+            assert len(reloaded.components) == len(circuit.components)
+
+        check()
+
+    def test_save_scald_writes_file(self, tmp_path):
+        path = tmp_path / "out.scald"
+        save_scald(fig_2_6_case_analysis(), str(path))
+        text = path.read_text()
+        assert "design fig_2_6;" in text
+        reloaded, _ = expand_source(text)
+        assert len(reloaded.components) == 4
+
+    def test_cli_accepts_written_file(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "rt.scald"
+        save_scald(fig_2_5_register_file(), str(path))
+        assert main([str(path)]) == 1  # the two Figure 3-11 errors
