@@ -55,6 +55,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="trace the critical contribution to each violation's signal",
     )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the static design-rule analyzer first and report findings",
+    )
     return parser
 
 
@@ -69,7 +73,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"bad --wire-delay {args.wire_delay!r}; use MIN:MAX",
                   file=sys.stderr)
             return 2
+        if lo < 0 or hi < 0:
+            print(f"bad --wire-delay {args.wire_delay!r}; "
+                  "delays must be non-negative", file=sys.stderr)
+            return 2
+        if lo > hi:
+            print(f"bad --wire-delay {args.wire_delay!r}; "
+                  "MIN must not exceed MAX", file=sys.stderr)
+            return 2
         config = VerifyConfig(default_wire_delay_ns=(lo, hi))
+
+    lint_errors = 0
+    if args.lint:
+        from .lint import lint_path
+        from .reporting.lintfmt import lint_text
+
+        try:
+            lint_result = lint_path(args.design)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(lint_text(lint_result))
+        print()
+        lint_errors = len(lint_result.errors)
 
     try:
         expander = MacroExpander.from_file(args.design)
@@ -79,6 +105,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     result = TimingVerifier(circuit, config).verify()
+
+    for issue in result.structure_warnings:
+        print(f"structure: {issue}")
+    if result.structure_warnings:
+        print()
 
     if args.summary:
         print(result.summary_listing(case=args.case))
@@ -113,7 +144,7 @@ def main(argv: list[str] | None = None) -> int:
         engine.run()
         print()
         print(measure_storage(engine).table())
-    return 0 if result.ok else 1
+    return 0 if result.ok and not lint_errors else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -206,9 +206,12 @@ class MacroExpander:
             (sig.width for _pin, sig in resolved), default=1
         )
         params.setdefault("width", width)
+        origin = (stmt.source_file, stmt.line)
         pins: dict[str, object] = {}
         for pin, sig in resolved:
             net = emit.net(sig.name, width=sig.width)
+            if net.origin is None:
+                net.origin = origin
             if sig.internal and net.wire_delay_ps is None:
                 net.wire_delay_ps = (0, 0)  # on-die: no interconnection run
             pins[pin] = Connection(
@@ -216,7 +219,9 @@ class MacroExpander:
                 invert=sig.invert,
                 directives=sig.directives,
             )
-        emit.add(f"{scope.path}{stmt.inst}", prim.name, pins, **params)
+        emit.add(
+            f"{scope.path}{stmt.inst}", prim.name, pins, origin=origin, **params
+        )
 
     def _walk_use(
         self, stmt: UseStmt, scope: _Scope, depth: int, emit: Circuit | None

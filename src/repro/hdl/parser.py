@@ -72,13 +72,19 @@ class SigRef:
 
 @dataclass(frozen=True)
 class PrimStmt:
-    """A primitive instantiation."""
+    """A primitive instantiation.
+
+    ``line``/``source_file`` locate the statement in its source text (the
+    *span*), so later pipeline stages — notably the ``repro.lint`` static
+    analyzer — can report diagnostics as ``file:line``.
+    """
 
     prim: str
     inst: str
     pins: tuple[tuple[str, SigRef], ...]
     props: tuple[tuple[str, str], ...]  # name -> expression / a:b pair text
     line: int = 0
+    source_file: str = ""
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,7 @@ class UseStmt:
     bindings: tuple[tuple[str, SigRef], ...]  # formal name -> actual
     params: tuple[tuple[str, str], ...]  # SIZE=32 style
     line: int = 0
+    source_file: str = ""
 
 
 @dataclass
@@ -101,6 +108,7 @@ class MacroDef:
     pin_decls: list[tuple[str, tuple[str, str] | None]] = field(default_factory=list)
     body: list["PrimStmt | UseStmt"] = field(default_factory=list)
     line: int = 0
+    source_file: str = ""
 
 
 @dataclass
@@ -325,7 +333,12 @@ class Parser:
                         break
                     self._expect("sym", ",")
         self._expect("sym", ";")
-        macro = MacroDef(name=name, size_params=tuple(size_params), line=start.line)
+        macro = MacroDef(
+            name=name,
+            size_params=tuple(size_params),
+            line=start.line,
+            source_file=self.filename,
+        )
         while True:
             kw = self._keyword()
             if kw == "endmacro":
@@ -499,7 +512,8 @@ class Parser:
         props = self._parse_props()
         self._expect("sym", ";")
         return PrimStmt(
-            prim=prim, inst=inst, pins=tuple(pins), props=props, line=start.line
+            prim=prim, inst=inst, pins=tuple(pins), props=props, line=start.line,
+            source_file=self.filename,
         )
 
     def _parse_use(self) -> UseStmt:
@@ -526,7 +540,7 @@ class Parser:
         self._expect("sym", ";")
         return UseStmt(
             macro=macro, inst=inst, bindings=tuple(bindings), params=params,
-            line=start.line,
+            line=start.line, source_file=self.filename,
         )
 
 

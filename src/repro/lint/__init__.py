@@ -1,0 +1,51 @@
+"""Static design-rule analysis for SCALD designs (``scald-lint``).
+
+A rule registry drives checks over two surfaces: the parsed ``.scald``
+AST (with ``file:line`` spans) and the expanded primitive netlist.  The
+rules are grounded in the failure modes the thesis describes — gated
+clocks without ``&A`` (Figure 1-5), directive strings shorter than the
+gate depth (section 2.6), combinational loops (section 2.9), case
+analysis on never-stable signals (section 2.7) — plus the structural
+checks the engine requires, absorbed from ``repro.netlist.validate``.
+
+Quick use::
+
+    from repro.lint import lint_path
+    result = lint_path("examples/designs/shifter.scald")
+    for d in result.diagnostics:
+        print(d)
+
+Suppress a finding in source with a comment pragma on (or just above)
+the offending line::
+
+    -- lint: disable=unasserted-input
+"""
+
+from .diagnostics import SEVERITIES, Diagnostic
+from .registry import LintConfig, Rule, all_rules, get_rule, rule
+from .runner import (
+    CircuitIndex,
+    LintContext,
+    LintResult,
+    lint_circuit,
+    lint_path,
+    lint_source,
+    run_rules,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "rule",
+    "CircuitIndex",
+    "LintContext",
+    "LintResult",
+    "lint_circuit",
+    "lint_path",
+    "lint_source",
+    "run_rules",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``scald-lint design.scald [...]``.
+
+Static design-rule analysis without running the verifier.  Exit status: 0
+when no errors were found (``--strict`` also counts warnings), 1 when the
+design has findings, 2 on usage errors.  Parse and expansion failures are
+reported as diagnostics, not tracebacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import LintConfig, all_rules
+from .runner import LintResult, lint_path
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scald-lint",
+        description="static design-rule analysis for SCALD sources",
+    )
+    parser.add_argument(
+        "designs", nargs="*", metavar="DESIGN",
+        help="one or more .scald source files",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--disable", metavar="RULE[,RULE]", action="append", default=[],
+        help="disable the named rules for this run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _rule_catalogue() -> str:
+    rows = []
+    for r in all_rules():
+        marker = "*" if r.structural else " "
+        rows.append(f"{r.id:24s} {r.severity:8s} {r.surface:8s}{marker} {r.doc}")
+    rows.append("")
+    rows.append("(* = structural rule, also enforced by the verifier at run time)")
+    return "\n".join(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_catalogue())
+        return 0
+    if not args.designs:
+        print("scald-lint: no design files given", file=sys.stderr)
+        return 2
+
+    disabled = frozenset(
+        name.strip()
+        for chunk in args.disable
+        for name in chunk.split(",")
+        if name.strip()
+    )
+    known = {r.id for r in all_rules()}
+    unknown = disabled - known
+    if unknown:
+        print(
+            f"scald-lint: unknown rule(s): {', '.join(sorted(unknown))} "
+            "(see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+    config = LintConfig(disabled=disabled)
+
+    from ..reporting.lintfmt import lint_json, lint_text
+
+    status = 0
+    for path in args.designs:
+        try:
+            result = lint_path(path, config)
+        except OSError as exc:
+            print(f"scald-lint: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(lint_json(result))
+        else:
+            if len(args.designs) > 1:
+                print(f"== {path} ==")
+            print(lint_text(result))
+        status = max(status, result.exit_code(strict=args.strict))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

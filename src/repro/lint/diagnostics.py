@@ -1,0 +1,93 @@
+"""Diagnostic records produced by the static design-rule analyzer.
+
+A :class:`Diagnostic` is one finding of one rule: a severity, a message,
+and — whenever the offending construct came from a ``.scald`` source — the
+``file:line`` span recorded by the parser and threaded through macro
+expansion.  Diagnostics are plain data so the text and JSON reporters in
+``repro.reporting`` can render them without knowing anything about rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severity levels, most severe first.  ``error`` means the construct will
+#: break (or silently corrupt) a verification run; ``warning`` marks a
+#: latent hazard the runtime engine cannot see; ``info`` is advisory.
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    Attributes:
+        rule: the registry identifier of the rule that fired (or the
+            pipeline pseudo-rules ``syntax-error`` / ``expand-error``).
+        severity: ``error``, ``warning`` or ``info``.
+        message: human-readable description of the problem.
+        file: source file the construct came from, or ``""`` for circuits
+            built directly through the Python API.
+        line: 1-based source line, or 0 when unknown.
+        component: offending component instance name, if any.
+        net: offending signal name, if any.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    file: str = ""
+    line: int = 0
+    component: str | None = None
+    net: str | None = None
+
+    def location(self) -> str:
+        """``file:line`` when both are known, else ``file``, else ``""``."""
+        if self.file and self.line:
+            return f"{self.file}:{self.line}"
+        return self.file
+
+    def __str__(self) -> str:
+        loc = self.location()
+        subject = self.component or self.net
+        return (
+            (f"{loc}: " if loc else "")
+            + f"{self.severity}[{self.rule}]: {self.message}"
+            + (f" [{subject}]" if subject else "")
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable view (used by the JSON reporter)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "component": self.component,
+            "net": self.net,
+        }
+
+
+def diag(
+    message: str,
+    *,
+    file: str = "",
+    line: int = 0,
+    component: str | None = None,
+    net: str | None = None,
+    origin: tuple[str, int] | None = None,
+) -> Diagnostic:
+    """Build a diagnostic *finding* inside a rule body.
+
+    Rule functions leave ``rule`` and ``severity`` blank; the runner stamps
+    them from the registry entry (honouring per-rule severity overrides) so
+    rule code cannot drift out of sync with its registration.  ``origin``
+    is the ``(file, line)`` provenance tuple carried by components and nets.
+    """
+    if origin is not None:
+        file, line = file or origin[0], line or origin[1]
+    return Diagnostic(
+        rule="", severity="", message=message,
+        file=file, line=line, component=component, net=net,
+    )

@@ -1,0 +1,120 @@
+"""The lint rule registry.
+
+Every design rule is a plain function registered with the :func:`rule`
+decorator.  A rule declares the *surface* it analyses — the parsed
+``.scald`` AST (``source``) or the expanded :class:`~repro.netlist.Circuit`
+(``circuit``) — a default severity, and whether it is *structural*.
+
+Structural rules are the checks absorbed from the old
+``repro.netlist.validate`` module: the conditions the evaluation engine
+relies on to run at all.  They are served through this registry so there is
+a single diagnostics pipeline, and ``netlist.validate`` re-exposes exactly
+that subset.  The soundness rule of the project applies here: lint may
+*add* findings the engine would miss, but the shipped registry never
+suppresses or downgrades a condition the engine would flag at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from .diagnostics import SEVERITIES, Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import LintContext
+
+#: Analysis surfaces a rule may declare.
+SURFACE_SOURCE = "source"
+SURFACE_CIRCUIT = "circuit"
+
+CheckFn = Callable[["LintContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered design rule."""
+
+    id: str
+    surface: str
+    severity: str
+    structural: bool
+    doc: str
+    check: CheckFn
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    *,
+    surface: str,
+    severity: str,
+    structural: bool = False,
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a check function under ``rule_id``.
+
+    The first line of the function's docstring becomes the rule's one-line
+    catalogue description (``scald-lint --list-rules``).
+    """
+    if surface not in (SURFACE_SOURCE, SURFACE_CIRCUIT):
+        raise ValueError(f"unknown lint surface {surface!r}")
+    if severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def decorator(fn: CheckFn) -> CheckFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        doc = (fn.__doc__ or "").strip().splitlines()
+        _REGISTRY[rule_id] = Rule(
+            id=rule_id,
+            surface=surface,
+            severity=severity,
+            structural=structural,
+            doc=doc[0] if doc else "",
+            check=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (rule modules loaded on demand)."""
+    _load_rule_modules()
+    return sorted(_REGISTRY.values(), key=lambda r: r.id)
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_rule_modules()
+    return _REGISTRY[rule_id]
+
+
+def _load_rule_modules() -> None:
+    """Import the built-in rule modules exactly once."""
+    from . import rules_circuit, rules_source  # noqa: F401
+
+
+@dataclass
+class LintConfig:
+    """Per-run rule configuration.
+
+    ``disabled`` rules never run; ``severities`` overrides the default
+    severity per rule id; ``structural_only`` restricts the run to the
+    rules absorbed from ``netlist.validate`` (that module's compatibility
+    path — overrides are deliberately ignored there so the engine's
+    structural error set can never be downgraded).
+    """
+
+    disabled: frozenset[str] = frozenset()
+    severities: dict[str, str] = field(default_factory=dict)
+    structural_only: bool = False
+
+    def enabled(self, rule_id: str) -> bool:
+        return rule_id not in self.disabled
+
+    def severity_of(self, r: Rule) -> str:
+        if self.structural_only:
+            return r.severity
+        return self.severities.get(r.id, r.severity)

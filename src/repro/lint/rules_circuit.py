@@ -1,0 +1,595 @@
+"""Circuit-surface lint rules: checks over the expanded primitive netlist.
+
+Two families live here.  The *structural* rules (marked
+``structural=True``) are the checks absorbed from the old
+``repro.netlist.validate`` module — the conditions the evaluation engine
+needs to run at all; ``netlist.validate`` serves exactly this subset
+through the registry, so there is a single diagnostics pipeline.  The
+remaining rules predict, before any fixed-point iteration, the structural
+pathologies the thesis's Verifier only discovers at runtime: oscillating
+combinational loops (section 2.9), gated clocks without the ``&A``
+stability directive (Figure 1-5), evaluation-directive strings shorter
+than the gate depth that consumes them (sections 2.6/2.8), and friends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..core.models import GATE_FUNCTIONS
+from ..hdl.assertions import AssertionKind
+from ..netlist.circuit import Circuit, Component, Connection, Net
+from .diagnostics import Diagnostic, diag
+from .registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import CircuitIndex, LintContext
+
+#: Net names treated as supply rails (mirrors the engine's table).
+_SUPPLY_NAMES = frozenset({"GND", "VSS", "VCC", "VDD"})
+
+#: Primitives that cut a feedback path: every loop must contain a clocked
+#: element (section 1.2.2), and these are the clocked elements.
+_SEQUENTIAL = frozenset({"REG", "REG_RS", "LATCH", "LATCH_RS"})
+
+#: Directive letters that trigger the stability check (section 2.6).
+_STABILITY = frozenset("AH")
+
+
+def _is_combinational(comp: Component) -> bool:
+    return not comp.prim.is_checker and comp.prim.name not in _SEQUENTIAL
+
+
+def _is_gate(comp: Component) -> bool:
+    """True for the primitives that consume evaluation-directive letters."""
+    return comp.prim.name in GATE_FUNCTIONS
+
+
+# ---------------------------------------------------------------------------
+# structural rules (absorbed from netlist/validate.py)
+# ---------------------------------------------------------------------------
+
+
+@rule("missing-input", surface="circuit", severity="error", structural=True)
+def check_missing_input(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A required input pin is not connected on a non-checker primitive."""
+    for comp in ctx.circuit.iter_components():
+        if comp.prim.is_checker:
+            continue  # checker-unconnected reports these
+        connected = {pin for pin, _conn in comp.input_pins()}
+        for pin in comp.prim.inputs:
+            if pin not in connected:
+                yield diag(
+                    f"required input pin {pin!r} is not connected",
+                    component=comp.name,
+                    origin=comp.origin,
+                )
+
+
+@rule("checker-unconnected", surface="circuit", severity="error", structural=True)
+def check_checker_unconnected(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A constraint checker is missing its clock or data connection.
+
+    An unconnected ``SETUP HOLD CHK`` or ``MIN PULSE WIDTH`` silently
+    guards nothing — the worst kind of checker.
+    """
+    for comp in ctx.circuit.iter_components():
+        if not comp.prim.is_checker:
+            continue
+        connected = {pin for pin, _conn in comp.input_pins()}
+        for pin in comp.prim.inputs:
+            if pin not in connected:
+                yield diag(
+                    f"checker {comp.prim.display} input pin {pin!r} is not "
+                    "connected; the constraint guards nothing",
+                    component=comp.name,
+                    origin=comp.origin,
+                )
+
+
+@rule("no-inputs", surface="circuit", severity="error", structural=True)
+def check_no_inputs(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A variadic gate has no inputs connected at all."""
+    for comp in ctx.circuit.iter_components():
+        if comp.prim.variadic_input and not comp.input_pins():
+            yield diag(
+                "gate has no inputs connected",
+                component=comp.name,
+                origin=comp.origin,
+            )
+
+
+@rule("unconnected-output", surface="circuit", severity="error", structural=True)
+def check_unconnected_output(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """An output pin of a non-checker primitive is not connected."""
+    for comp in ctx.circuit.iter_components():
+        for pin in comp.prim.outputs:
+            if pin not in comp.pins:
+                yield diag(
+                    f"output pin {pin!r} is not connected",
+                    component=comp.name,
+                    origin=comp.origin,
+                )
+
+
+@rule("inverted-output", surface="circuit", severity="error", structural=True)
+def check_inverted_output(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A component output is connected through a complement marker."""
+    for comp in ctx.circuit.iter_components():
+        for pin, conn in comp.output_pins():
+            if conn.invert:
+                yield diag(
+                    f"output pin {pin!r} may not be inverted at the net",
+                    component=comp.name,
+                    origin=comp.origin,
+                )
+
+
+@rule("output-directives", surface="circuit", severity="error", structural=True)
+def check_output_directives(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """An evaluation-directive string is written on an output connection."""
+    for comp in ctx.circuit.iter_components():
+        for pin, conn in comp.output_pins():
+            if conn.directives:
+                yield diag(
+                    f"evaluation directives belong on inputs, not output {pin!r}",
+                    component=comp.name,
+                    origin=comp.origin,
+                )
+
+
+@rule("multiple-drivers", surface="circuit", severity="error", structural=True)
+def check_multiple_drivers(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A net (after synonym resolution) is driven by more than one output."""
+    for rep, drivers in ctx.index.drivers.items():
+        if len(drivers) > 1:
+            names = ", ".join(f"{comp.name}.{pin}" for comp, pin, _conn in drivers)
+            yield diag(
+                f"net has {len(drivers)} drivers ({names}); wired logic must "
+                "be modelled with an explicit gate",
+                net=rep.name,
+                origin=rep.origin,
+            )
+
+
+@rule("driven-clock", surface="circuit", severity="warning", structural=True)
+def check_driven_clock(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A clock-asserted signal is also driven by logic (assertion wins)."""
+    for rep, drivers in ctx.index.drivers.items():
+        if drivers and rep.assertion is not None and rep.assertion.kind.is_clock:
+            yield diag(
+                "clock-asserted signal is also driven by logic; the "
+                "assertion value wins and the driver is ignored",
+                net=rep.name,
+                origin=rep.origin,
+            )
+
+
+@rule("unused-case-signal", surface="circuit", severity="warning", structural=True)
+def check_unused_case_signal(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A case-analysis assignment names a signal no primitive reads."""
+    circuit = ctx.circuit
+    referenced = set(ctx.index.drivers) | set(ctx.index.loads)
+    seen: set[str] = set()
+    for case in circuit.cases:
+        for name in case:
+            net = circuit.nets.get(name)
+            if net is None or name in seen:
+                continue
+            if circuit.find(net) not in referenced:
+                seen.add(name)
+                yield diag(
+                    "case-analysis signal is not referenced by any primitive",
+                    net=name,
+                    origin=net.origin,
+                )
+
+
+# ---------------------------------------------------------------------------
+# static predictions of runtime pathologies
+# ---------------------------------------------------------------------------
+
+
+def _strongly_connected(
+    nodes: list[Component], succ: dict[Component, list[Component]]
+) -> Iterator[list[Component]]:
+    """Iterative Tarjan SCC over the combinational component graph."""
+    index: dict[Component, int] = {}
+    low: dict[Component, int] = {}
+    on_stack: set[Component] = set()
+    stack: list[Component] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[Component, Iterator[Component]]] = []
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(succ.get(root, ()))))
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(succ.get(child, ()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: list[Component] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member is node:
+                        break
+                yield scc
+
+
+@rule("combinational-loop", surface="circuit", severity="error")
+def check_combinational_loop(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A feedback path contains no register or latch (section 2.9).
+
+    Statically predicts the fixed point's ``OscillationError``: synchronous
+    sequential systems must contain a clocked element in every feedback
+    path (section 1.2.2).  Reported per loop, not per member.
+    """
+    circuit, index = ctx.circuit, ctx.index
+    nodes = [c for c in circuit.iter_components() if _is_combinational(c)]
+    succ: dict[Component, list[Component]] = {}
+    for comp in nodes:
+        outs: list[Component] = []
+        for _pin, conn in comp.output_pins():
+            for load, _p, _c in index.loads.get(circuit.find(conn.net), ()):
+                if _is_combinational(load):
+                    outs.append(load)
+        succ[comp] = outs
+    for scc in _strongly_connected(nodes, succ):
+        if len(scc) == 1 and scc[0] not in succ.get(scc[0], ()):
+            continue  # trivial SCC, no self-loop
+        members = [c.name for c in reversed(scc)]
+        shown = " -> ".join(members[:8]) + (" -> ..." if len(members) > 8 else "")
+        first = min(scc, key=lambda c: c.name)
+        yield diag(
+            f"combinational loop with no registered cut: {shown} "
+            "(the fixed point will oscillate, section 2.9)",
+            component=first.name,
+            origin=first.origin,
+        )
+
+
+def _effective_letter(
+    circuit: Circuit,
+    index: "CircuitIndex",
+    conn: Connection,
+    max_hops: int = 32,
+) -> str:
+    """The directive letter the engine would apply at this gate input.
+
+    Mirrors ``Engine._directive_letter`` statically: a string written at
+    the connection supplies its first letter; otherwise a string written
+    upstream rides the waveform, one letter consumed per gate level, and
+    we walk the single-driver chain back to find it.  Returns ``""`` when
+    no letter (or no statically determinable letter) reaches the input.
+    """
+    if conn.directives:
+        return conn.directives[0]
+    net = circuit.find(conn.net)
+    for hops in range(1, max_hops + 1):
+        drivers = index.drivers.get(net, [])
+        if len(drivers) != 1:
+            return ""
+        driver, _pin, _conn = drivers[0]
+        if not _is_gate(driver):
+            return ""  # eval strings do not ride through storage elements
+        strings = [c.directives for _p, c in driver.input_pins() if c.directives]
+        if strings:
+            for s in strings:
+                if len(s) > hops:
+                    return s[hops]
+            return ""
+        inputs = driver.input_pins()
+        if len(inputs) != 1:
+            return ""  # several undirected inputs: source is ambiguous
+        net = circuit.find(inputs[0][1].net)
+    return ""
+
+
+def _trace_clock(
+    circuit: Circuit,
+    index: "CircuitIndex",
+    conn: Connection,
+    max_hops: int = 32,
+) -> Net | None:
+    """The clock-asserted net transitively feeding this input, if any.
+
+    The engine works on waveforms, so a clock arriving through a buffer or
+    inverter chain is still a clock at the gating gate; this walks back
+    through single-input gate stages to find the asserted source.
+    """
+    net = circuit.find(conn.net)
+    for _hop in range(max_hops + 1):
+        if net.assertion is not None and net.assertion.kind.is_clock:
+            return net
+        drivers = index.drivers.get(net, [])
+        if len(drivers) != 1:
+            return None
+        driver, _pin, _conn = drivers[0]
+        if not _is_gate(driver):
+            return None
+        inputs = driver.input_pins()
+        if len(inputs) != 1:
+            return None  # re-converging logic: not pure clock distribution
+        net = circuit.find(inputs[0][1].net)
+    return None
+
+
+@rule("gated-clock", surface="circuit", severity="error")
+def check_gated_clock(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A clock is gated by logic without the ``&A``/``&H`` stability directive.
+
+    The Figure 1-5 hazard: without the directive the Verifier folds the
+    gating logic's worst case into the clock, and — worse — never checks
+    that the gating inputs are stable while the clock pulse passes, so a
+    glitching enable goes unreported.
+    """
+    circuit, index = ctx.circuit, ctx.index
+    for comp in circuit.iter_components():
+        if comp.prim.family not in ("and", "or"):
+            continue
+        inputs = comp.input_pins()
+        if len(inputs) < 2:
+            continue
+        for _pin, conn in inputs:
+            clock = _trace_clock(circuit, index, conn)
+            if clock is None:
+                continue
+            if _effective_letter(circuit, index, conn) not in _STABILITY:
+                yield diag(
+                    f"clock {clock.name!r} is gated by {comp.prim.display} logic "
+                    "without an &A/&H stability directive (the Figure 1-5 "
+                    "hazard: gating inputs are never checked for stability)",
+                    component=comp.name,
+                    net=clock.name,
+                    origin=comp.origin,
+                )
+
+
+@rule("short-directive", surface="circuit", severity="warning")
+def check_short_directive(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """An evaluation-directive string is shorter than the gate depth it rides.
+
+    Each level of gating consumes one letter (section 2.6); when the string
+    runs out, deeper gates silently fall back to worst-case evaluation and
+    the precision the designer asked for never reaches them (section 2.8).
+    """
+    circuit, index = ctx.circuit, ctx.index
+    memo: dict[Component, int] = {}
+
+    def downstream_depth(comp: Component, active: set[Component]) -> int:
+        """Gate levels below ``comp`` that would each consume a letter."""
+        if comp in memo:
+            return memo[comp]
+        if comp in active:
+            return 0  # cycle: combinational-loop reports it separately
+        active.add(comp)
+        depth = 0
+        for _pin, conn in comp.output_pins():
+            for load, _p, _c in index.loads.get(circuit.find(conn.net), ()):
+                if _is_gate(load):
+                    depth = max(depth, 1 + downstream_depth(load, active))
+        active.discard(comp)
+        memo[comp] = depth
+        return depth
+
+    for comp in circuit.iter_components():
+        if not _is_gate(comp):
+            continue
+        for pin, conn in comp.input_pins():
+            if not conn.directives:
+                continue
+            need = 1 + downstream_depth(comp, set())
+            if len(conn.directives) < need:
+                yield diag(
+                    f"directive string '&{conn.directives}' on {pin} covers "
+                    f"{len(conn.directives)} level(s) of gating but the path "
+                    f"through {comp.name} runs {need} levels deep; deeper "
+                    "gates fall back to worst-case evaluation (section 2.6)",
+                    component=comp.name,
+                    net=conn.net.name,
+                    origin=comp.origin,
+                )
+
+
+@rule("case-on-clock", surface="circuit", severity="warning")
+def check_case_on_clock(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A case assignment targets a signal that can never be STABLE.
+
+    Case analysis replaces a signal's STABLE values with the case constant
+    (section 2.7); a clock-asserted signal is pinned to 0/1 edges and never
+    takes the value STABLE, so the assignment silently does nothing.
+    """
+    circuit = ctx.circuit
+    seen: set[str] = set()
+    for case in circuit.cases:
+        for name in case:
+            if name in seen:
+                continue
+            net = circuit.nets.get(name)
+            if net is None:
+                continue
+            rep = circuit.find(net)
+            if rep.assertion is not None and rep.assertion.kind.is_clock:
+                seen.add(name)
+                yield diag(
+                    f"case assignment to {name!r} can never apply: the signal "
+                    "carries a clock assertion and is never STABLE "
+                    "(section 2.7 maps STABLE to the case constant)",
+                    net=name,
+                    origin=rep.origin,
+                )
+
+
+@rule("unasserted-input", surface="circuit", severity="warning")
+def check_unasserted_input(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A primary input carries no assertion (assumed stable, section 2.5).
+
+    The verifier takes such signals to be always stable — optimistic for an
+    input that in reality transitions — and lists them in the special
+    cross-reference.  Lint surfaces the same list before the run.
+    """
+    circuit, index = ctx.circuit, ctx.index
+    case_reps = {
+        circuit.find(circuit.nets[name])
+        for case in circuit.cases
+        for name in case
+        if name in circuit.nets
+    }
+    for rep in circuit.representatives():
+        if rep in index.drivers or rep.assertion is not None:
+            continue
+        if rep in case_reps or rep.is_case_signal:
+            continue  # case analysis supplies the value deliberately
+        if rep.base_name.upper() in _SUPPLY_NAMES:
+            continue
+        if rep not in index.loads:
+            continue
+        yield diag(
+            f"input {rep.name!r} has no assertion; the verifier will assume "
+            "it is always stable and list it in the cross-reference "
+            "(section 2.5)",
+            net=rep.name,
+            origin=rep.origin,
+        )
+
+
+@rule("conflicting-assertions", surface="circuit", severity="error")
+def check_conflicting_assertions(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A synonym chain aliases signals carrying different assertions.
+
+    Synonym resolution keeps one representative assertion (Pass 1); when
+    two aliased names assert different timing, the loser is silently
+    discarded — a possible signal change becomes invisible, violating the
+    worst-case soundness rule.
+    """
+    circuit = ctx.circuit
+    classes: dict[Net, list[Net]] = {}
+    for net in circuit.nets.values():
+        classes.setdefault(circuit.find(net), []).append(net)
+    for rep, members in classes.items():
+        by_text: dict[str, Net] = {}
+        for net in members:
+            if net.assertion is not None:
+                by_text.setdefault(net.assertion.text, net)
+        if len(by_text) > 1:
+            names = ", ".join(sorted(n.name for n in by_text.values()))
+            yield diag(
+                f"synonym chain aliases conflicting assertions ({names}); "
+                f"only {rep.name!r}'s assertion is honoured and the others "
+                "are silently discarded",
+                net=rep.name,
+                origin=rep.origin,
+            )
+
+
+@rule("assertion-mismatch", surface="circuit", severity="warning")
+def check_assertion_mismatch(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """One base name is used with two different assertions.
+
+    The assertion is part of the signal name (section 2.5), so
+    ``"CLK .P2-3"`` and ``"CLK .P4-5"`` are *distinct, unconnected* signals
+    — almost always a typo rather than intent.
+    """
+    circuit = ctx.circuit
+    by_base: dict[str, dict[str, Net]] = {}
+    for net in circuit.nets.values():
+        if net.assertion is not None:
+            by_base.setdefault(net.base_name, {}).setdefault(
+                net.assertion.text, net
+            )
+    for base, group in by_base.items():
+        if len(group) < 2:
+            continue
+        nets = list(group.values())
+        if len({circuit.find(n) for n in nets}) == 1:
+            continue  # aliased together: conflicting-assertions reports it
+        names = ", ".join(sorted(n.name for n in nets))
+        first = min(nets, key=lambda n: n.name)
+        yield diag(
+            f"base name {base!r} is used with {len(group)} different "
+            f"assertions ({names}); these are distinct, unconnected signals "
+            "because the assertion is part of the name (section 2.5)",
+            net=first.name,
+            origin=first.origin,
+        )
+
+
+@rule("skewed-pulse-check", surface="circuit", severity="warning")
+def check_skewed_pulse_check(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A pulse-width check watches a non-precision clock (false-error risk).
+
+    The ±5 ns default skew of a ``.C`` assertion folds into every pulse the
+    ``MIN PULSE WIDTH`` checker sees, shortening it from both ends — the
+    always-fold false-error mechanism of section 2.8.  Trim the clock
+    (``.P``) or state an explicit skew.
+    """
+    circuit = ctx.circuit
+    for comp in circuit.iter_components():
+        if comp.prim.name != "MIN_PULSE_WIDTH":
+            continue
+        conn = comp.pins.get("I")
+        if conn is None:
+            continue
+        rep = circuit.find(conn.net)
+        a = rep.assertion
+        if a is None or a.kind is not AssertionKind.CLOCK or a.skew_ns is not None:
+            continue
+        yield diag(
+            f"minimum-pulse-width check on {rep.name!r}, a non-precision "
+            "(.C) clock: the default ±5 ns skew folds into every pulse and "
+            "can produce false errors (section 2.8); use a .P assertion or "
+            "an explicit skew",
+            component=comp.name,
+            net=rep.name,
+            origin=comp.origin,
+        )
+
+
+@rule("dead-net", surface="circuit", severity="info")
+def check_dead_net(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A driven net is never read by any primitive (dead after Pass 2).
+
+    Informational: top-level outputs legitimately have no on-chip loads,
+    but inside a large expanded design a dead net usually marks a macro
+    wired to the wrong signal.
+    """
+    circuit, index = ctx.circuit, ctx.index
+    case_reps = {
+        circuit.find(circuit.nets[name])
+        for case in circuit.cases
+        for name in case
+        if name in circuit.nets
+    }
+    for rep in circuit.representatives():
+        if rep not in index.drivers or rep in index.loads:
+            continue
+        if rep.assertion is not None or rep in case_reps:
+            continue  # assertion checks / case analysis still read it
+        yield diag(
+            "net is driven but never read (dead after Pass 2)",
+            net=rep.name,
+            origin=rep.origin,
+        )

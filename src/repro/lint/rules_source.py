@@ -1,0 +1,137 @@
+"""Source-surface lint rules: checks over the parsed ``.scald`` AST.
+
+These run before macro expansion, so they can report problems with exact
+``file:line`` spans even when expansion itself would fail — the same
+pre-evaluation discipline the thesis's Macro Expander applied when it
+"checks the design for syntax errors" (section 3.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..hdl.expr import ExpressionError, evaluate_int
+from ..hdl.parser import Design, PrimStmt, UseStmt
+from ..netlist.primitives import lookup
+from .diagnostics import Diagnostic, diag
+from .registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import LintContext
+
+
+def _iter_stmts(design: Design) -> Iterator[PrimStmt | UseStmt]:
+    """Every prim/use statement: top level first, then macro bodies."""
+    yield from design.top
+    for macro in design.macros.values():
+        yield from macro.body
+
+
+@rule("unknown-primitive", surface="source", severity="error")
+def check_unknown_primitive(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A ``prim`` statement names a primitive outside the fixed vocabulary."""
+    for stmt in _iter_stmts(ctx.design):
+        if not isinstance(stmt, PrimStmt):
+            continue
+        try:
+            lookup(stmt.prim)
+        except KeyError:
+            yield diag(
+                f"unknown primitive {stmt.prim!r}",
+                file=stmt.source_file,
+                line=stmt.line,
+                component=stmt.inst,
+            )
+
+
+@rule("unknown-macro", surface="source", severity="error")
+def check_unknown_macro(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A ``use`` statement calls a macro that is never defined."""
+    for stmt in _iter_stmts(ctx.design):
+        if isinstance(stmt, UseStmt) and stmt.macro not in ctx.design.macros:
+            yield diag(
+                f"no macro named {stmt.macro!r}",
+                file=stmt.source_file,
+                line=stmt.line,
+                component=stmt.inst,
+            )
+
+
+@rule("macro-width-mismatch", surface="source", severity="error")
+def check_macro_width_mismatch(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A vector bound across a macro boundary differs from the declared width.
+
+    Only bindings whose widths are statically computable are checked (a
+    subscript written in terms of an enclosing macro's size parameter is
+    left to expansion); what *is* reported carries the use site's span,
+    which expansion-time errors cannot provide.
+    """
+    for stmt in _iter_stmts(ctx.design):
+        if not isinstance(stmt, UseStmt):
+            continue
+        macro = ctx.design.macros.get(stmt.macro)
+        if macro is None:
+            continue  # unknown-macro reports this
+        try:
+            params = {
+                name: evaluate_int(text, {}) for name, text in stmt.params
+            }
+        except ExpressionError:
+            continue  # size parameter not a literal at this level
+        declared: dict[str, int | None] = {}
+        for pname, sub in macro.pin_decls:
+            if sub is None:
+                declared[pname] = 1
+                continue
+            try:
+                lo = evaluate_int(sub[0], params)
+                hi = evaluate_int(sub[1], params)
+                declared[pname] = abs(hi - lo) + 1
+            except ExpressionError:
+                declared[pname] = None
+        for formal, actual in stmt.bindings:
+            want = declared.get(formal)
+            if want is None or actual.subscript is None:
+                continue
+            try:
+                lo = evaluate_int(actual.subscript[0], {})
+                hi = evaluate_int(actual.subscript[1], {})
+            except ExpressionError:
+                continue
+            got = abs(hi - lo) + 1
+            if got != want:
+                yield diag(
+                    f"{formal!r} of macro {stmt.macro!r} is {want} bits wide "
+                    f"but is bound to {got} bits",
+                    file=stmt.source_file,
+                    line=stmt.line,
+                    component=stmt.inst,
+                    net=actual.name,
+                )
+
+
+@rule("unused-macro", surface="source", severity="info")
+def check_unused_macro(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A macro is defined but never called (dead after Pass 2).
+
+    Informational only: a pure library file (no top-level statements, like
+    ``library/scald/ecl10k.scald``) legitimately defines macros for other
+    designs to ``include``.
+    """
+    if not ctx.design.top:
+        return  # library file: every macro is an export, not dead code
+    used = {
+        stmt.macro for stmt in _iter_stmts(ctx.design) if isinstance(stmt, UseStmt)
+    }
+    # Macros pulled in from an ``include``d library are a palette, not dead
+    # code: only macros defined alongside the design's own statements count.
+    own_files = {stmt.source_file for stmt in ctx.design.top}
+    for macro in ctx.design.macros.values():
+        if macro.source_file not in own_files:
+            continue
+        if macro.name not in used:
+            yield diag(
+                f"macro {macro.name!r} is defined but never used",
+                file=macro.source_file,
+                line=macro.line,
+            )

@@ -1,0 +1,222 @@
+"""The lint runner: parse, expand, run every enabled rule, filter pragmas.
+
+``lint_path``/``lint_source`` drive the full pipeline over a ``.scald``
+file: the source surface always runs; the circuit surface runs when the
+file is a design (has top-level statements) and macro expansion succeeds.
+Parse and expansion failures are not exceptions here — they become
+diagnostics under the pipeline pseudo-rules ``syntax-error`` and
+``expand-error`` so a lint run always produces a report.
+
+``lint_circuit`` runs the circuit surface alone over a hand-built
+:class:`~repro.netlist.Circuit`; ``netlist.validate`` uses it (with
+``structural_only=True``) to serve its legacy API through the registry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from ..hdl.parser import Design, ScaldSyntaxError, parse
+from ..netlist.circuit import Circuit, Component, Connection, Net
+from .diagnostics import Diagnostic
+from .registry import LintConfig, Rule, all_rules
+
+#: ``-- lint: disable=rule-a,rule-b`` inside a comment.  The pragma applies
+#: to its own line and the following line (so it can sit above a statement).
+_PRAGMA_RE = re.compile(r"--.*?lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+_LINE_RE = re.compile(r"line (\d+)")
+
+
+class CircuitIndex:
+    """Driver/load maps keyed by representative net, built once per run."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.drivers: dict[Net, list[tuple[Component, str, Connection]]] = {}
+        self.loads: dict[Net, list[tuple[Component, str, Connection]]] = {}
+        for comp in circuit.iter_components():
+            for pin, conn in comp.output_pins():
+                rep = circuit.find(conn.net)
+                self.drivers.setdefault(rep, []).append((comp, pin, conn))
+            for pin, conn in comp.input_pins():
+                rep = circuit.find(conn.net)
+                self.loads.setdefault(rep, []).append((comp, pin, conn))
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at.
+
+    ``design`` is ``None`` when linting a hand-built circuit; ``circuit``
+    is ``None`` when expansion failed or the file is a pure macro library.
+    A rule only runs when its declared surface is present.
+    """
+
+    design: Design | None = None
+    circuit: Circuit | None = None
+    _index: CircuitIndex | None = field(default=None, repr=False)
+
+    @property
+    def index(self) -> CircuitIndex:
+        if self._index is None:
+            if self.circuit is None:
+                raise RuntimeError("no circuit surface in this lint context")
+            self._index = CircuitIndex(self.circuit)
+        return self._index
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """The outcome of one lint run."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    files: tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 on errors (``strict`` promotes warnings)."""
+        if self.errors or (strict and self.warnings):
+            return 1
+        return 0
+
+
+def run_rules(ctx: LintContext, config: LintConfig | None = None) -> list[Diagnostic]:
+    """Run every enabled rule whose surface is present; stamp and sort."""
+    config = config or LintConfig()
+    found: list[Diagnostic] = []
+    for r in all_rules():
+        if config.structural_only and not r.structural:
+            continue
+        if not config.enabled(r.id):
+            continue
+        if r.surface == "source" and ctx.design is None:
+            continue
+        if r.surface == "circuit" and ctx.circuit is None:
+            continue
+        severity = config.severity_of(r)
+        for d in r.check(ctx):
+            found.append(replace(d, rule=r.id, severity=severity))
+    found.sort(
+        key=lambda d: (d.file, d.line, d.rule, d.component or "", d.net or "")
+    )
+    return found
+
+
+def lint_circuit(
+    circuit: Circuit, config: LintConfig | None = None
+) -> LintResult:
+    """Run the circuit-surface rules over an already-built circuit."""
+    ctx = LintContext(circuit=circuit)
+    return LintResult(diagnostics=tuple(run_rules(ctx, config)))
+
+
+def lint_source(
+    source: str, filename: str = "", config: LintConfig | None = None
+) -> LintResult:
+    """Lint a ``.scald`` source string (plus anything it includes)."""
+    try:
+        design = parse(source, filename)
+    except ScaldSyntaxError as exc:
+        # The exception text leads with its own "file:line:" — drop it, the
+        # diagnostic's location field already carries the span.
+        message = str(exc)
+        prefix = f"{filename or '<input>'}:{exc.line}: "
+        if message.startswith(prefix):
+            message = message[len(prefix):]
+        d = Diagnostic(
+            rule="syntax-error",
+            severity="error",
+            message=message,
+            file=filename,
+            line=exc.line,
+        )
+        return LintResult(diagnostics=(d,), files=(filename,) if filename else ())
+
+    ctx = LintContext(design=design)
+    pipeline: list[Diagnostic] = []
+    if design.top:
+        # Only a design (not a pure macro library) has a circuit surface.
+        from ..hdl.expander import MacroExpander
+
+        try:
+            ctx.circuit = MacroExpander(design).expand()
+        except ValueError as exc:
+            m = _LINE_RE.search(str(exc))
+            pipeline.append(
+                Diagnostic(
+                    rule="expand-error",
+                    severity="error",
+                    message=str(exc),
+                    file=filename,
+                    line=int(m.group(1)) if m else 0,
+                )
+            )
+
+    found = pipeline + run_rules(ctx, config)
+    files = tuple(design.files_read) or ((filename,) if filename else ())
+    suppressed = _collect_suppressions(source, filename, design.files_read)
+    kept = [d for d in found if not _is_suppressed(d, suppressed)]
+    return LintResult(diagnostics=tuple(kept), files=files)
+
+
+def lint_path(path: str, config: LintConfig | None = None) -> LintResult:
+    """Lint a ``.scald`` file on disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), filename=path, config=config)
+
+
+# ---------------------------------------------------------------------------
+# suppression pragmas
+# ---------------------------------------------------------------------------
+
+
+def _scan_pragmas(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids disabled there (own line + next line)."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _PRAGMA_RE.search(line)
+        if not m:
+            continue
+        ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+        out.setdefault(lineno, set()).update(ids)
+        out.setdefault(lineno + 1, set()).update(ids)
+    return {line: frozenset(ids) for line, ids in out.items()}
+
+
+def _collect_suppressions(
+    source: str, filename: str, files_read: list[str]
+) -> dict[str, dict[int, frozenset[str]]]:
+    by_file: dict[str, dict[int, frozenset[str]]] = {}
+    if filename:
+        by_file[filename] = _scan_pragmas(source)
+    for path in files_read:
+        if path in by_file:
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                by_file[path] = _scan_pragmas(fh.read())
+        except OSError:
+            continue
+    return by_file
+
+
+def _is_suppressed(
+    d: Diagnostic, by_file: dict[str, dict[int, frozenset[str]]]
+) -> bool:
+    if not d.file or not d.line:
+        return False
+    ids = by_file.get(d.file, {}).get(d.line)
+    return bool(ids) and (d.rule in ids or "all" in ids)

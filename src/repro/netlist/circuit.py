@@ -43,6 +43,9 @@ class Net:
     assertion: Assertion | None = None
     wire_delay_ps: tuple[int, int] | None = None
     is_case_signal: bool = False
+    #: ``(source_file, line)`` of the statement that first referenced the
+    #: net, when it came from a ``.scald`` source; None for API-built nets.
+    origin: tuple[str, int] | None = None
 
     def __post_init__(self) -> None:
         if not self.base_name:
@@ -99,6 +102,9 @@ class Component:
     prim: PrimitiveType
     pins: dict[str, Connection] = field(default_factory=dict)
     params: dict[str, object] = field(default_factory=dict)
+    #: ``(source_file, line)`` of the ``prim`` statement this instance was
+    #: expanded from, when known; None for API-built components.
+    origin: tuple[str, int] | None = None
 
     def input_pins(self) -> list[tuple[str, Connection]]:
         """Connected input pins, fixed pins first then variadic in order."""
@@ -292,6 +298,7 @@ class Circuit:
         name: str,
         prim_name: str,
         pins: dict[str, object],
+        origin: tuple[str, int] | None = None,
         **params: object,
     ) -> Component:
         """Add a primitive instance with explicit pin connections."""
@@ -300,7 +307,7 @@ class Circuit:
         prim = lookup(prim_name)
         norm = _normalize_params(prim, params)
         width = int(norm.get("width") or 1)
-        comp = Component(name=name, prim=prim, params=norm)
+        comp = Component(name=name, prim=prim, params=norm, origin=origin)
         valid = set(prim.all_fixed_pins())
         for pin, ref in pins.items():
             if pin not in valid and not (

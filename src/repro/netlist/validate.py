@@ -3,13 +3,21 @@
 The Macro Expander performed these checks while expanding the design
 (section 3.3.1 — "checks the design for syntax errors"); we run them on the
 flat circuit so that hand-built circuits get the same protection.
+
+The checks themselves live in the lint rule registry
+(``repro.lint.rules_circuit``, the rules marked ``structural``) so that
+``scald-lint`` and the verifier share a single diagnostics pipeline; this
+module keeps the legacy :class:`ValidationIssue` API and maps the registry's
+diagnostics onto it.  The structural rule set is served with overrides
+disabled — nothing the engine would flag at runtime can be suppressed or
+downgraded from here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .circuit import Circuit, Component, Net
+from .circuit import Circuit
 
 
 @dataclass(frozen=True)
@@ -39,97 +47,26 @@ class InvalidCircuitError(ValueError):
 def validate(circuit: Circuit) -> list[ValidationIssue]:
     """Collect structural issues without raising.
 
-    Errors: missing required input pins, unconnected outputs on non-checker
-    primitives, more than one driver on a net.  Warnings: driven nets that
-    also carry a clock/stable assertion (the assertion will be *checked*
-    against the computed value rather than drive it — section 2.5.2), and
-    case signals that are never referenced.
+    Errors: missing required input pins, unconnected outputs, inverted or
+    directive-carrying output connections, more than one driver on a net.
+    Warnings: driven nets that also carry a clock assertion (the assertion
+    wins — section 2.5.2), and case signals that are never referenced.
     """
-    issues: list[ValidationIssue] = []
-    driver_count: dict[Net, list[str]] = {}
+    # Imported lazily: repro.netlist's __init__ imports this module, and
+    # the lint package imports repro.netlist.circuit.
+    from ..lint.registry import LintConfig
+    from ..lint.runner import lint_circuit
 
-    for comp in circuit.iter_components():
-        connected_inputs = {pin for pin, _ in comp.input_pins()}
-        for pin in comp.prim.inputs:
-            if pin not in connected_inputs:
-                issues.append(
-                    ValidationIssue(
-                        "error",
-                        f"required input pin {pin!r} is not connected",
-                        component=comp.name,
-                    )
-                )
-        if comp.prim.variadic_input and not connected_inputs:
-            issues.append(
-                ValidationIssue(
-                    "error", "gate has no inputs connected", component=comp.name
-                )
-            )
-        for pin in comp.prim.outputs:
-            if pin not in comp.pins:
-                issues.append(
-                    ValidationIssue(
-                        "error",
-                        f"output pin {pin!r} is not connected",
-                        component=comp.name,
-                    )
-                )
-        for pin, conn in comp.output_pins():
-            rep = circuit.find(conn.net)
-            driver_count.setdefault(rep, []).append(f"{comp.name}.{pin}")
-            if conn.invert:
-                issues.append(
-                    ValidationIssue(
-                        "error",
-                        f"output pin {pin!r} may not be inverted at the net",
-                        component=comp.name,
-                    )
-                )
-            if conn.directives:
-                issues.append(
-                    ValidationIssue(
-                        "error",
-                        f"evaluation directives belong on inputs, not output {pin!r}",
-                        component=comp.name,
-                    )
-                )
-
-    for rep, drivers in driver_count.items():
-        if len(drivers) > 1:
-            issues.append(
-                ValidationIssue(
-                    "error",
-                    f"net has {len(drivers)} drivers ({', '.join(drivers)}); "
-                    "wired logic must be modelled with an explicit gate",
-                    net=rep.name,
-                )
-            )
-        if rep.assertion is not None and rep.assertion.kind.is_clock:
-            issues.append(
-                ValidationIssue(
-                    "warning",
-                    "clock-asserted signal is also driven by logic; the "
-                    "assertion value wins and the driver is ignored",
-                    net=rep.name,
-                )
-            )
-
-    referenced = set()
-    for comp in circuit.iter_components():
-        for _pin, conn in list(comp.input_pins()) + list(comp.output_pins()):
-            referenced.add(circuit.find(conn.net))
-    for case in circuit.cases:
-        for name in case:
-            net = circuit.nets.get(name)
-            if net is not None and circuit.find(net) not in referenced:
-                issues.append(
-                    ValidationIssue(
-                        "warning",
-                        "case-analysis signal is not referenced by any primitive",
-                        net=name,
-                    )
-                )
-    return issues
+    result = lint_circuit(circuit, LintConfig(structural_only=True))
+    return [
+        ValidationIssue(
+            severity=d.severity,
+            message=d.message,
+            component=d.component,
+            net=d.net,
+        )
+        for d in result.diagnostics
+    ]
 
 
 def check(circuit: Circuit) -> list[ValidationIssue]:

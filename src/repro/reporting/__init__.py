@@ -2,10 +2,13 @@
 
 from .diagram import render_waveform, timing_diagram
 from .explain import PathHop, SettleExplainer, explain_violation
+from .lintfmt import lint_json, lint_text
 from .listing import phase_table, timing_summary, violation_listing, xref_listing
 from .stats import StorageReport, measure_storage
 
 __all__ = [
+    "lint_json",
+    "lint_text",
     "render_waveform",
     "timing_diagram",
     "PathHop",

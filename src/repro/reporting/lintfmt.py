@@ -1,0 +1,46 @@
+"""Reporters for lint results: compiler-style text and machine JSON.
+
+Kept in ``repro.reporting`` beside the thesis listings so every
+human-facing output format lives in one package; ``repro.lint`` produces
+plain :class:`~repro.lint.Diagnostic` data and knows nothing about
+rendering.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..lint.runner import LintResult
+
+
+def lint_text(result: LintResult) -> str:
+    """Compiler-style report: one ``file:line: severity[rule]: ...`` line each.
+
+    Ends with a one-line summary in the style of the thesis's error
+    listing trailer.
+    """
+    lines = [str(d) for d in result.diagnostics]
+    errors = len(result.errors)
+    warnings = len(result.warnings)
+    infos = len(result.diagnostics) - errors - warnings
+    if not result.diagnostics:
+        lines.append("lint clean: no findings.")
+    else:
+        lines.append(
+            f"{errors} error(s), {warnings} warning(s), {infos} note(s)."
+        )
+    return "\n".join(lines)
+
+
+def lint_json(result: LintResult) -> str:
+    """The result as a JSON document (stable key order, for tooling)."""
+    doc = {
+        "files": list(result.files),
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "total": len(result.diagnostics),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

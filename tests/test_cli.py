@@ -81,3 +81,60 @@ class TestCli:
         bad.write_text("design X; this is not scald")
         assert main([str(bad)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestWireDelayValidation:
+    def test_inverted_range_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--wire-delay", "3.0:1.0"]) == 2
+        assert "MIN must not exceed MAX" in capsys.readouterr().err
+
+    def test_negative_min_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--wire-delay=-1.0:2.0"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_negative_max_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--wire-delay", "0.0:-2.0"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_equal_bounds_accepted(self, clean_file):
+        assert main([clean_file, "--wire-delay", "1.5:1.5"]) == 0
+
+
+STRUCT_WARN = """
+design W;
+period 50 ns;
+clock_unit 6.25 ns;
+prim AND g (I1="A .S0-6", I2="B .S0-6", OUT="CK .P2-3") delay=1.0:2.0;
+prim REG r (CLOCK="CK .P2-3", DATA="D .S0-6", OUT="Q") delay=1.5:4.5;
+"""
+
+
+class TestStructureWarnings:
+    def test_warnings_surfaced_in_output(self, tmp_path, capsys):
+        path = tmp_path / "warn.scald"
+        path.write_text(STRUCT_WARN)
+        main([str(path)])
+        out = capsys.readouterr().out
+        assert "structure: WARNING" in out
+        assert "clock-asserted signal is also driven" in out
+
+    def test_clean_design_prints_no_structure_block(self, clean_file, capsys):
+        assert main([clean_file]) == 0
+        assert "structure:" not in capsys.readouterr().out
+
+
+class TestLintFlag:
+    def test_lint_flag_reports_findings(self, clean_file, capsys):
+        assert main([clean_file, "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "dead-net" in out  # Q is driven but unread: advisory only
+
+    def test_lint_errors_force_nonzero_exit(self, capsys):
+        code = main(["tests/fixtures/gated_clock.scald", "--lint"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gated-clock" in out and "short-directive" in out
+
+    def test_without_flag_no_lint_output(self, clean_file, capsys):
+        assert main([clean_file]) == 0
+        assert "dead-net" not in capsys.readouterr().out

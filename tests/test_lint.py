@@ -1,0 +1,616 @@
+"""Tests for repro.lint: the rule registry, every rule, and the runner.
+
+Each rule gets at least one positive case (the rule fires, with the right
+``file:line`` span when the construct came from source) and one negative
+case (a clean construct does not fire).
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    all_rules,
+    get_rule,
+    lint_circuit,
+    lint_path,
+    lint_source,
+)
+from repro.lint.cli import main as lint_main
+from repro.netlist import Circuit, Connection
+
+FIXTURE = "tests/fixtures/gated_clock.scald"
+
+
+def circuit():
+    return Circuit("t", period_ns=50.0, clock_unit_ns=6.25)
+
+
+def ids(result):
+    return {d.rule for d in result.diagnostics}
+
+
+def only(result, rule_id):
+    found = [d for d in result.diagnostics if d.rule == rule_id]
+    assert found, f"expected {rule_id} to fire; got {ids(result)}"
+    return found
+
+
+HEADER = "design T;\nperiod 50 ns;\n"
+
+
+def lint_text_src(body, config=None):
+    return lint_source(HEADER + body, filename="t.scald", config=config)
+
+
+class TestRegistry:
+    def test_catalogue_is_nonempty_and_sorted(self):
+        rules = all_rules()
+        assert len(rules) >= 20
+        assert [r.id for r in rules] == sorted(r.id for r in rules)
+
+    def test_rules_have_docs_and_valid_severities(self):
+        for r in all_rules():
+            assert r.doc, f"{r.id} has no one-line description"
+            assert r.severity in ("error", "warning", "info")
+            assert r.surface in ("source", "circuit")
+
+    def test_structural_subset_matches_validate(self):
+        structural = {r.id for r in all_rules() if r.structural}
+        assert structural == {
+            "missing-input",
+            "checker-unconnected",
+            "no-inputs",
+            "unconnected-output",
+            "inverted-output",
+            "output-directives",
+            "multiple-drivers",
+            "driven-clock",
+            "unused-case-signal",
+        }
+
+    def test_get_rule(self):
+        assert get_rule("gated-clock").severity == "error"
+
+    def test_severity_override_honoured(self):
+        c = circuit()
+        c.buf("DEAD", "A .S0-6", name="b")
+        config = LintConfig(severities={"dead-net": "error"})
+        result = lint_circuit(c, config)
+        assert only(result, "dead-net")[0].severity == "error"
+        assert result.exit_code() == 1
+
+    def test_structural_only_ignores_downgrades(self):
+        """The engine's error set can never be downgraded from validate()."""
+        c = circuit()
+        c.gate("AND", "X", ["A .S0-6"], name="g1")
+        c.gate("OR", "X", ["B .S0-6"], name="g2")
+        config = LintConfig(
+            severities={"multiple-drivers": "info"}, structural_only=True
+        )
+        result = lint_circuit(c, config)
+        assert only(result, "multiple-drivers")[0].severity == "error"
+
+    def test_disabled_rule_does_not_run(self):
+        c = circuit()
+        c.buf("DEAD", "A .S0-6", name="b")
+        result = lint_circuit(c, LintConfig(disabled=frozenset({"dead-net"})))
+        assert "dead-net" not in ids(result)
+
+
+class TestDiagnostics:
+    def test_str_carries_location_rule_and_subject(self):
+        d = Diagnostic(
+            rule="x-rule", severity="error", message="boom",
+            file="a.scald", line=7, component="g1",
+        )
+        assert str(d) == "a.scald:7: error[x-rule]: boom [g1]"
+
+    def test_location_absent_for_api_circuits(self):
+        d = Diagnostic(rule="r", severity="info", message="m")
+        assert d.location() == ""
+        assert str(d) == "info[r]: m"
+
+    def test_to_dict_round_trips_through_json(self):
+        d = Diagnostic(rule="r", severity="warning", message="m", net="N")
+        assert json.loads(json.dumps(d.to_dict()))["net"] == "N"
+
+
+class TestSourceRules:
+    def test_unknown_primitive_fires_with_span(self):
+        result = lint_text_src('prim FLUX f (OUT="X") delay=1:2;\n')
+        d = only(result, "unknown-primitive")[0]
+        assert (d.file, d.line) == ("t.scald", 3)
+        assert "FLUX" in d.message
+
+    def test_unknown_primitive_negative(self):
+        result = lint_text_src('prim BUF b (I="A .S0-6", OUT="X") delay=1:2;\n')
+        assert "unknown-primitive" not in ids(result)
+
+    def test_unknown_primitive_inside_macro_body(self):
+        result = lint_text_src(
+            'macro "M" ();\n  param "Q";\n'
+            '  prim WIDGET w (OUT="Q"/P) delay=1:2;\nendmacro;\n'
+            'use "M" u (Q="X");\n'
+        )
+        assert only(result, "unknown-primitive")[0].line == 5
+
+    def test_unknown_macro_fires_with_span(self):
+        result = lint_text_src('use "NOPE" u (Q="X");\n')
+        d = only(result, "unknown-macro")[0]
+        assert (d.file, d.line) == ("t.scald", 3)
+
+    def test_unknown_macro_negative(self):
+        result = lint_text_src(
+            'macro "M" ();\n  param "Q";\n'
+            '  prim BUF b (I="A .S0-6", OUT="Q"/P) delay=1:2;\nendmacro;\n'
+            'use "M" u (Q="X");\n'
+        )
+        assert "unknown-macro" not in ids(result)
+
+    def test_macro_width_mismatch_fires_at_use_site(self):
+        result = lint_text_src(
+            'macro "M" (SIZE);\n  param "A"<0:SIZE-1>, "Q"<0:SIZE-1>;\n'
+            '  prim BUF b (I="A"/P<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)'
+            " delay=1:2 width=SIZE;\nendmacro;\n"
+            'use "M" u (A="IN .S0-6"<0:3>, Q="OUT"<0:7>) SIZE=8;\n'
+        )
+        d = only(result, "macro-width-mismatch")[0]
+        assert d.line == 7
+        assert "8 bits wide" in d.message and "4 bits" in d.message
+
+    def test_macro_width_match_negative(self):
+        result = lint_text_src(
+            'macro "M" (SIZE);\n  param "A"<0:SIZE-1>, "Q"<0:SIZE-1>;\n'
+            '  prim BUF b (I="A"/P<0:SIZE-1>, OUT="Q"/P<0:SIZE-1>)'
+            " delay=1:2 width=SIZE;\nendmacro;\n"
+            'use "M" u (A="IN .S0-6"<0:7>, Q="OUT"<0:7>) SIZE=8;\n'
+        )
+        assert "macro-width-mismatch" not in ids(result)
+
+    def test_unused_macro_fires_at_definition(self):
+        result = lint_text_src(
+            'prim BUF b (I="A .S0-6", OUT="X") delay=1:2;\n'
+            'macro "SPARE" ();\n  param "Q";\n'
+            '  prim BUF s (I="A"/P, OUT="Q"/P) delay=1:2;\nendmacro;\n'
+        )
+        d = only(result, "unused-macro")[0]
+        assert d.line == 4 and d.severity == "info"
+
+    def test_unused_macro_skips_included_libraries(self, tmp_path):
+        """Macros pulled in via ``include`` are a palette, not dead code."""
+        lib = tmp_path / "lib.scald"
+        lib.write_text(
+            'macro "SPARE" ();\n  param "Q";\n'
+            '  prim BUF s (I="A .S0-6", OUT="Q"/P) delay=1:2;\nendmacro;\n'
+        )
+        top = tmp_path / "top.scald"
+        top.write_text(
+            HEADER + 'include "lib.scald";\n'
+            'prim BUF b (I="A .S0-6", OUT="X") delay=1:2;\n'
+        )
+        assert "unused-macro" not in ids(lint_path(str(top)))
+
+    def test_unused_macro_skips_library_files(self):
+        """A pure macro library exports macros; none of them are 'dead'."""
+        result = lint_source(
+            'macro "EXPORTED" ();\n  param "Q";\n'
+            '  prim BUF b (I="A"/P, OUT="Q"/P) delay=1:2;\nendmacro;\n',
+            filename="lib.scald",
+        )
+        assert "unused-macro" not in ids(result)
+
+
+class TestPipelineDiagnostics:
+    def test_syntax_error_becomes_diagnostic(self):
+        result = lint_source("design ;;;;\n", filename="bad.scald")
+        d = only(result, "syntax-error")[0]
+        assert d.severity == "error" and d.file == "bad.scald" and d.line >= 1
+
+    def test_expand_error_becomes_diagnostic(self):
+        result = lint_source(
+            'design T;\nprim BUF b (I="A .S0-6", OUT="X") delay=1:2;\n',
+            filename="t.scald",
+        )
+        d = only(result, "expand-error")[0]
+        assert "period" in d.message
+
+    def test_library_file_skips_circuit_surface(self):
+        result = lint_path("src/repro/library/scald/ecl10k.scald")
+        assert result.ok and not result.diagnostics
+
+
+class TestStructuralRules:
+    def test_missing_input(self):
+        c = circuit()
+        c.add("r", "REG", {"CLOCK": "CK .P2-3", "OUT": "Q"})
+        d = only(lint_circuit(c), "missing-input")[0]
+        assert "'DATA'" in d.message and d.component == "r"
+
+    def test_missing_input_negative(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        assert "missing-input" not in ids(lint_circuit(c))
+
+    def test_checker_unconnected(self):
+        c = circuit()
+        c.add("chk", "SETUP_HOLD_CHK", {"I": "D .S0-6"}, setup=2.5, hold=1.5)
+        d = only(lint_circuit(c), "checker-unconnected")[0]
+        assert "'CK'" in d.message and "guards nothing" in d.message
+
+    def test_checker_connected_negative(self):
+        c = circuit()
+        c.setup_hold("D .S0-6", "CK .P2-3", setup=2.5, hold=1.5)
+        assert "checker-unconnected" not in ids(lint_circuit(c))
+
+    def test_no_inputs_on_variadic_gate(self):
+        c = circuit()
+        c.add("g", "AND", {"OUT": "X"})
+        only(lint_circuit(c), "no-inputs")
+
+    def test_unconnected_output(self):
+        c = circuit()
+        c.add("r", "REG", {"CLOCK": "CK .P2-3", "DATA": "D .S0-6"})
+        only(lint_circuit(c), "unconnected-output")
+
+    def test_inverted_output(self):
+        c = circuit()
+        c.add("g", "BUF", {"I": "A .S0-6",
+                           "OUT": Connection(net=c.net("B"), invert=True)})
+        only(lint_circuit(c), "inverted-output")
+
+    def test_output_directives(self):
+        c = circuit()
+        c.add("g", "BUF", {"I": "A .S0-6",
+                           "OUT": Connection(net=c.net("B"), directives="H")})
+        only(lint_circuit(c), "output-directives")
+
+    def test_multiple_drivers(self):
+        c = circuit()
+        c.gate("AND", "X", ["A .S0-6"], name="g1")
+        c.gate("OR", "X", ["B .S0-6"], name="g2")
+        d = only(lint_circuit(c), "multiple-drivers")[0]
+        assert "g1.OUT" in d.message and "g2.OUT" in d.message
+
+    def test_driven_clock(self):
+        c = circuit()
+        c.gate("AND", "CK .P2-3", ["A .S0-6", "B .S0-6"], name="g1")
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        d = only(lint_circuit(c), "driven-clock")[0]
+        assert d.severity == "warning"
+
+    def test_unused_case_signal(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        c.add_case_by_name({"ORPHAN": 1})
+        only(lint_circuit(c), "unused-case-signal")
+
+    def test_used_case_signal_negative(self):
+        c = circuit()
+        c.gate("AND", "X", ["SEL .S0-6", "D .S0-6"], name="g")
+        c.add_case_by_name({"SEL .S0-6": 1})
+        assert "unused-case-signal" not in ids(lint_circuit(c))
+
+
+class TestCombinationalLoop:
+    def test_two_gate_loop_fires_once(self):
+        c = circuit()
+        c.add("n1", "NOT", {"I": "A", "OUT": "B"}, delay=(1.0, 2.0))
+        c.add("n2", "NOT", {"I": "B", "OUT": "A"}, delay=(1.0, 2.0))
+        found = only(lint_circuit(c), "combinational-loop")
+        assert len(found) == 1
+        assert "n1" in found[0].message and "n2" in found[0].message
+
+    def test_self_loop_fires(self):
+        c = circuit()
+        c.gate("AND", "X", ["X", "A .S0-6"], name="g")
+        only(lint_circuit(c), "combinational-loop")
+
+    def test_registered_cut_negative(self):
+        """A feedback path through a register is a legal synchronous loop."""
+        c = circuit()
+        c.gate("AND", "D", ["Q", "A .S0-6"], name="g")
+        c.reg("Q", clock="CK .P2-3", data="D")
+        assert "combinational-loop" not in ids(lint_circuit(c))
+
+
+class TestGatedClock:
+    def test_undirected_clock_gate_fires(self):
+        c = circuit()
+        c.gate("AND", "GCLK", ["CK .P2-3", "EN .S0-6"], name="g")
+        d = only(lint_circuit(c), "gated-clock")[0]
+        assert d.severity == "error" and "Figure 1-5" in d.message
+
+    def test_stability_directive_negative(self):
+        c = circuit()
+        ck = Connection(net=c.net("CK .P2-3"), directives="H")
+        c.gate("AND", "GCLK", [ck, "EN .S0-6"], name="g")
+        assert "gated-clock" not in ids(lint_circuit(c))
+
+    def test_inherited_directive_negative(self):
+        """A letter written upstream rides the waveform one level per gate."""
+        c = circuit()
+        ck = Connection(net=c.net("CK .P2-3"), directives="EA")
+        c.buf("CKB", ck, name="b")
+        c.gate("AND", "GCLK", ["CKB", "EN .S0-6"], name="g")
+        assert "gated-clock" not in ids(lint_circuit(c))
+
+    def test_exhausted_inherited_directive_fires(self):
+        """The upstream string ran out one level too early."""
+        c = circuit()
+        ck = Connection(net=c.net("CK .P2-3"), directives="E")
+        c.buf("CKB", ck, name="b")
+        c.gate("AND", "GCLK", ["CKB", "EN .S0-6"], name="g")
+        only(lint_circuit(c), "gated-clock")
+
+    def test_single_input_gate_negative(self):
+        """A buffer on a clock is distribution, not gating."""
+        c = circuit()
+        c.buf("CKB", "CK .P2-3", name="b")
+        assert "gated-clock" not in ids(lint_circuit(c))
+
+
+class TestShortDirective:
+    def test_string_shorter_than_depth_fires(self):
+        c = circuit()
+        a = Connection(net=c.net("A .S0-6"), directives="E")
+        c.gate("AND", "N1", [a, "B .S0-6"], name="g1")
+        c.gate("AND", "N2", ["N1", "B .S0-6"], name="g2")
+        d = only(lint_circuit(c), "short-directive")[0]
+        assert d.component == "g1" and "2 levels deep" in d.message
+
+    def test_string_covering_depth_negative(self):
+        c = circuit()
+        a = Connection(net=c.net("A .S0-6"), directives="EE")
+        c.gate("AND", "N1", [a, "B .S0-6"], name="g1")
+        c.gate("AND", "N2", ["N1", "B .S0-6"], name="g2")
+        assert "short-directive" not in ids(lint_circuit(c))
+
+    def test_depth_stops_at_storage_elements(self):
+        """Registers don't consume directive letters (section 2.6)."""
+        c = circuit()
+        a = Connection(net=c.net("A .S0-6"), directives="E")
+        c.gate("AND", "D", [a, "B .S0-6"], name="g1")
+        c.reg("Q", clock="CK .P2-3", data="D")
+        assert "short-directive" not in ids(lint_circuit(c))
+
+
+class TestCaseOnClock:
+    def test_case_on_clock_fires(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        c.add_case_by_name({"CK .P2-3": 1})
+        d = only(lint_circuit(c), "case-on-clock")[0]
+        assert "never STABLE" in d.message
+
+    def test_case_on_stable_signal_negative(self):
+        c = circuit()
+        c.gate("AND", "X", ["SEL .S0-6", "D .S0-6"], name="g")
+        c.add_case_by_name({"SEL .S0-6": 1})
+        assert "case-on-clock" not in ids(lint_circuit(c))
+
+
+class TestUnassertedInput:
+    def test_plain_input_fires(self):
+        c = circuit()
+        c.gate("AND", "X", ["PLAIN", "B .S0-6"], name="g")
+        d = only(lint_circuit(c), "unasserted-input")[0]
+        assert d.net == "PLAIN" and "assume" in d.message
+
+    def test_asserted_input_negative(self):
+        c = circuit()
+        c.gate("AND", "X", ["A .S0-6", "B .S0-6"], name="g")
+        assert "unasserted-input" not in ids(lint_circuit(c))
+
+    def test_supply_rails_negative(self):
+        c = circuit()
+        c.gate("AND", "X", ["GND", "VCC"], name="g")
+        assert "unasserted-input" not in ids(lint_circuit(c))
+
+    def test_case_signal_negative(self):
+        """Case analysis supplies the value deliberately (section 2.7)."""
+        c = circuit()
+        c.gate("AND", "X", ["SEL", "B .S0-6"], name="g")
+        c.add_case_by_name({"SEL": 1})
+        assert "unasserted-input" not in ids(lint_circuit(c))
+
+    def test_driven_net_negative(self):
+        c = circuit()
+        c.buf("MID", "A .S0-6", name="b")
+        c.gate("AND", "X", ["MID", "B .S0-6"], name="g")
+        assert "unasserted-input" not in ids(lint_circuit(c))
+
+
+class TestAssertionRules:
+    def test_conflicting_assertions_on_alias_chain(self):
+        c = circuit()
+        c.net("A .S0-6")
+        c.net("B .P2-3")
+        c.alias("A .S0-6", "B .P2-3")
+        d = only(lint_circuit(c), "conflicting-assertions")[0]
+        assert d.severity == "error" and "silently discarded" in d.message
+
+    def test_alias_with_one_assertion_negative(self):
+        c = circuit()
+        c.alias("A .S0-6", "B")
+        assert "conflicting-assertions" not in ids(lint_circuit(c))
+
+    def test_assertion_mismatch_same_base(self):
+        c = circuit()
+        c.reg("Q1", clock="CK .P2-3", data="D .S0-6", name="r1")
+        c.reg("Q2", clock="CK .P4-5", data="D .S0-6", name="r2")
+        d = only(lint_circuit(c), "assertion-mismatch")[0]
+        assert "'CK'" in d.message and "distinct" in d.message
+
+    def test_assertion_mismatch_not_duplicated_for_aliases(self):
+        """Aliased nets are one signal: the error rule covers them."""
+        c = circuit()
+        c.net("A .S0-6")
+        c.net("A .P2-3")
+        c.alias("A .S0-6", "A .P2-3")
+        result = lint_circuit(c)
+        assert "conflicting-assertions" in ids(result)
+        assert "assertion-mismatch" not in ids(result)
+
+    def test_consistent_assertions_negative(self):
+        c = circuit()
+        c.reg("Q1", clock="CK .P2-3", data="D .S0-6", name="r1")
+        c.reg("Q2", clock="CK .P2-3", data="D .S0-6", name="r2")
+        assert "assertion-mismatch" not in ids(lint_circuit(c))
+
+
+class TestSkewedPulseCheck:
+    def test_nonprecision_clock_default_skew_fires(self):
+        c = circuit()
+        c.min_pulse_width("CK .C2-3", min_high=4.0, name="mpw")
+        d = only(lint_circuit(c), "skewed-pulse-check")[0]
+        assert "±5 ns" in d.message or "5 ns" in d.message
+
+    def test_precision_clock_negative(self):
+        c = circuit()
+        c.min_pulse_width("CK .P2-3", min_high=4.0, name="mpw")
+        assert "skewed-pulse-check" not in ids(lint_circuit(c))
+
+    def test_explicit_skew_negative(self):
+        c = circuit()
+        c.min_pulse_width("CK .C2-3(1,1)", min_high=4.0, name="mpw")
+        assert "skewed-pulse-check" not in ids(lint_circuit(c))
+
+
+class TestDeadNet:
+    def test_driven_unread_net_fires_as_info(self):
+        c = circuit()
+        c.buf("DEAD", "A .S0-6", name="b")
+        d = only(lint_circuit(c), "dead-net")[0]
+        assert d.severity == "info" and d.net == "DEAD"
+
+    def test_read_net_negative(self):
+        c = circuit()
+        c.buf("MID", "A .S0-6", name="b1")
+        c.buf("OUT1", "MID", name="b2")
+        assert not [d for d in lint_circuit(c).diagnostics
+                    if d.rule == "dead-net" and d.net == "MID"]
+
+
+class TestSuppression:
+    def test_pragma_suppresses_on_next_line(self):
+        src = HEADER + (
+            "-- lint: disable=gated-clock\n"
+            'prim AND g (I1="CK .P2-3", I2="EN .S0-6", OUT="GCLK") delay=1:2;\n'
+            'prim REG r (CLOCK="GCLK", DATA="D .S0-6", OUT="Q") delay=1.5:4.5;\n'
+        )
+        result = lint_source(src, filename="t.scald")
+        assert "gated-clock" not in ids(result)
+
+    def test_pragma_only_covers_its_own_rule(self):
+        src = HEADER + (
+            "-- lint: disable=dead-net\n"
+            'prim AND g (I1="CK .P2-3", I2="EN .S0-6", OUT="GCLK") delay=1:2;\n'
+            'prim REG r (CLOCK="GCLK", DATA="D .S0-6", OUT="Q") delay=1.5:4.5;\n'
+        )
+        result = lint_source(src, filename="t.scald")
+        assert "gated-clock" in ids(result)
+
+    def test_all_wildcard(self):
+        src = HEADER + (
+            'prim AND g (I1="CK .P2-3", I2="EN .S0-6", OUT="GCLK")'
+            " delay=1:2;  -- lint: disable=all\n"
+            'prim REG r (CLOCK="GCLK", DATA="D .S0-6", OUT="Q") delay=1.5:4.5;\n'
+        )
+        result = lint_source(src, filename="t.scald")
+        assert "gated-clock" not in ids(result)
+
+    def test_other_lines_unaffected(self):
+        src = HEADER + (
+            'prim AND g (I1="CK .P2-3", I2="EN .S0-6", OUT="GCLK") delay=1:2;\n'
+            "-- lint: disable=gated-clock (wrong place: two lines below)\n"
+        )
+        result = lint_source(src, filename="t.scald")
+        assert "gated-clock" in ids(result)
+
+
+class TestFixtureSpans:
+    def test_fixture_reports_both_hazards_with_lines(self):
+        result = lint_path(FIXTURE)
+        gated = only(result, "gated-clock")[0]
+        short = only(result, "short-directive")[0]
+        assert gated.file == FIXTURE and gated.line == 10
+        assert short.file == FIXTURE and short.line == 13
+        assert result.exit_code() == 1
+
+    def test_macro_expanded_components_keep_use_site_span(self):
+        """Provenance survives expansion: diagnostics on expanded components
+        point at real source lines."""
+        src = HEADER + (
+            'macro "BADGATE" ();\n  param "CK", "Q";\n'
+            '  prim AND g (I1="CK"/P, I2="EN .S0-6", OUT="Q"/P) delay=1:2;\n'
+            "endmacro;\n"
+            'use "BADGATE" u (CK="MAIN CLK .P2-3", Q="GCLK");\n'
+            'prim REG r (CLOCK="GCLK", DATA="D .S0-6", OUT="Q1") delay=1.5:4.5;\n'
+        )
+        result = lint_source(src, filename="t.scald")
+        d = only(result, "gated-clock")[0]
+        assert d.file == "t.scald" and d.line == 5  # the prim inside the macro
+
+
+class TestLintCli:
+    def test_clean_design_exits_zero(self, capsys):
+        assert lint_main(["examples/designs/shifter.scald"]) == 0
+        assert "dead-net" in capsys.readouterr().out
+
+    def test_fixture_exits_nonzero_with_both_findings(self, capsys):
+        assert lint_main([FIXTURE]) == 1
+        out = capsys.readouterr().out
+        assert "gated-clock" in out and "short-directive" in out
+        assert f"{FIXTURE}:10" in out
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        path = tmp_path / "w.scald"
+        path.write_text(
+            HEADER
+            + 'prim AND g (I1="PLAIN", I2="B .S0-6", OUT="X") delay=1:2;\n'
+            + 'prim BUF b (I="X", OUT="Y") delay=1:2;\n'
+        )
+        assert lint_main([str(path)]) == 0
+        capsys.readouterr()
+        assert lint_main(["--strict", str(path)]) == 1
+
+    def test_json_format(self, capsys):
+        assert lint_main(["--format", "json", FIXTURE]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["errors"] == 1
+        assert any(d["rule"] == "gated-clock" for d in doc["diagnostics"])
+
+    def test_disable_flag(self, capsys):
+        code = lint_main(["--disable", "gated-clock,short-directive", FIXTURE])
+        assert code == 0
+        assert "gated-clock" not in capsys.readouterr().out
+
+    def test_unknown_disable_rejected(self, capsys):
+        assert lint_main(["--disable", "no-such-rule", FIXTURE]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "gated-clock" in out and "structural" in out
+
+    def test_no_designs_is_usage_error(self, capsys):
+        assert lint_main([]) == 2
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert lint_main(["no/such/file.scald"]) == 2
+
+    def test_multiple_files_prefixed(self, capsys):
+        code = lint_main(["examples/designs/shifter.scald", FIXTURE])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "== examples/designs/shifter.scald ==" in out
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path, capsys):
+        path = tmp_path / "bad.scald"
+        path.write_text("design ;;;;\n")
+        assert lint_main([str(path)]) == 1
+        assert "syntax-error" in capsys.readouterr().out

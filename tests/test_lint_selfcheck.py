@@ -1,0 +1,33 @@
+"""Self-lint smoke test: every ``.scald`` file shipped in the repository
+must come through ``scald-lint`` with zero errors.
+
+This keeps the example designs and the primitive library honest against
+the analyzer (and the analyzer honest against real inputs): a new rule
+that misfires on known-good sources, or a library edit that introduces a
+real hazard, both fail here.
+"""
+
+import glob
+
+import pytest
+
+from repro.lint import lint_path
+
+SHIPPED = sorted(
+    glob.glob("examples/designs/*.scald")
+    + glob.glob("src/repro/library/scald/*.scald")
+)
+
+
+def test_corpus_is_nonempty():
+    assert SHIPPED, "expected shipped .scald sources to self-lint"
+
+
+@pytest.mark.parametrize("path", SHIPPED)
+def test_shipped_scald_lints_clean(path):
+    result = lint_path(path)
+    errors = result.errors
+    assert not errors, "\n".join(str(d) for d in errors)
+    # Shipped sources should not carry latent hazards either.
+    warnings = result.warnings
+    assert not warnings, "\n".join(str(d) for d in warnings)

@@ -237,3 +237,62 @@ class TestValidation:
         )
         issues = validate(c)
         assert any("directives belong on inputs" in i.message for i in issues)
+
+
+class TestValidationEdgeCases:
+    """Corner cases of the structural checks (served via the lint registry)."""
+
+    def test_multi_driver_through_transitive_synonym_chain(self):
+        """Two drivers that only collide after union-find resolution."""
+        c = circuit()
+        c.gate("AND", "X", ["A .S0-6"], name="g1")
+        c.gate("OR", "Y", ["B .S0-6"], name="g2")
+        c.alias("X", "MID")
+        c.alias("MID", "Y")
+        issues = validate(c)
+        conflict = [i for i in issues if "drivers" in i.message]
+        assert len(conflict) == 1
+        assert "g1.OUT" in conflict[0].message
+        assert "g2.OUT" in conflict[0].message
+
+    def test_variadic_gate_with_zero_inputs(self):
+        c = circuit()
+        c.add("g", "NOR", {"OUT": "X"})
+        issues = validate(c)
+        assert any(
+            i.severity == "error" and i.message == "gate has no inputs connected"
+            for i in issues
+        )
+
+    def test_inverted_and_directive_outputs_both_reported(self):
+        c = circuit()
+        c.add("g1", "BUF", {"I": "A .S0-6",
+                            "OUT": Connection(net=c.net("B"), invert=True)})
+        c.add("g2", "BUF", {"I": "A .S0-6",
+                            "OUT": Connection(net=c.net("D"), directives="H")})
+        issues = validate(c)
+        errors = {i.message for i in issues if i.severity == "error"}
+        assert "output pin 'OUT' may not be inverted at the net" in errors
+        assert (
+            "evaluation directives belong on inputs, not output 'OUT'" in errors
+        )
+
+    def test_checker_missing_clock_is_error(self):
+        c = circuit()
+        c.add("chk", "SETUP_HOLD_CHK", {"I": "D .S0-6"}, setup=2.5, hold=1.5)
+        with pytest.raises(InvalidCircuitError, match="CK"):
+            check(c)
+
+    def test_unreferenced_case_signal_warns(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        c.add_case_by_name({"GHOST": 1})
+        warnings = check(c)
+        assert any("not referenced" in w.message for w in warnings)
+
+    def test_clean_circuit_still_passes_through_registry(self):
+        """validate() is now served by repro.lint; a clean circuit stays clean."""
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6")
+        c.setup_hold("D .S0-6", "CK .P2-3", setup=2.5, hold=1.5)
+        assert validate(c) == []
