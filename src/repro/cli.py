@@ -36,6 +36,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print Table 3-1 style execution statistics",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="print the execution profile: per-phase wall times, events, "
+        "evaluations, events/primitive, and engine cache-hit counters",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --profile, emit the profile as JSON instead of text",
+    )
+    parser.add_argument(
         "--wire-delay", metavar="MIN:MAX", default=None,
         help="default interconnection delay in ns (default 0.0:2.0)",
     )
@@ -135,6 +144,16 @@ def main(argv: list[str] | None = None) -> int:
         print(expander.stats.table())
         print()
         print(phase_table(result))
+    if args.profile:
+        from .reporting.stats import profile_json, profile_report
+
+        print()
+        if args.json:
+            import json
+
+            print(json.dumps(profile_json(result), indent=2))
+        else:
+            print(profile_report(result))
     if args.storage:
         from .core.engine import Engine
         from .reporting.stats import measure_storage

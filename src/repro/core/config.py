@@ -10,7 +10,7 @@ Defaults reproduce the rules used to examine the S-1 Mark IIA:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from .timeline import ns_to_ps
 
@@ -35,6 +35,36 @@ class VerifyConfig:
     #: the thesis's flat default rule; explicit per-net/per-connection wire
     #: delays are never adjusted.
     wire_delay_per_load_ns: float = 0.0
+    #: Rank components by combinational depth (registers, latches and
+    #: assertion-fixed nets break cycles) and drain the worklist in rank
+    #: order, so a primitive is evaluated only after its fan-in has settled
+    #: at the current wave.  Order never affects the fixed point, only how
+    #: many redundant evaluations it takes to reach it.
+    levelized_scheduling: bool = True
+    #: Hash-cons waveforms through a weak-value intern table so equal
+    #: values share one instance (identity-fast convergence comparison and
+    #: shared caches of derived forms).
+    intern_waveforms: bool = True
+    #: Memoize primitive evaluation: prepared inputs per connection and an
+    #: LRU over the gate/register/latch/mux models keyed on everything that
+    #: can affect their output.
+    memoize_evaluation: bool = True
+    #: Maximum entries in the primitive-evaluation LRU.
+    eval_memo_size: int = 8192
+
+    def naive(self) -> "VerifyConfig":
+        """This configuration with every engine optimisation disabled.
+
+        The naive FIFO engine is the reference oracle: the differential
+        tests require the optimized engine to produce ``==``-identical
+        results to this variant on every workload.
+        """
+        return replace(
+            self,
+            levelized_scheduling=False,
+            intern_waveforms=False,
+            memoize_evaluation=False,
+        )
 
     @property
     def wire_delay_per_load_ps(self) -> int:

@@ -15,7 +15,9 @@ reevaluated".
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 from ..netlist.circuit import Circuit, Component, Connection, Net
@@ -51,6 +53,11 @@ _ASSUME = frozenset("AH")
 
 _GATE_PRIMS = frozenset(GATE_FUNCTIONS)
 
+#: Primitives whose output breaks a combinational cycle when ranking the
+#: evaluation order (every legal feedback path runs through one of these,
+#: section 1.2.2).
+_SEQUENTIAL_PRIMS = frozenset({"REG", "REG_RS", "LATCH", "LATCH_RS"})
+
 
 class OscillationError(RuntimeError):
     """The fixed point failed to converge — an unbroken feedback loop.
@@ -71,15 +78,103 @@ class OscillationError(RuntimeError):
 
 @dataclass
 class EngineStats:
-    """Counters in the shape of the section 3.3.2 discussion."""
+    """Counters in the shape of the section 3.3.2 discussion.
+
+    Beyond the thesis's event/evaluation counts, the optimisation layers
+    record their own effectiveness: intern-table hits (a value that already
+    existed as a shared instance), evaluation-memo hits (a primitive whose
+    model run was skipped entirely), prepared-input cache hits, and the
+    wall time spent computing the levelized schedule.
+    """
 
     events: int = 0
     evaluations: int = 0
     events_by_case: list[int] = field(default_factory=list)
+    intern_hits: int = 0
+    intern_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    prepared_hits: int = 0
+    prepared_misses: int = 0
+    levelize_seconds: float = 0.0
+    max_rank: int = 0
 
     @property
     def events_last_case(self) -> int:
         return self.events_by_case[-1] if self.events_by_case else 0
+
+    @property
+    def evaluations_saved(self) -> int:
+        """Primitive evaluations answered from the memo instead of a model run."""
+        return self.memo_hits
+
+    @property
+    def memo_hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+    @property
+    def intern_hit_rate(self) -> float:
+        total = self.intern_hits + self.intern_misses
+        return self.intern_hits / total if total else 0.0
+
+    @property
+    def prepared_hit_rate(self) -> float:
+        total = self.prepared_hits + self.prepared_misses
+        return self.prepared_hits / total if total else 0.0
+
+
+def _strongly_connected(succ: list[list[int]]) -> list[int]:
+    """Tarjan's strongly-connected-components, iteratively.
+
+    Returns an SCC id per node.  Iterative because the combinational depth
+    of a full-scale design (6 357 chips) comfortably exceeds Python's
+    recursion limit.
+    """
+    n = len(succ)
+    order = [-1] * n  # visitation index
+    low = [0] * n
+    on_stack = [False] * n
+    scc_id = [-1] * n
+    stack: list[int] = []
+    counter = 0
+    n_sccs = 0
+    for root in range(n):
+        if order[root] != -1:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]  # (node, next-child index)
+        while work:
+            v, child = work[-1]
+            if child == 0:
+                order[v] = low[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            descended = False
+            for k in range(child, len(succ[v])):
+                w = succ[v][k]
+                if order[w] == -1:
+                    work[-1] = (v, k + 1)
+                    work.append((w, 0))
+                    descended = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], order[w])
+            if descended:
+                continue
+            work.pop()
+            if low[v] == order[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    scc_id[w] = n_sccs
+                    if w == v:
+                        break
+                n_sccs += 1
+            if work:
+                u = work[-1][0]
+                low[u] = min(low[u], low[v])
+    return scc_id
 
 
 class Engine:
@@ -96,7 +191,11 @@ class Engine:
         self._fixed: set[Net] = set()
         self._gating: dict[str, str] = {}  # component name -> directive pin
         self._eval_counts: dict[str, int] = {}
+        #: Worklist: a FIFO deque in the naive engine, a rank-keyed heap of
+        #: ``(rank, seq, component)`` under levelized scheduling.
         self._queue: deque[Component] = deque()
+        self._heap: list[tuple[int, int, Component]] = []
+        self._seq = 0
         self._queued: set[str] = set()
         # Static topology maps.
         self._drivers: dict[Net, tuple[Component, str]] = {}
@@ -106,6 +205,80 @@ class Engine:
                 self._drivers[circuit.find(conn.net)] = (comp, pin)
             for pin, conn in comp.input_pins():
                 self._loads.setdefault(circuit.find(conn.net), []).append(comp)
+        # Evaluation caches (section "Performance architecture" in DESIGN.md).
+        self._prepared_cache: dict[tuple[int, bool], tuple[Waveform, Waveform]] = {}
+        self._eval_memo: OrderedDict[tuple, Waveform] = OrderedDict()
+        # Levelized schedule: topological rank per component over the
+        # combinational graph, computed once per engine.
+        self._ranks: dict[str, int] = {}
+        self._levelize_seconds = 0.0
+        self._max_rank = 0
+        if self.config.levelized_scheduling:
+            t0 = time.perf_counter()
+            self._ranks = self._compute_ranks()
+            self._levelize_seconds = time.perf_counter() - t0
+            self._max_rank = max(self._ranks.values(), default=0)
+
+    def _compute_ranks(self) -> dict[str, int]:
+        """Topological depth of every non-checker component.
+
+        Edges run from a net's driver to its loads — through registers as
+        well as gates, because a downstream pipeline stage cannot settle
+        before its upstream register has — except across nets pinned by a
+        clock assertion, whose value never depends on the driver.  Cycles
+        are broken precisely at the feedback edges: an edge is feedback
+        when it stays inside a strongly connected component and leaves a
+        sequential element (every feedback path in a legal synchronous
+        design runs through a register or latch, section 1.2.2).  A cycle
+        with no sequential member — an illegal combinational loop — is
+        ranked after everything else.  Ranks are a drain *order*, never a
+        gate on evaluation, so correctness is unaffected either way.
+        """
+        comps = [c for c in self.circuit.iter_components() if not c.prim.is_checker]
+        n = len(comps)
+        index = {c.name: i for i, c in enumerate(comps)}
+        succ: list[list[int]] = [[] for _ in range(n)]
+        for i, comp in enumerate(comps):
+            for _pin, conn in comp.output_pins():
+                rep = self.circuit.find(conn.net)
+                assertion = rep.assertion
+                if assertion is not None and assertion.kind.is_clock:
+                    continue  # the assertion pins this net; no propagation
+                for load in self._loads.get(rep, ()):
+                    j = index.get(load.name)
+                    if j is not None:
+                        succ[i].append(j)
+        scc = _strongly_connected(succ)
+        is_seq = [c.prim.name in _SEQUENTIAL_PRIMS for c in comps]
+        indegree = [0] * n
+        forward: list[list[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            for j in succ[i]:
+                if scc[i] == scc[j] and is_seq[i]:
+                    continue  # feedback edge: cut
+                forward[i].append(j)
+                indegree[j] += 1
+        rank = [0] * n
+        ready = deque(i for i in range(n) if indegree[i] == 0)
+        popped = 0
+        while ready:
+            i = ready.popleft()
+            popped += 1
+            for j in forward[i]:
+                if rank[j] < rank[i] + 1:
+                    rank[j] = rank[i] + 1
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    ready.append(j)
+        if popped != n:
+            # Combinational loop: schedule its members last (the
+            # oscillation valve reports them if they never converge).
+            done = [i for i in range(n) if indegree[i] == 0]
+            tail = 1 + max((rank[i] for i in done), default=0)
+            for i in range(n):
+                if indegree[i] > 0:
+                    rank[i] = tail
+        return {comp.name: rank[i] for i, comp in enumerate(comps)}
 
     # ------------------------------------------------------------------
     # preparation of input waveforms
@@ -142,8 +315,30 @@ class Engine:
         Applies the complement marker and the interconnection delay
         (section 2.5.3) unless a ``W``/``Z``/``H`` directive zeroed the
         wire at this input.
+
+        Memoized per ``(connection, zero_wire)`` against the identity of
+        the stored net value: a store to the net replaces the value
+        instance, which invalidates the entry automatically.  The
+        connection fixes the remaining inputs of the computation (invert
+        flag and wire delay), so the key is complete.
         """
-        wf = self.raw_value(conn.net)
+        raw = self.raw_value(conn.net)
+        if not self.config.memoize_evaluation:
+            return self._prepare(conn, raw, zero_wire)
+        key = (id(conn), zero_wire)
+        entry = self._prepared_cache.get(key)
+        if entry is not None and entry[0] is raw:
+            self.stats.prepared_hits += 1
+            return entry[1]
+        self.stats.prepared_misses += 1
+        prepared = self._intern(self._prepare(conn, raw, zero_wire))
+        self._prepared_cache[key] = (raw, prepared)
+        return prepared
+
+    def _prepare(
+        self, conn: Connection, raw: Waveform, zero_wire: bool
+    ) -> Waveform:
+        wf = raw
         if conn.invert:
             wf = wf.mapped(value_not)
         if not zero_wire:
@@ -151,6 +346,17 @@ class Engine:
             if (dmin, dmax) != (0, 0):
                 wf = wf.delayed(dmin, dmax)
         return wf
+
+    def _intern(self, wf: Waveform) -> Waveform:
+        """Hash-cons ``wf`` when interning is enabled, counting hits."""
+        if not self.config.intern_waveforms:
+            return wf
+        out = wf.intern()
+        if out is wf:
+            self.stats.intern_misses += 1
+        else:
+            self.stats.intern_hits += 1
+        return out
 
     def _directive_letter(self, conn: Connection, raw: Waveform) -> tuple[str, str]:
         """The directive letter governing this gate input, plus the rest.
@@ -177,11 +383,16 @@ class Engine:
         self._eval_counts.clear()
         self._gating.clear()
         self._queue.clear()
+        self._heap.clear()
         self._queued.clear()
-        self.stats = EngineStats()
+        self._prepared_cache.clear()
+        self._eval_memo.clear()
+        self.stats = EngineStats(
+            levelize_seconds=self._levelize_seconds, max_rank=self._max_rank
+        )
         self._case_map = self._build_case_map(case or {})
         for rep in self.circuit.representatives():
-            self.values[rep] = self._initial_value(rep)
+            self.values[rep] = self._intern(self._initial_value(rep))
         for comp in self.circuit.iter_components():
             if not comp.prim.is_checker:
                 self._enqueue(comp)
@@ -241,15 +452,32 @@ class Engine:
     def _enqueue(self, comp: Component) -> None:
         if comp.prim.is_checker or comp.name in self._queued:
             return
-        self._queue.append(comp)
+        if self.config.levelized_scheduling:
+            heapq.heappush(
+                self._heap, (self._ranks.get(comp.name, 0), self._seq, comp)
+            )
+            self._seq += 1
+        else:
+            self._queue.append(comp)
         self._queued.add(comp.name)
+
+    def _pop(self) -> Component | None:
+        if self.config.levelized_scheduling:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+        return self._queue.popleft() if self._queue else None
 
     def _store(self, conn: Connection, wf: Waveform) -> None:
         rep = self.circuit.find(conn.net)
         if rep in self._fixed:
             return  # assertion or supply wins over the driver
-        wf = self._apply_case(rep, wf)
-        if self.values.get(rep) == wf:
+        wf = self._intern(self._apply_case(rep, wf))
+        prev = self.values.get(rep)
+        # With interning, equal values share one instance, so convergence
+        # detection is an identity check first and an ``==`` walk only for
+        # non-interned values.
+        if prev is wf or prev == wf:
             return
         self.values[rep] = wf
         self.stats.events += 1
@@ -260,8 +488,10 @@ class Engine:
         """Drain the worklist to a fixed point; returns events processed."""
         start_events = self.stats.events
         limit = self.config.max_evals_per_component
-        while self._queue:
-            comp = self._queue.popleft()
+        while True:
+            comp = self._pop()
+            if comp is None:
+                break
             self._queued.discard(comp.name)
             count = self._eval_counts.get(comp.name, 0) + 1
             self._eval_counts[comp.name] = count
@@ -290,7 +520,7 @@ class Engine:
             else:
                 wf = self._initial_value_for_case_change(rep)
                 if self.values.get(rep) != wf:
-                    self.values[rep] = wf
+                    self.values[rep] = self._intern(wf)
                     self.stats.events += 1
                     for load in self._loads.get(rep, ()):
                         self._enqueue(load)
@@ -307,38 +537,72 @@ class Engine:
     # primitive evaluation
     # ------------------------------------------------------------------
 
+    def _memoized(self, key: tuple, thunk) -> Waveform:
+        """LRU-memoize one primitive model evaluation.
+
+        Soundness rule: ``key`` must include *everything* that can affect
+        the model's output — the primitive identity, every (interned)
+        input waveform (whose equality covers segments, skew and eval
+        string), and every delay parameter.  The models themselves are
+        pure functions of those inputs.
+        """
+        if not self.config.memoize_evaluation:
+            return thunk()
+        memo = self._eval_memo
+        out = memo.get(key)
+        if out is not None:
+            self.stats.memo_hits += 1
+            memo.move_to_end(key)
+            return out
+        self.stats.memo_misses += 1
+        out = self._intern(thunk())
+        memo[key] = out
+        if len(memo) > self.config.eval_memo_size:
+            memo.popitem(last=False)
+        return out
+
     def _evaluate(self, comp: Component) -> None:
         prim = comp.prim.name
         if prim in _GATE_PRIMS:
             out = self._evaluate_gate(comp)
         elif prim in ("REG", "REG_RS"):
-            out = eval_register(
-                clock=self.prepared_input(comp.pins["CLOCK"]),
-                data=self.prepared_input(comp.pins["DATA"]),
-                delay=comp.delay_ps(),
-                set_=self._optional_input(comp, "SET"),
-                reset=self._optional_input(comp, "RESET"),
+            clock = self.prepared_input(comp.pins["CLOCK"])
+            data = self.prepared_input(comp.pins["DATA"])
+            delay = comp.delay_ps()
+            set_ = self._optional_input(comp, "SET")
+            reset = self._optional_input(comp, "RESET")
+            out = self._memoized(
+                ("REG", clock, data, delay, set_, reset),
+                lambda: eval_register(
+                    clock=clock, data=data, delay=delay, set_=set_, reset=reset
+                ),
             )
         elif prim in ("LATCH", "LATCH_RS"):
-            out = eval_latch(
-                enable=self.prepared_input(comp.pins["ENABLE"]),
-                data=self.prepared_input(comp.pins["DATA"]),
-                delay=comp.delay_ps(),
-                set_=self._optional_input(comp, "SET"),
-                reset=self._optional_input(comp, "RESET"),
+            enable = self.prepared_input(comp.pins["ENABLE"])
+            data = self.prepared_input(comp.pins["DATA"])
+            delay = comp.delay_ps()
+            set_ = self._optional_input(comp, "SET")
+            reset = self._optional_input(comp, "RESET")
+            out = self._memoized(
+                ("LATCH", enable, data, delay, set_, reset),
+                lambda: eval_latch(
+                    enable=enable, data=data, delay=delay, set_=set_, reset=reset
+                ),
             )
         elif prim.startswith("MUX"):
             n = int(prim[3:])
             n_sel = max(1, n.bit_length() - 1)
-            selects = [
+            selects = tuple(
                 self.prepared_input(comp.pins[f"S{i}"]) for i in range(n_sel)
-            ]
-            data = [self.prepared_input(comp.pins[f"I{i}"]) for i in range(n)]
-            out = eval_mux(
-                selects,
-                data,
-                delay=comp.delay_ps(),
-                select_delay=comp.delay_ps("select_delay"),
+            )
+            data = tuple(self.prepared_input(comp.pins[f"I{i}"]) for i in range(n))
+            delay = comp.delay_ps()
+            select_delay = comp.delay_ps("select_delay")
+            out = self._memoized(
+                ("MUX", selects, data, delay, select_delay),
+                lambda: eval_mux(
+                    selects, data, delay=delay, select_delay=select_delay
+                ),
             )
         else:  # pragma: no cover - registry covers everything else
             raise AssertionError(f"no model for primitive {prim}")
@@ -382,6 +646,7 @@ class Engine:
             self._gating.pop(comp.name, None)
         rise = comp.params.get("rise_delay")
         fall = comp.params.get("fall_delay")
+        inputs = tuple(wf.with_eval_str("") for wf in prepared)
         if (rise or fall) and not gate_zeroed:
             # Asymmetric technology (section 4.2.2): combine at zero delay,
             # then apply the per-edge ranges to the *output* transitions.
@@ -393,19 +658,22 @@ class Engine:
 
             rise = rise or delay
             fall = fall or delay
-            out = eval_gate(
-                comp.prim.name,
-                [wf.with_eval_str("") for wf in prepared],
-                (0, 0),
-                comp.prim.inverting,
+            out = self._memoized(
+                ("GATE_RF", comp.prim.name, inputs, rise, fall),
+                lambda: rise_fall_delayed(
+                    eval_gate(
+                        comp.prim.name, inputs, (0, 0), comp.prim.inverting
+                    ),
+                    rise,
+                    fall,
+                ),
             )
-            out = rise_fall_delayed(out, rise, fall)
         else:
-            out = eval_gate(
-                comp.prim.name,
-                [wf.with_eval_str("") for wf in prepared],
-                delay,
-                comp.prim.inverting,
+            out = self._memoized(
+                ("GATE", comp.prim.name, inputs, delay),
+                lambda: eval_gate(
+                    comp.prim.name, inputs, delay, comp.prim.inverting
+                ),
             )
         remaining = next((r for r in rests if r), "")
         return out.with_eval_str(remaining)

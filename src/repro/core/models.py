@@ -195,6 +195,18 @@ def _paint_clocked_output(
     return Waveform.from_intervals(period, captured[-1], intervals)
 
 
+def _sr_inactive(ctl: Waveform | None) -> bool:
+    """True when an asynchronous SET/RESET control is tied inactive.
+
+    A constant-ZERO control stays constant ZERO through the delay and the
+    skew fold, and ``_sr_overlay_value(base, ZERO, ZERO)`` is ``base``, so
+    the whole overlay is the identity and may be skipped.  Any control that
+    could ever leave ZERO takes the full overlay path — worst-case is
+    always safe; optimism is a bug.
+    """
+    return ctl is None or (ctl.is_constant and ctl.segments[0][0] is ZERO)
+
+
 def _sr_overlay_value(base: Value, s: Value, r: Value) -> Value:
     """Apply the asynchronous SET/RESET behaviour of Figure 2-1 at an instant.
 
@@ -239,7 +251,7 @@ def eval_register(
         edges = clkm.rising_windows()
         captured = [_captured_value(data, window) for window in edges]
         base = _paint_clocked_output(period, edges, captured, delay)
-    if set_ is None and reset is None:
+    if _sr_inactive(set_) and _sr_inactive(reset):
         return base
     setm = (set_ or Waveform.constant(period, ZERO)).delayed(*delay).materialized()
     resetm = (reset or Waveform.constant(period, ZERO)).delayed(*delay).materialized()
@@ -336,7 +348,7 @@ def eval_latch(
             )
             paints.append((r0, r0 + 1, value))
         base = base.overlaid(paints)
-    if set_ is None and reset is None:
+    if _sr_inactive(set_) and _sr_inactive(reset):
         return base
     setm = (set_ or Waveform.constant(period, ZERO)).delayed(*delay).materialized()
     resetm = (reset or Waveform.constant(period, ZERO)).delayed(*delay).materialized()

@@ -55,6 +55,9 @@ class VerificationResult:
     phases: PhaseTimes
     xref_assumed_stable: list[str] = field(default_factory=list)
     structure_warnings: list[ValidationIssue] = field(default_factory=list)
+    #: Evaluated (non-checker) primitives — the denominator of the
+    #: thesis's ~2.4 events/primitive figure (section 3.3.2).
+    primitive_count: int = 0
 
     @property
     def violations(self) -> list[Violation]:
@@ -63,6 +66,10 @@ class VerificationResult:
     @property
     def ok(self) -> bool:
         return self.report.ok
+
+    @property
+    def events_per_primitive(self) -> float:
+        return self.stats.events / self.primitive_count if self.primitive_count else 0.0
 
     def waveform(self, signal: str, case: int = 0) -> Waveform:
         """The converged waveform of ``signal`` in the given case."""
@@ -140,6 +147,9 @@ class TimingVerifier:
             phases=phases,
             xref_assumed_stable=xref,
             structure_warnings=warnings,
+            primitive_count=sum(
+                1 for c in self.circuit.iter_components() if not c.prim.is_checker
+            ),
         )
 
         t0 = time.perf_counter()

@@ -24,6 +24,9 @@ segments), so the evaluation engine can detect convergence with ``==``.
 
 from __future__ import annotations
 
+import heapq
+import weakref
+from bisect import bisect_right
 from typing import Callable, Iterable, Iterator, Sequence
 
 from .timeline import wrap_interval
@@ -38,7 +41,6 @@ from .values import (
     UNKNOWN,
     ZERO,
     Value,
-    merge_overlay,
     transition_value,
 )
 
@@ -76,6 +78,49 @@ def _canonicalize(period: int, segments: Iterable[Segment]) -> tuple[Segment, ..
     return tuple((v, w) for v, w in merged)
 
 
+def _sweep_max_rank(
+    cuts: Sequence[int],
+    pieces: Sequence[tuple[int, int, int, Value]],
+    base_value_at: Callable[[int], Value],
+) -> list[Segment]:
+    """Paint rank-prioritized ``(lo, hi, rank, value)`` pieces over a base.
+
+    One sorted sweep over ``cuts`` with a max-rank heap (lazy deletion)
+    replaces the former O(cuts x pieces) scan: at each cut the covering
+    piece with the highest rank wins, exactly as "later intervals override
+    earlier ones".  ``cuts`` must be sorted and include every piece
+    endpoint plus 0 and the period.
+    """
+    starts: dict[int, list[tuple[int, int, int, Value]]] = {}
+    for seq, (lo, hi, rank, value) in enumerate(pieces):
+        # (-rank, hi, seq) orders the heap by descending rank; seq breaks
+        # ties so Value (which has no ordering) is never compared.
+        starts.setdefault(lo, []).append((-rank, hi, seq, value))
+    heap: list[tuple[int, int, int, Value]] = []
+    segs: list[Segment] = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        for entry in starts.get(lo, ()):
+            heapq.heappush(heap, entry)
+        while heap and heap[0][1] <= lo:
+            heapq.heappop(heap)
+        value = heap[0][3] if heap else base_value_at(lo)
+        segs.append((value, hi - lo))
+    return segs
+
+
+#: The weak-value intern table: canonical instance per distinct waveform.
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Waveform]" = (
+    weakref.WeakValueDictionary()
+)
+#: Cumulative intern-table statistics (read by the engine's counters).
+_INTERN_STATS = {"hits": 0, "misses": 0}
+
+
+def intern_stats() -> tuple[int, int]:
+    """Cumulative ``(hits, misses)`` of the waveform intern table."""
+    return _INTERN_STATS["hits"], _INTERN_STATS["misses"]
+
+
 class Waveform:
     """The value of one signal over one clock period.
 
@@ -92,7 +137,17 @@ class Waveform:
         eval_str: remaining evaluation-directive letters (section 2.6).
     """
 
-    __slots__ = ("period", "segments", "skew", "eval_str", "_starts")
+    __slots__ = (
+        "period",
+        "segments",
+        "skew",
+        "eval_str",
+        "_starts",
+        "_boundaries",
+        "_materialized",
+        "_hash",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -116,6 +171,11 @@ class Waveform:
             starts.append(t)
             t += width
         object.__setattr__(self, "_starts", tuple(starts))
+        # Lazily computed derived forms, cached on the immutable instance
+        # (and therefore shared between every user of an interned waveform).
+        object.__setattr__(self, "_boundaries", None)
+        object.__setattr__(self, "_materialized", None)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Waveform is immutable")
@@ -128,6 +188,25 @@ class Waveform:
     def constant(cls, period: int, value: Value, eval_str: str = "") -> "Waveform":
         """A waveform holding ``value`` for the whole period."""
         return cls(period, [(value, period)], eval_str=eval_str)
+
+    def intern(self) -> "Waveform":
+        """The canonical shared instance equal to this waveform.
+
+        Hash-consing: equal waveforms intern to one instance, so converged-
+        value comparison degenerates to an identity check and the cached
+        derived forms (:meth:`materialized`, :meth:`boundaries`, the hash)
+        are computed once per distinct value instead of once per copy.  The
+        table holds weak references only, so interning never leaks retired
+        values.
+        """
+        key = (self.period, self.segments, self.skew, self.eval_str)
+        existing = _INTERN_TABLE.get(key)
+        if existing is not None:
+            _INTERN_STATS["hits"] += 1
+            return existing
+        _INTERN_TABLE[key] = self
+        _INTERN_STATS["misses"] += 1
+        return self
 
     @classmethod
     def from_intervals(
@@ -144,20 +223,12 @@ class Waveform:
         intervals override earlier ones where they overlap.  ``end`` must
         not precede ``start``.
         """
-        pieces: list[tuple[int, int, int]] = []  # (lo, hi, rank)
-        vals: list[Value] = []
+        pieces: list[tuple[int, int, int, Value]] = []
         for rank, (start, end, value) in enumerate(intervals):
-            vals.append(value)
             for lo, hi in wrap_interval(start, end, period):
-                pieces.append((lo, hi, rank))
+                pieces.append((lo, hi, rank, value))
         cuts = sorted({0, period, *(p[0] for p in pieces), *(p[1] for p in pieces)})
-        segs: list[Segment] = []
-        for lo, hi in zip(cuts, cuts[1:]):
-            best = -1
-            for plo, phi, rank in pieces:
-                if plo <= lo and hi <= phi and rank > best:
-                    best = rank
-            segs.append((vals[best] if best >= 0 else base, hi - lo))
+        segs = _sweep_max_rank(cuts, pieces, lambda _t: base)
         return cls(period, segs, skew=skew, eval_str=eval_str)
 
     # ------------------------------------------------------------------
@@ -180,36 +251,37 @@ class Waveform:
     def value_at(self, t: int) -> Value:
         """The nominal value at time ``t`` (taken modulo the period)."""
         t %= self.period
-        # Linear scan: waveforms have a handful of segments in practice
-        # (the thesis measured an average of 2.97 value records per signal).
-        for start, (value, width) in zip(self._starts, self.segments):
-            if start <= t < start + width:
-                return value
-        raise AssertionError("unreachable: canonical segments cover the period")
+        # _starts[0] is always 0, so the bisect index is always >= 1.
+        return self.segments[bisect_right(self._starts, t) - 1][0]
 
     def iter_segments(self) -> Iterator[tuple[int, int, Value]]:
         """Yield ``(start, end, value)`` for each canonical segment."""
         for start, (value, width) in zip(self._starts, self.segments):
             yield start, start + width, value
 
-    def boundaries(self) -> list[tuple[int, Value, Value]]:
+    def boundaries(self) -> tuple[tuple[int, Value, Value], ...]:
         """All value-change boundaries as ``(time, before, after)``.
 
         Includes the wrap boundary at time zero when the last and first
-        segments differ (signals are periodic, section 2.1).
+        segments differ (signals are periodic, section 2.1).  Computed once
+        and cached on the immutable instance.
         """
+        cached = self._boundaries
+        if cached is not None:
+            return cached
         out: list[tuple[int, Value, Value]] = []
         n = len(self.segments)
-        if n == 1:
-            return out
-        last_value = self.segments[-1][0]
-        first_value = self.segments[0][0]
-        if last_value != first_value:
-            out.append((0, last_value, first_value))
-        for i in range(n - 1):
-            t = self._starts[i + 1]
-            out.append((t, self.segments[i][0], self.segments[i + 1][0]))
-        return out
+        if n > 1:
+            last_value = self.segments[-1][0]
+            first_value = self.segments[0][0]
+            if last_value != first_value:
+                out.append((0, last_value, first_value))
+            for i in range(n - 1):
+                t = self._starts[i + 1]
+                out.append((t, self.segments[i][0], self.segments[i + 1][0]))
+        result = tuple(out)
+        object.__setattr__(self, "_boundaries", result)
+        return result
 
     def next_boundary_after(self, t: int) -> int | None:
         """The first absolute time strictly after ``t`` at which the value
@@ -277,9 +349,13 @@ class Waveform:
         )
 
     def with_eval_str(self, eval_str: str) -> "Waveform":
+        if eval_str == self.eval_str:
+            return self
         return self._replace(eval_str=eval_str)
 
     def with_skew(self, skew: Skew) -> "Waveform":
+        if tuple(skew) == self.skew:
+            return self
         return self._replace(skew=skew)
 
     def rotated(self, dt: int) -> "Waveform":
@@ -330,23 +406,15 @@ class Waveform:
         """
         if not intervals:
             return self
-        pieces: list[tuple[int, int, int]] = []
-        vals: list[Value] = []
+        pieces: list[tuple[int, int, int, Value]] = []
         for rank, (start, end, value) in enumerate(intervals):
-            vals.append(value)
             for lo, hi in wrap_interval(start, end, self.period):
-                pieces.append((lo, hi, rank))
+                pieces.append((lo, hi, rank, value))
         cuts = sorted(
             {0, self.period, *self._starts,
              *(p[0] for p in pieces), *(p[1] for p in pieces)}
         )
-        segs: list[Segment] = []
-        for lo, hi in zip(cuts, cuts[1:]):
-            best = -1
-            for plo, phi, rank in pieces:
-                if plo <= lo and hi <= phi and rank > best:
-                    best = rank
-            segs.append((vals[best] if best >= 0 else self.value_at(lo), hi - lo))
+        segs = _sweep_max_rank(cuts, pieces, self.value_at)
         return self._replace(segments=segs)
 
     # ------------------------------------------------------------------
@@ -362,15 +430,35 @@ class Waveform:
         combine worst-case.  The result carries zero skew.  This is the
         representation shown in Figure 2-9 for the output signal Z.
         """
+        cached = self._materialized
+        if cached is not None:
+            return cached
         if not self.has_skew:
+            object.__setattr__(self, "_materialized", self)
             return self
         if self.is_constant:
             # A constant shifted by any amount is still the same constant.
-            return self.with_skew((0, 0))
+            out = self.with_skew((0, 0))
+        else:
+            out = self._materialize_sweep()
+        object.__setattr__(self, "_materialized", out)
+        # The folded form is its own fixed point; share the cache slot.
+        if out._materialized is None:
+            object.__setattr__(out, "_materialized", out)
+        return out
+
+    def _materialize_sweep(self) -> "Waveform":
+        """One sorted-event sweep computing the skew-folded value list.
+
+        Replaces the former O(cuts x overlays) covering scan.  The fold of
+        overlapping overlays (``merge_overlay``) is commutative and
+        associative — any UNKNOWN dominates, identical overlays merge, and
+        any other mixture is CHANGE — so a multiset of the currently active
+        overlay values is enough to produce the identical result.
+        """
         early, late = self.skew
-        boundary_list = self.boundaries()
         overlays: list[tuple[int, int, Value]] = []  # non-wrapping pieces
-        for t, before, after in boundary_list:
+        for t, before, after in self.boundaries():
             ov = transition_value(before, after)
             for lo, hi in wrap_interval(t + early, t + late, self.period):
                 overlays.append((lo, hi, ov))
@@ -383,15 +471,30 @@ class Waveform:
                 *(o[1] for o in overlays),
             }
         )
+        starts: dict[int, list[Value]] = {}
+        ends: dict[int, list[Value]] = {}
+        for lo, hi, ov in overlays:
+            starts.setdefault(lo, []).append(ov)
+            ends.setdefault(hi, []).append(ov)
+        active: dict[Value, int] = {}
         segs: list[Segment] = []
         for lo, hi in zip(cuts, cuts[1:]):
-            covering = [v for plo, phi, v in overlays if plo <= lo and hi <= phi]
-            if covering:
-                value = covering[0]
-                for v in covering[1:]:
-                    value = merge_overlay(value, v)
-            else:
+            for ov in ends.get(lo, ()):
+                count = active[ov] - 1
+                if count:
+                    active[ov] = count
+                else:
+                    del active[ov]
+            for ov in starts.get(lo, ()):
+                active[ov] = active.get(ov, 0) + 1
+            if not active:
                 value = self.value_at(lo)
+            elif UNKNOWN in active:
+                value = UNKNOWN
+            elif len(active) == 1:
+                value = next(iter(active))
+            else:
+                value = CHANGE
             segs.append((value, hi - lo))
         return Waveform(self.period, segs, skew=(0, 0), eval_str=self.eval_str)
 
@@ -572,7 +675,11 @@ class Waveform:
         )
 
     def __hash__(self) -> int:
-        return hash((self.period, self.segments, self.skew, self.eval_str))
+        h = self._hash
+        if h is None:
+            h = hash((self.period, self.segments, self.skew, self.eval_str))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         body = " ".join(f"{v}:{w}" for v, w in self.segments)

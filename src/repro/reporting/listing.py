@@ -78,4 +78,11 @@ def phase_table(result: "VerificationResult") -> str:
         f"  events processed: {result.stats.events}, "
         f"primitive evaluations: {result.stats.evaluations}"
     )
+    s = result.stats
+    if s.memo_hits or s.intern_hits or s.prepared_hits:
+        lines.append(
+            f"  caches: memo {s.memo_hit_rate:.0%}, "
+            f"intern {s.intern_hit_rate:.0%}, "
+            f"prepared inputs {s.prepared_hit_rate:.0%} hit rate"
+        )
     return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Differential proof of the optimized engine against the naive oracle.
+
+The three engine optimisations — levelized scheduling, waveform interning,
+memoized evaluation — may change how many evaluations the fixed point
+takes, but never what it converges to.  These tests require ``==``-identical
+snapshots, violations and cross-reference listings between the optimized
+engine and the naive FIFO reference (all toggles off) on every workload,
+including under case analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VerifyConfig
+from repro.core.engine import Engine
+from repro.core.verifier import TimingVerifier
+from repro.workloads.minicpu import build_minicpu
+from repro.workloads.synth import SynthConfig, generate
+
+OPTIMIZED = VerifyConfig()
+NAIVE = OPTIMIZED.naive()
+
+#: One configuration per optimisation, to localise any divergence.
+SINGLE_TOGGLES = [
+    pytest.param(
+        VerifyConfig(
+            levelized_scheduling=True,
+            intern_waveforms=False,
+            memoize_evaluation=False,
+        ),
+        id="levelized-only",
+    ),
+    pytest.param(
+        VerifyConfig(
+            levelized_scheduling=False,
+            intern_waveforms=True,
+            memoize_evaluation=False,
+        ),
+        id="intern-only",
+    ),
+    pytest.param(
+        VerifyConfig(
+            levelized_scheduling=False,
+            intern_waveforms=False,
+            memoize_evaluation=True,
+        ),
+        id="memo-only",
+    ),
+    pytest.param(OPTIMIZED, id="all-on"),
+]
+
+
+def assert_equivalent(circuit, config):
+    """Optimized and naive runs must agree on everything observable."""
+    reference = TimingVerifier(circuit, NAIVE).verify()
+    candidate = TimingVerifier(circuit, config).verify()
+
+    assert len(candidate.cases) == len(reference.cases)
+    for got, want in zip(candidate.cases, reference.cases):
+        assert got.assignments == want.assignments
+        assert got.waveforms == want.waveforms
+    assert [str(v) for v in candidate.violations] == [
+        str(v) for v in reference.violations
+    ]
+    assert candidate.xref_assumed_stable == reference.xref_assumed_stable
+    assert candidate.ok == reference.ok
+
+
+@pytest.mark.parametrize(
+    "chips,seed",
+    [(120, 1980), (250, 7), (500, 42)],
+)
+@pytest.mark.parametrize("config", SINGLE_TOGGLES)
+def test_synth_equivalence(chips, seed, config):
+    circuit, _ = generate(
+        SynthConfig(chips=chips, stage_chips=250, seed=seed)
+    ).circuit()
+    assert_equivalent(circuit, config)
+
+
+@pytest.mark.parametrize("config", SINGLE_TOGGLES)
+def test_minicpu_equivalence(config):
+    assert_equivalent(build_minicpu(), config)
+
+
+@pytest.mark.parametrize("config", SINGLE_TOGGLES)
+def test_case_analysis_equivalence(config):
+    """Incremental ``apply_case`` re-evaluation matches the naive engine."""
+    circuit, _ = generate(SynthConfig(chips=200)).circuit()
+    for k in range(4):
+        circuit.add_case_by_name({"MUX CTL .S0-8": k % 2})
+    assert_equivalent(circuit, config)
+
+
+def test_scrambled_order_equivalence():
+    """A hostile netlist order changes the work, never the fixed point."""
+    circuit, _ = generate(SynthConfig(chips=250)).circuit()
+    items = list(circuit.components.items())[::-1]
+    circuit.components.clear()
+    circuit.components.update(items)
+    assert_equivalent(circuit, OPTIMIZED)
+
+
+def test_optimized_engine_reports_cache_activity():
+    """The counters threaded through EngineStats actually move."""
+    circuit, _ = generate(SynthConfig(chips=250)).circuit()
+    result = TimingVerifier(circuit, OPTIMIZED).verify()
+    s = result.stats
+    assert s.memo_hits > 0
+    assert s.intern_hits > 0
+    assert s.prepared_hits + s.prepared_misses > 0
+    assert s.max_rank > 0
+    assert s.evaluations_saved == s.memo_hits
+    assert 0.0 < s.memo_hit_rate < 1.0
+    assert 0.0 < s.intern_hit_rate < 1.0
+    # The naive engine leaves every optimisation counter untouched.
+    naive = TimingVerifier(circuit, NAIVE).verify()
+    assert naive.stats.memo_hits == naive.stats.intern_hits == 0
+    assert naive.stats.max_rank == 0
+
+
+def test_levelized_heap_drains_in_rank_order():
+    """The initial drain visits components in nondecreasing rank order."""
+    circuit, _ = generate(SynthConfig(chips=120)).circuit()
+    engine = Engine(circuit, OPTIMIZED)
+    engine.initialize(circuit.cases[0] if circuit.cases else {})
+    seen: list[int] = []
+    n_initial = len(engine._heap)
+    for _ in range(n_initial):
+        comp = engine._pop()
+        assert comp is not None
+        seen.append(engine._ranks.get(comp.name, 0))
+        engine._queued.discard(comp.name)
+    # Popping never goes back down in rank within one wave.
+    assert seen == sorted(seen)

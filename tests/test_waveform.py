@@ -398,3 +398,116 @@ class TestMapped:
 
         wf = clock().with_skew((-100, 100)).mapped(value_not)
         assert wf.skew == (-100, 100)
+
+
+# ---------------------------------------------------------------------------
+# sorted-event sweep vs the seed's rank-scan painting (round-trip oracles)
+# ---------------------------------------------------------------------------
+
+intervals_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2 * P - 1),
+        st.integers(min_value=0, max_value=P),
+        value_st,
+    ).map(lambda t: (t[0], t[0] + t[1], t[2])),
+    max_size=6,
+)
+
+
+def _rank_scan_paint(period, base_value_at, intervals, extra_cuts=()):
+    """The seed implementation: O(cuts x pieces) highest-rank covering scan."""
+    from repro.core.timeline import wrap_interval
+
+    pieces = []
+    vals = []
+    for rank, (start, end, value) in enumerate(intervals):
+        vals.append(value)
+        for lo, hi in wrap_interval(start, end, period):
+            pieces.append((lo, hi, rank))
+    cuts = sorted(
+        {0, period, *extra_cuts, *(p[0] for p in pieces), *(p[1] for p in pieces)}
+    )
+    segs = []
+    for lo, hi in zip(cuts, cuts[1:]):
+        best = -1
+        for plo, phi, rank in pieces:
+            if plo <= lo and hi <= phi and rank > best:
+                best = rank
+        segs.append((vals[best] if best >= 0 else base_value_at(lo), hi - lo))
+    return segs
+
+
+class TestSweepOracles:
+    @settings(max_examples=200)
+    @given(value_st, intervals_st)
+    def test_from_intervals_matches_rank_scan(self, base, intervals):
+        got = Waveform.from_intervals(P, base, intervals)
+        want = Waveform(P, _rank_scan_paint(P, lambda _t: base, intervals))
+        assert got == want
+
+    @settings(max_examples=200)
+    @given(waveform_st(), intervals_st)
+    def test_overlaid_matches_rank_scan(self, wf, intervals):
+        got = wf.overlaid(intervals)
+        want_segs = _rank_scan_paint(
+            P, wf.value_at, intervals, extra_cuts=wf._starts
+        )
+        want = Waveform(P, want_segs, skew=wf.skew, eval_str=wf.eval_str)
+        assert got == want
+
+    @settings(max_examples=200)
+    @given(waveform_st())
+    def test_materialized_matches_covering_scan(self, wf):
+        from repro.core.timeline import wrap_interval
+        from repro.core.values import merge_overlay, transition_value
+
+        got = wf.materialized()
+        if not wf.has_skew:
+            assert got is wf
+            return
+        if wf.is_constant:
+            assert got == wf.with_skew((0, 0))
+            return
+        early, late = wf.skew
+        overlays = []
+        for t, before, after in wf.boundaries():
+            ov = transition_value(before, after)
+            for lo, hi in wrap_interval(t + early, t + late, P):
+                overlays.append((lo, hi, ov))
+        cuts = sorted(
+            {0, P, *wf._starts,
+             *(o[0] for o in overlays), *(o[1] for o in overlays)}
+        )
+        segs = []
+        for lo, hi in zip(cuts, cuts[1:]):
+            covering = [v for plo, phi, v in overlays if plo <= lo and hi <= phi]
+            if covering:
+                value = covering[0]
+                for v in covering[1:]:
+                    value = merge_overlay(value, v)
+            else:
+                value = wf.value_at(lo)
+            segs.append((value, hi - lo))
+        want = Waveform(P, segs, skew=(0, 0), eval_str=wf.eval_str)
+        assert got == want
+
+    @settings(max_examples=100)
+    @given(waveform_st())
+    def test_cached_derived_forms_are_stable(self, wf):
+        """boundaries()/materialized()/hash are cached on the instance."""
+        assert wf.boundaries() is wf.boundaries()
+        assert wf.materialized() is wf.materialized()
+        assert hash(wf) == hash(wf)
+
+    @settings(max_examples=100)
+    @given(waveform_st(), st.integers(min_value=-P, max_value=2 * P))
+    def test_value_at_bisect_matches_linear_scan(self, wf, t):
+        tm = t % P
+        acc = 0
+        expected = wf.segments[-1][0]
+        for value, width in wf.segments:
+            if acc <= tm < acc + width:
+                expected = value
+                break
+            acc += width
+        assert wf.value_at(t) is expected
