@@ -68,6 +68,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--lint", action="store_true",
         help="run the static design-rule analyzer first and report findings",
     )
+    parser.add_argument(
+        "--crosscheck", action="store_true",
+        help="assert that the static arrival windows (repro.sta) enclose "
+        "every engine transition — a soundness self-test of both analyses",
+    )
     return parser
 
 
@@ -163,7 +168,32 @@ def main(argv: list[str] | None = None) -> int:
         engine.run()
         print()
         print(measure_storage(engine).table())
-    return 0 if result.ok and not lint_errors else 1
+    crosscheck_failed = False
+    if args.crosscheck:
+        from .sta import check_encloses, compute_windows
+
+        analysis = compute_windows(circuit, config)
+        cc = check_encloses(result, analysis)
+        print()
+        if cc.ok:
+            print(
+                f"crosscheck: static windows enclose all engine transitions "
+                f"({cc.nets_checked} nets x {cc.cases_checked} cases)."
+            )
+        else:
+            crosscheck_failed = True
+            print(
+                f"crosscheck FAILED: {len(cc.failures)} engine transition "
+                "interval(s) outside the static windows:"
+            )
+            for f in cc.failures[:20]:
+                print(
+                    f"  case {f.case_index}: {f.net} {f.direction} "
+                    f"at {f.span[0]}..{f.span[1]} ps"
+                )
+            if len(cc.failures) > 20:
+                print(f"  ... and {len(cc.failures) - 20} more")
+    return 0 if result.ok and not lint_errors and not crosscheck_failed else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -58,6 +58,9 @@ class VerificationResult:
     #: Evaluated (non-checker) primitives — the denominator of the
     #: thesis's ~2.4 events/primitive figure (section 3.3.2).
     primitive_count: int = 0
+    #: The configuration the run used (reporters need it to tell a cache
+    #: that was disabled apart from one that never hit).
+    config: VerifyConfig | None = None
 
     @property
     def violations(self) -> list[Violation]:
@@ -150,6 +153,7 @@ class TimingVerifier:
             primitive_count=sum(
                 1 for c in self.circuit.iter_components() if not c.prim.is_checker
             ),
+            config=self.config,
         )
 
         t0 = time.perf_counter()

@@ -33,6 +33,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable the named rules for this run",
     )
     parser.add_argument(
+        "--select", metavar="RULE[,RULE]", action="append", default=[],
+        help="run only the named rules (--disable still wins on overlap)",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="exit non-zero on warnings too, not just errors",
     )
@@ -63,14 +67,18 @@ def main(argv: list[str] | None = None) -> int:
         print("scald-lint: no design files given", file=sys.stderr)
         return 2
 
-    disabled = frozenset(
-        name.strip()
-        for chunk in args.disable
-        for name in chunk.split(",")
-        if name.strip()
-    )
+    def _split(chunks: list[str]) -> frozenset[str]:
+        return frozenset(
+            name.strip()
+            for chunk in chunks
+            for name in chunk.split(",")
+            if name.strip()
+        )
+
+    disabled = _split(args.disable)
+    selected = _split(args.select) if args.select else None
     known = {r.id for r in all_rules()}
-    unknown = disabled - known
+    unknown = (disabled | (selected or frozenset())) - known
     if unknown:
         print(
             f"scald-lint: unknown rule(s): {', '.join(sorted(unknown))} "
@@ -78,7 +86,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    config = LintConfig(disabled=disabled)
+    config = LintConfig(disabled=disabled, selected=selected)
 
     from ..reporting.lintfmt import lint_json, lint_text
 

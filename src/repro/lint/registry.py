@@ -93,25 +93,30 @@ def get_rule(rule_id: str) -> Rule:
 
 def _load_rule_modules() -> None:
     """Import the built-in rule modules exactly once."""
-    from . import rules_circuit, rules_source  # noqa: F401
+    from . import rules_circuit, rules_source, rules_sta  # noqa: F401
 
 
 @dataclass
 class LintConfig:
     """Per-run rule configuration.
 
-    ``disabled`` rules never run; ``severities`` overrides the default
-    severity per rule id; ``structural_only`` restricts the run to the
-    rules absorbed from ``netlist.validate`` (that module's compatibility
-    path — overrides are deliberately ignored there so the engine's
-    structural error set can never be downgraded).
+    ``disabled`` rules never run; ``selected`` (when not ``None``)
+    restricts the run to exactly the named rules — the positive mirror of
+    ``disabled``, and ``disabled`` still wins on overlap; ``severities``
+    overrides the default severity per rule id; ``structural_only``
+    restricts the run to the rules absorbed from ``netlist.validate``
+    (that module's compatibility path — overrides are deliberately ignored
+    there so the engine's structural error set can never be downgraded).
     """
 
     disabled: frozenset[str] = frozenset()
     severities: dict[str, str] = field(default_factory=dict)
     structural_only: bool = False
+    selected: frozenset[str] | None = None
 
     def enabled(self, rule_id: str) -> bool:
+        if self.selected is not None and rule_id not in self.selected:
+            return False
         return rule_id not in self.disabled
 
     def severity_of(self, r: Rule) -> str:

@@ -1,0 +1,100 @@
+"""Circuit-surface lint rules fed by the static timing analysis.
+
+These rules consume :mod:`repro.sta` — the dataflow windows, clock-domain
+inference and static slack — instead of looking at the netlist directly.
+They run on the same circuit surface as the structural rules but share one
+lazily-computed :class:`~repro.sta.StaAnalysis` through ``ctx.sta``; on a
+circuit too malformed to analyze the family stands down (the structural
+rules already carry the errors).
+
+Severity policy: negative static slack is an *error* (a conservative bound
+says the guard can be violated); domain findings are *warnings* (hazards
+the event-driven verifier cannot articulate — it would only report the
+downstream setup failure); feedback widening is *info* (the analysis
+telling you where its answer went vacuous, not a design defect).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .diagnostics import Diagnostic, diag
+from .registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import LintContext
+
+
+@rule("sta.negative-slack", surface="circuit", severity="error")
+def check_negative_slack(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """Static setup/hold slack at a checker is negative."""
+    sta = ctx.sta
+    if sta is None:
+        return
+    for rec in sta.slack:
+        if rec.slack_ps is None or rec.slack_ps >= 0:
+            continue
+        yield diag(
+            f"static arrival windows of '{rec.signal}' reach "
+            f"{-rec.slack_ps} ps into the setup/hold guard of clock "
+            f"'{rec.clock}' (setup {rec.setup_ps} ps, hold {rec.hold_ps} ps)",
+            component=rec.component,
+            net=rec.signal,
+            origin=rec.origin,
+        )
+
+
+@rule("sta.clock-domain-crossing", surface="circuit", severity="warning")
+def check_clock_domain_crossing(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """Data crosses between clock domains without a synchronizer."""
+    sta = ctx.sta
+    if sta is None:
+        return
+    for crossing in sta.domains.crossings:
+        if crossing.synchronized:
+            continue
+        foreign = ", ".join(sorted(crossing.foreign_roots))
+        yield diag(
+            f"data on '{crossing.data_net}' launched by clock(s) {foreign} "
+            f"is captured by '{crossing.clock_net}' storage with no "
+            "synchronizer stage",
+            component=crossing.component,
+            net=crossing.data_net,
+            origin=crossing.origin,
+        )
+
+
+@rule("sta.unclocked-storage", surface="circuit", severity="warning")
+def check_unclocked_storage(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A register or latch whose clock never changes."""
+    sta = ctx.sta
+    if sta is None:
+        return
+    for entry in sta.domains.storage:
+        if not entry.unclocked:
+            continue
+        yield diag(
+            f"{entry.prim} clock '{entry.clock_net}' traces to no asserted "
+            "clock and its static change windows are empty — the element "
+            "can never capture",
+            component=entry.component,
+            net=entry.clock_net,
+            origin=entry.origin,
+        )
+
+
+@rule("sta.window-overflow", surface="circuit", severity="info")
+def check_window_overflow(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """Feedback widened a net's arrival window to the whole period."""
+    sta = ctx.sta
+    if sta is None:
+        return
+    for cut in sta.windows.feedback:
+        yield diag(
+            f"combinational feedback through {cut.prim} widened "
+            f"'{cut.net}' to the full period; static slack bounds "
+            "downstream of this cut are vacuous",
+            component=cut.component,
+            net=cut.net,
+            origin=cut.origin,
+        )

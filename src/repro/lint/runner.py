@@ -57,6 +57,7 @@ class LintContext:
     design: Design | None = None
     circuit: Circuit | None = None
     _index: CircuitIndex | None = field(default=None, repr=False)
+    _sta: object = field(default=False, repr=False)
 
     @property
     def index(self) -> CircuitIndex:
@@ -66,6 +67,26 @@ class LintContext:
             self._index = CircuitIndex(self.circuit)
         return self._index
 
+    @property
+    def sta(self):
+        """The static timing analysis (``repro.sta``), computed on demand.
+
+        ``None`` when the circuit is too malformed to analyze — those
+        circuits already carry structural errors from the basic rules, so
+        the ``sta.*`` family silently stands down rather than crashing the
+        whole lint run.  (``False`` is the not-yet-computed sentinel.)
+        """
+        if self._sta is False:
+            if self.circuit is None:
+                raise RuntimeError("no circuit surface in this lint context")
+            from ..sta import analyze
+
+            try:
+                self._sta = analyze(self.circuit)
+            except Exception:
+                self._sta = None
+        return self._sta
+
 
 @dataclass(frozen=True)
 class LintResult:
@@ -73,6 +94,7 @@ class LintResult:
 
     diagnostics: tuple[Diagnostic, ...]
     files: tuple[str, ...] = ()
+    suppressed: int = 0  #: findings hidden by ``lint: disable`` pragmas
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -169,7 +191,11 @@ def lint_source(
     files = tuple(design.files_read) or ((filename,) if filename else ())
     suppressed = _collect_suppressions(source, filename, design.files_read)
     kept = [d for d in found if not _is_suppressed(d, suppressed)]
-    return LintResult(diagnostics=tuple(kept), files=files)
+    return LintResult(
+        diagnostics=tuple(kept),
+        files=files,
+        suppressed=len(found) - len(kept),
+    )
 
 
 def lint_path(path: str, config: LintConfig | None = None) -> LintResult:

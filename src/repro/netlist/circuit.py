@@ -26,7 +26,7 @@ class NetlistError(ValueError):
     """Raised for structural errors while building a circuit."""
 
 
-@dataclass
+@dataclass(eq=False)  # identity equality/hashing, at C speed
 class Net:
     """One signal in the design.
 
@@ -55,12 +55,6 @@ class Net:
                 self.assertion = assertion
         if self.width < 1:
             raise NetlistError(f"net {self.name!r} has width {self.width}")
-
-    def __hash__(self) -> int:
-        return id(self)
-
-    def __eq__(self, other: object) -> bool:
-        return self is other
 
     def __repr__(self) -> str:
         return f"<Net {self.name!r} w={self.width}>"

@@ -4,11 +4,14 @@ from .diagram import render_waveform, timing_diagram
 from .explain import PathHop, SettleExplainer, explain_violation
 from .lintfmt import lint_json, lint_text
 from .listing import phase_table, timing_summary, violation_listing, xref_listing
+from .stafmt import sta_json, sta_text
 from .stats import StorageReport, measure_storage
 
 __all__ = [
     "lint_json",
     "lint_text",
+    "sta_json",
+    "sta_text",
     "render_waveform",
     "timing_diagram",
     "PathHop",

@@ -34,13 +34,17 @@ def lint_text(result: LintResult) -> str:
 
 def lint_json(result: LintResult) -> str:
     """The result as a JSON document (stable key order, for tooling)."""
+    errors = len(result.errors)
+    warnings = len(result.warnings)
     doc = {
         "files": list(result.files),
         "diagnostics": [d.to_dict() for d in result.diagnostics],
         "summary": {
-            "errors": len(result.errors),
-            "warnings": len(result.warnings),
+            "errors": errors,
+            "warnings": warnings,
+            "infos": len(result.diagnostics) - errors - warnings,
             "total": len(result.diagnostics),
+            "suppressed": result.suppressed,
         },
     }
     return json.dumps(doc, indent=2, sort_keys=True)

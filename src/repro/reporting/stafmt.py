@@ -1,0 +1,160 @@
+"""Reporters for the static timing analysis: text and machine JSON.
+
+Renders a :class:`repro.sta.StaAnalysis` the way the lint reporters render
+diagnostics — `repro.sta` itself produces plain data and knows nothing
+about formatting.  Times print in nanoseconds (the API-boundary unit) but
+the JSON carries raw integer picoseconds so tooling never re-parses a
+rounded number.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sta import StaAnalysis
+
+
+def _ns(ps: int) -> str:
+    return f"{ps / 1000:.1f}"
+
+
+def sta_text(analysis: "StaAnalysis") -> str:
+    """Human-readable static analysis report."""
+    lines: list[str] = []
+    period = analysis.windows.period
+    lines.append(
+        f"STATIC TIMING ANALYSIS — {analysis.circuit.name} "
+        f"(period {_ns(period)} ns)"
+    )
+
+    lines.append("")
+    lines.append("clock domains:")
+    if analysis.domains.roots:
+        for root in analysis.domains.roots:
+            kind = "precision" if root.precision else "clock"
+            lines.append(f"  {root.net}  [{kind} {root.phase}]")
+    else:
+        lines.append("  (no asserted clocks)")
+
+    storage = analysis.domains.storage
+    if storage:
+        lines.append("")
+        lines.append(f"storage elements ({len(storage)}):")
+        for entry in storage:
+            flags = [
+                name
+                for name, on in (
+                    ("gated", entry.gated),
+                    ("convergent", entry.convergent),
+                    ("UNCLOCKED", entry.unclocked),
+                )
+                if on
+            ]
+            domain = ", ".join(sorted(entry.roots)) or "-"
+            suffix = f"  ({', '.join(flags)})" if flags else ""
+            lines.append(
+                f"  {entry.component:<20} {entry.prim:<8} "
+                f"clock={entry.clock_net}  domain={domain}{suffix}"
+            )
+
+    for crossing in analysis.domains.crossings:
+        tag = "synchronized" if crossing.synchronized else "NO SYNCHRONIZER"
+        lines.append(
+            f"  crossing: {', '.join(sorted(crossing.foreign_roots))} -> "
+            f"{crossing.clock_net} at {crossing.component} [{tag}]"
+        )
+
+    if analysis.windows.feedback:
+        lines.append("")
+        lines.append("feedback cuts (windows widened to the full period):")
+        for cut in analysis.windows.feedback:
+            lines.append(f"  {cut.component} ({cut.prim}) -> {cut.net}")
+
+    lines.append("")
+    if analysis.slack:
+        lines.append("static slack (worst first):")
+        for rec in analysis.slack:
+            if rec.no_edge:
+                verdict = "no clock edge"
+            elif rec.overflow:
+                verdict = "indeterminate (window overflow)"
+            elif rec.slack_ps is None:
+                verdict = "indeterminate"
+            else:
+                verdict = f"{'+' if rec.slack_ps >= 0 else ''}{_ns(rec.slack_ps)} ns"
+            lines.append(
+                f"  {rec.component:<20} {rec.signal} vs {rec.clock}: {verdict}"
+            )
+    else:
+        lines.append("static slack: no checker components.")
+
+    worst = [r.slack_ps for r in analysis.slack if r.slack_ps is not None]
+    lines.append("")
+    if analysis.ok:
+        summary = "statically clean"
+        if worst:
+            summary += f"; worst slack {_ns(min(worst))} ns"
+        lines.append(f"{summary}.")
+    else:
+        failing = sum(1 for r in analysis.slack if not r.ok)
+        lines.append(
+            f"{failing} checker(s) with negative static slack; "
+            f"worst {_ns(min(worst))} ns."
+        )
+    return "\n".join(lines)
+
+
+def sta_json(analysis: "StaAnalysis") -> str:
+    """The analysis as a JSON document (stable key order, integer ps)."""
+    doc = {
+        "circuit": analysis.circuit.name,
+        "period_ps": analysis.windows.period,
+        "ok": analysis.ok,
+        "clocks": [
+            {"net": r.net, "phase": r.phase, "precision": r.precision}
+            for r in analysis.domains.roots
+        ],
+        "storage": [
+            {
+                "component": s.component,
+                "prim": s.prim,
+                "clock": s.clock_net,
+                "domain": sorted(s.roots),
+                "gated": s.gated,
+                "convergent": s.convergent,
+                "unclocked": s.unclocked,
+            }
+            for s in analysis.domains.storage
+        ],
+        "crossings": [
+            {
+                "component": c.component,
+                "data_net": c.data_net,
+                "clock": c.clock_net,
+                "launch": sorted(c.launch_roots),
+                "capture": sorted(c.capture_roots),
+                "synchronized": c.synchronized,
+            }
+            for c in analysis.domains.crossings
+        ],
+        "feedback_cuts": [
+            {"component": f.component, "net": f.net, "prim": f.prim}
+            for f in analysis.windows.feedback
+        ],
+        "slack": [
+            {
+                "component": r.component,
+                "signal": r.signal,
+                "clock": r.clock,
+                "setup_ps": r.setup_ps,
+                "hold_ps": r.hold_ps,
+                "slack_ps": r.slack_ps,
+                "no_edge": r.no_edge,
+                "overflow": r.overflow,
+            }
+            for r in analysis.slack
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -120,26 +120,48 @@ def profile_json(result: "VerificationResult") -> dict:
         "events_per_primitive": result.events_per_primitive,
         "events_per_second": s.events / verify_s if verify_s > 0 else 0.0,
         "max_rank": s.max_rank,
-        "caches": {
-            "memo_hits": s.memo_hits,
-            "memo_misses": s.memo_misses,
-            "memo_hit_rate": s.memo_hit_rate,
-            "intern_hits": s.intern_hits,
-            "intern_misses": s.intern_misses,
-            "intern_hit_rate": s.intern_hit_rate,
-            "prepared_hits": s.prepared_hits,
-            "prepared_misses": s.prepared_misses,
-            "prepared_hit_rate": s.prepared_hit_rate,
-            "evaluations_saved": s.evaluations_saved,
-        },
+        "caches": _cache_stats(result),
         "violations": len(result.violations),
     }
+
+
+def _cache_disabled(result: "VerificationResult") -> tuple[bool, bool]:
+    """(memo+prepared disabled, intern disabled) from the run's config.
+
+    A cache a :class:`VerifyConfig` switched off never counts a hit, and
+    reporting that as a 0% hit rate reads as a cache that failed; the
+    reporters show ``"disabled"`` instead.  Results from before the config
+    was recorded (``result.config is None``) keep the numeric rendering.
+    """
+    cfg = result.config
+    if cfg is None:
+        return False, False
+    return not cfg.memoize_evaluation, not cfg.intern_waveforms
+
+
+def _cache_stats(result: "VerificationResult") -> dict[str, object]:
+    s = result.stats
+    memo_off, intern_off = _cache_disabled(result)
+    out: dict[str, object] = {
+        "memo_hits": s.memo_hits,
+        "memo_misses": s.memo_misses,
+        "memo_hit_rate": "disabled" if memo_off else s.memo_hit_rate,
+        "intern_hits": s.intern_hits,
+        "intern_misses": s.intern_misses,
+        "intern_hit_rate": "disabled" if intern_off else s.intern_hit_rate,
+        "prepared_hits": s.prepared_hits,
+        "prepared_misses": s.prepared_misses,
+        "prepared_hit_rate": "disabled" if memo_off else s.prepared_hit_rate,
+        "evaluations_saved": s.evaluations_saved,
+    }
+    return out
 
 
 def profile_report(result: "VerificationResult") -> str:
     """Human-readable rendering of :func:`profile_json`."""
     data = profile_json(result)
     s = result.stats
+    memo_off, intern_off = _cache_disabled(result)
     phase_rows = [
         ("Reading input files and building data structures", "build"),
         ("  of which: computing the levelized schedule", "levelize"),
@@ -162,15 +184,29 @@ def profile_report(result: "VerificationResult") -> str:
         f"  events/second: {data['events_per_second']:,.0f}, "
         f"max schedule rank: {data['max_rank']}",
         "",
-        f"  evaluation memo: {s.memo_hits}/{s.memo_hits + s.memo_misses} hits "
-        f"({s.memo_hit_rate:.0%}) — {s.evaluations_saved} model runs saved",
-        f"  intern table:    {s.intern_hits}/{s.intern_hits + s.intern_misses} "
-        f"hits ({s.intern_hit_rate:.0%})",
-        f"  prepared inputs: {s.prepared_hits}/"
-        f"{s.prepared_hits + s.prepared_misses} hits "
-        f"({s.prepared_hit_rate:.0%})",
+        _cache_line(
+            "evaluation memo:", s.memo_hits, s.memo_misses, memo_off,
+            s.memo_hit_rate, f" — {s.evaluations_saved} model runs saved",
+        ),
+        _cache_line(
+            "intern table:   ", s.intern_hits, s.intern_misses, intern_off,
+            s.intern_hit_rate,
+        ),
+        _cache_line(
+            "prepared inputs:", s.prepared_hits, s.prepared_misses, memo_off,
+            s.prepared_hit_rate,
+        ),
     ]
     return "\n".join(lines)
+
+
+def _cache_line(
+    label: str, hits: int, misses: int, disabled: bool,
+    rate: float, extra: str = "",
+) -> str:
+    if disabled:
+        return f"  {label} disabled"
+    return f"  {label} {hits}/{hits + misses} hits ({rate:.0%}){extra}"
 
 
 def measure_storage(engine: Engine) -> StorageReport:

@@ -1,0 +1,74 @@
+"""Static arrival-window and clock-domain analysis (no event loop).
+
+The `sta` package is the block-oriented counterpart to the event-driven
+verifier: a handful of dataflow passes over the expanded circuit graph
+that bound every net's behaviour without running the fixed point.
+
+* :mod:`repro.sta.windows` — per-net may-rise/may-fall arrival intervals,
+  integer picoseconds on the circular clock-period axis.
+* :mod:`repro.sta.domains` — clock trees traced from the asserted periodic
+  inputs; every register/latch gets a domain, crossings are reported.
+* :mod:`repro.sta.slack` — setup/hold slack bounds at every checker.
+* :mod:`repro.sta.crosscheck` — enclosure check against engine waveforms,
+  the machine-checked soundness contract between the two analyses.
+
+:func:`analyze` bundles the three static passes into one result, sharing
+the window computation they all feed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.config import VerifyConfig
+from ..netlist.circuit import Circuit
+from .crosscheck import CrosscheckResult, EnclosureFailure, check_encloses
+from .domains import ClockRoot, Crossing, DomainAnalysis, StorageDomain, infer_domains
+from .slack import SlackRecord, compute_slack
+from .windows import FeedbackCut, IntervalSet, WindowAnalysis, compute_windows, waveform_windows
+
+__all__ = [
+    "ClockRoot",
+    "Crossing",
+    "CrosscheckResult",
+    "DomainAnalysis",
+    "EnclosureFailure",
+    "FeedbackCut",
+    "IntervalSet",
+    "SlackRecord",
+    "StaAnalysis",
+    "StorageDomain",
+    "WindowAnalysis",
+    "analyze",
+    "check_encloses",
+    "compute_slack",
+    "compute_windows",
+    "infer_domains",
+    "waveform_windows",
+]
+
+
+@dataclass
+class StaAnalysis:
+    """All three static passes over one circuit."""
+
+    circuit: Circuit
+    windows: WindowAnalysis
+    domains: DomainAnalysis
+    slack: list[SlackRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No negative static slack anywhere."""
+        return all(r.ok for r in self.slack)
+
+
+def analyze(circuit: Circuit, config: VerifyConfig | None = None) -> StaAnalysis:
+    """Run window propagation, domain inference and slack in one pass."""
+    windows = compute_windows(circuit, config)
+    return StaAnalysis(
+        circuit=circuit,
+        windows=windows,
+        domains=infer_domains(circuit, windows),
+        slack=compute_slack(circuit, windows),
+    )

@@ -1,0 +1,64 @@
+"""Command-line entry point: ``scald-sta design.scald [...]``.
+
+Static timing analysis without running the verifier: clock domains,
+arrival windows, and setup/hold slack bounds straight from the dataflow
+passes.  Exit status: 0 when every checker has non-negative static slack,
+1 when some slack bound is negative, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scald-sta",
+        description="static arrival-window and clock-domain analysis",
+    )
+    parser.add_argument(
+        "designs", nargs="*", metavar="DESIGN",
+        help="one or more .scald source files",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if not args.designs:
+        print("scald-sta: no design files given", file=sys.stderr)
+        return 2
+
+    from ..hdl.expander import MacroExpander
+    from ..reporting.stafmt import sta_json, sta_text
+    from . import analyze
+
+    status = 0
+    for path in args.designs:
+        try:
+            circuit = MacroExpander.from_file(path).expand()
+        except OSError as exc:
+            print(f"scald-sta: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"scald-sta: {path}: {exc}", file=sys.stderr)
+            return 2
+        analysis = analyze(circuit)
+        if args.format == "json":
+            print(sta_json(analysis))
+        else:
+            if len(args.designs) > 1:
+                print(f"== {path} ==")
+            print(sta_text(analysis))
+        if not analysis.ok:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

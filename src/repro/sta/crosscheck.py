@@ -1,0 +1,82 @@
+"""Engine-vs-static soundness cross-check.
+
+The static windows claim "this net can only rise/fall inside these
+intervals".  The engine computes what actually happens in each case.  If
+the engine ever observes a transition outside the static windows, one of
+the two is broken: either the static transfer functions dropped a possible
+change (an optimism bug — the cardinal sin of the value algebra) or the
+optimized engine manufactured an event the design cannot produce.  Either
+way the enclosure failure localizes the bug to a net and an instant, which
+is why `scald-tv --crosscheck` runs this after every verification.
+
+The check is one-directional by design: static windows wider than the
+engine's behaviour are expected (they fold all cases, worst-case delays
+and feedback widening into one answer), so only engine-outside-static is
+an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .windows import WindowAnalysis, waveform_windows
+
+
+@dataclass(frozen=True)
+class EnclosureFailure:
+    """One engine transition interval not covered by the static windows."""
+
+    case_index: int
+    net: str
+    direction: str               #: ``"rise"`` or ``"fall"``
+    span: tuple[int, int]        #: uncovered interval, ps within the period
+
+
+@dataclass
+class CrosscheckResult:
+    """Outcome of :func:`check_encloses`."""
+
+    failures: list[EnclosureFailure] = field(default_factory=list)
+    nets_checked: int = 0
+    cases_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def check_encloses(result, analysis: WindowAnalysis) -> CrosscheckResult:
+    """Assert every engine transition lies inside the static windows.
+
+    ``result`` is a :class:`repro.core.verifier.VerificationResult`;
+    ``analysis`` the :class:`WindowAnalysis` for the same circuit.  Returns
+    a :class:`CrosscheckResult` whose ``failures`` list every uncovered
+    rise/fall interval with case and net provenance.
+    """
+    out = CrosscheckResult(cases_checked=len(result.cases))
+    seen: set[str] = set()
+    for case in result.cases:
+        for name, wf in case.waveforms.items():
+            try:
+                static_rise, static_fall = analysis.by_name(name)
+            except KeyError:
+                # Net exists only in the engine's view (e.g. a supply rail
+                # synthesized during verification); nothing static to check.
+                continue
+            seen.add(name)
+            engine_rise, engine_fall = waveform_windows(wf)
+            for direction, engine, static in (
+                ("rise", engine_rise, static_rise),
+                ("fall", engine_fall, static_fall),
+            ):
+                for span in static.uncovered(engine):
+                    out.failures.append(
+                        EnclosureFailure(
+                            case_index=case.index,
+                            net=name,
+                            direction=direction,
+                            span=span,
+                        )
+                    )
+    out.nets_checked = len(seen)
+    return out

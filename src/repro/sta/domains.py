@@ -1,0 +1,313 @@
+"""Clock-domain inference over the expanded circuit graph.
+
+Clock trees are traced forward from the asserted periodic inputs (the
+``.P`` / ``.C`` assertions of section 2.5.1) through combinational parts —
+buffers, gates, multiplexers — to every storage element's clock or enable
+pin.  Each register and latch is assigned the set of clock *roots* that can
+reach it and the assertion phase of each root; storage reached through a
+multi-input gate is flagged *gated*, and storage reached by two or more
+distinct roots is flagged *convergent* (the classic glitch-prone
+clock-mux/clock-OR shape).
+
+A second, identical propagation traces *launch* domains: every storage
+output launches data in its own clock domain, and the launch sets flow
+through the combinational logic to the next storage element's DATA pin.  A
+clock-domain crossing is a storage element whose DATA may be launched by a
+root outside its own domain set.  The thesis's verifier has no metastability
+model — its seven-value algebra simply reports the data changing inside the
+setup/hold guard — so crossings are reported as design-rule findings here
+rather than timing violations.
+
+Everything is a monotone fixpoint over frozensets, so the pass terminates
+and is insensitive to component order; feedback through combinational loops
+simply converges to the union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist.circuit import Circuit, Component, Net
+from .windows import WindowAnalysis
+
+#: Storage primitives and the pin that clocks them.
+_CLOCK_PIN = {"REG": "CLOCK", "REG_RS": "CLOCK",
+              "LATCH": "ENABLE", "LATCH_RS": "ENABLE"}
+
+#: Single-input combinational primitives that can never gate a clock.
+_TRANSPARENT = frozenset({"BUF", "NOT", "DELAY"})
+
+
+@dataclass(frozen=True)
+class ClockRoot:
+    """One asserted periodic input — the identity of a clock domain."""
+
+    net: str        #: representative net name
+    phase: str      #: assertion text, e.g. ``.P2-3``
+    precision: bool
+
+
+@dataclass(frozen=True)
+class StorageDomain:
+    """The clock-domain assignment of one register or latch."""
+
+    component: str
+    prim: str
+    clock_net: str
+    roots: frozenset[str]          #: root net names reaching the clock pin
+    gated: bool                    #: path passes through a multi-input gate
+    convergent: bool               #: two or more distinct roots converge
+    unclocked: bool                #: no root and statically quiet clock
+    origin: tuple[str, int] | None
+
+
+@dataclass(frozen=True)
+class Crossing:
+    """Data launched in one domain captured by storage in another."""
+
+    component: str
+    prim: str
+    data_net: str
+    clock_net: str
+    launch_roots: frozenset[str]   #: domains that may launch the data
+    capture_roots: frozenset[str]  #: domains of the capturing storage
+    synchronized: bool             #: looks like the first flop of a 2-FF sync
+    origin: tuple[str, int] | None
+
+    @property
+    def foreign_roots(self) -> frozenset[str]:
+        return self.launch_roots - self.capture_roots
+
+
+@dataclass
+class DomainAnalysis:
+    """Result of :func:`infer_domains`."""
+
+    circuit: Circuit
+    roots: list[ClockRoot] = field(default_factory=list)
+    storage: list[StorageDomain] = field(default_factory=list)
+    crossings: list[Crossing] = field(default_factory=list)
+    #: clock roots reaching each net (representative -> root net names)
+    net_roots: dict[Net, frozenset[str]] = field(default_factory=dict)
+    #: domains that may have launched the data on each net
+    net_launch: dict[Net, frozenset[str]] = field(default_factory=dict)
+
+    def of_component(self, name: str) -> StorageDomain | None:
+        for entry in self.storage:
+            if entry.component == name:
+                return entry
+        return None
+
+
+def _propagate(
+    circuit: Circuit,
+    seeds: dict[Net, frozenset[str]],
+    comps: list[Component],
+    comp_inputs: list[list[Net]],
+    comp_outputs: list[list[Net]],
+    loads: dict[Net, list[int]],
+    gate_like: list[bool],
+    gated_seed: dict[Net, bool] | None = None,
+) -> tuple[dict[Net, frozenset[str]], dict[Net, bool]]:
+    """Forward union-fixpoint of root sets through combinational components.
+
+    ``gate_like[i]`` marks components with two or more connected inputs
+    (anything that can gate or select); a set that flows through one has its
+    *gated* flag raised on the output.
+    """
+    sets: dict[Net, frozenset[str]] = dict(seeds)
+    gated: dict[Net, bool] = dict(gated_seed or {})
+    empty: frozenset[str] = frozenset()
+    work = list(range(len(comps)))
+    on_work = [True] * len(comps)
+    while work:
+        next_work: list[int] = []
+        for i in work:
+            on_work[i] = False
+        for i in work:
+            merged: frozenset[str] = empty
+            any_gated = False
+            for rep in comp_inputs[i]:
+                s = sets.get(rep)
+                if s:
+                    merged |= s
+                    if gated.get(rep):
+                        any_gated = True
+            if not merged:
+                continue
+            out_gated = any_gated or gate_like[i]
+            for rep in comp_outputs[i]:
+                cur = sets.get(rep, empty)
+                new = cur | merged
+                changed = new != cur
+                if out_gated and not gated.get(rep):
+                    gated[rep] = True
+                    changed = True
+                if changed:
+                    sets[rep] = new
+                    for j in loads.get(rep, ()):
+                        if not on_work[j]:
+                            on_work[j] = True
+                            next_work.append(j)
+        work = next_work
+    return sets, gated
+
+
+def infer_domains(
+    circuit: Circuit, windows: WindowAnalysis | None = None
+) -> DomainAnalysis:
+    """Assign every storage element a clock domain and find the crossings.
+
+    ``windows`` (when given) sharpens the *unclocked* verdict: a storage
+    element with no traced root is only reported unclocked if its clock
+    net's static change windows are empty too — a clock synthesized by
+    logic the tracer cannot follow still moves, and the soundness rule
+    (never let a possible change become invisible) applies to diagnostics
+    as much as to values.
+    """
+    analysis = DomainAnalysis(circuit=circuit)
+    find = circuit.find
+
+    # Roots: every net pinned by a clock assertion.
+    root_of: dict[Net, ClockRoot] = {}
+    for rep in circuit.representatives():
+        assertion = rep.assertion
+        if assertion is not None and assertion.kind.is_clock:
+            root = ClockRoot(
+                net=rep.name,
+                phase=assertion.text,
+                precision=assertion.kind.name == "PRECISION_CLOCK",
+            )
+            root_of[rep] = root
+            analysis.roots.append(root)
+    analysis.roots.sort(key=lambda r: r.net)
+
+    # Combinational skeleton: everything except storage and checkers
+    # propagates; storage cuts the trace (its output is a new launch point).
+    comps: list[Component] = []
+    comp_inputs: list[list[Net]] = []
+    comp_outputs: list[list[Net]] = []
+    gate_like: list[bool] = []
+    loads: dict[Net, list[int]] = {}
+    storage_comps: list[Component] = []
+    all_loads: dict[Net, list[Component]] = {}
+    for comp in circuit.iter_components():
+        prim = comp.prim.name
+        in_reps = [find(conn.net) for _p, conn in comp.input_pins()]
+        for rep in in_reps:
+            all_loads.setdefault(rep, []).append(comp)
+        if comp.prim.is_checker:
+            continue
+        if prim in _CLOCK_PIN:
+            storage_comps.append(comp)
+            continue
+        i = len(comps)
+        comps.append(comp)
+        comp_inputs.append(in_reps)
+        comp_outputs.append([find(conn.net) for _p, conn in comp.output_pins()])
+        gate_like.append(len(in_reps) >= 2 and prim not in _TRANSPARENT)
+        for rep in in_reps:
+            loads.setdefault(rep, []).append(i)
+
+    seeds = {rep: frozenset({root.net}) for rep, root in root_of.items()}
+    net_roots, net_gated = _propagate(
+        circuit, seeds, comps, comp_inputs, comp_outputs, loads, gate_like
+    )
+    analysis.net_roots = net_roots
+
+    # Storage domain assignment.
+    domain_of: dict[str, StorageDomain] = {}
+    for comp in storage_comps:
+        clk_conn = comp.pins[_CLOCK_PIN[comp.prim.name]]
+        clk_rep = find(clk_conn.net)
+        roots = net_roots.get(clk_rep, frozenset())
+        unclocked = not roots
+        if unclocked and windows is not None:
+            rise, fall = windows.of(clk_rep)
+            unclocked = rise.is_empty and fall.is_empty
+        entry = StorageDomain(
+            component=comp.name,
+            prim=comp.prim.name,
+            clock_net=clk_rep.name,
+            roots=roots,
+            gated=bool(net_gated.get(clk_rep)),
+            convergent=len(roots) >= 2,
+            unclocked=unclocked,
+            origin=comp.origin,
+        )
+        domain_of[comp.name] = entry
+        analysis.storage.append(entry)
+
+    # Launch propagation: storage outputs carry their own domain forward.
+    launch_seeds: dict[Net, frozenset[str]] = {}
+    for comp in storage_comps:
+        entry = domain_of[comp.name]
+        if not entry.roots:
+            continue
+        for _p, conn in comp.output_pins():
+            rep = find(conn.net)
+            launch_seeds[rep] = launch_seeds.get(rep, frozenset()) | entry.roots
+    net_launch, _ = _propagate(
+        circuit, launch_seeds, comps, comp_inputs, comp_outputs, loads,
+        gate_like,
+    )
+    analysis.net_launch = net_launch
+
+    # Crossings: foreign launch domains arriving at a storage DATA pin.
+    for comp in storage_comps:
+        entry = domain_of[comp.name]
+        if not entry.roots:
+            continue
+        data_conn = comp.pins.get("DATA")
+        if data_conn is None:
+            continue
+        data_rep = find(data_conn.net)
+        launch = net_launch.get(data_rep, frozenset())
+        if launch <= entry.roots:
+            continue
+        analysis.crossings.append(
+            Crossing(
+                component=comp.name,
+                prim=comp.prim.name,
+                data_net=data_rep.name,
+                clock_net=entry.clock_net,
+                launch_roots=launch,
+                capture_roots=entry.roots,
+                synchronized=_looks_synchronized(
+                    circuit, comp, entry, domain_of, all_loads
+                ),
+                origin=comp.origin,
+            )
+        )
+    return analysis
+
+
+def _looks_synchronized(
+    circuit: Circuit,
+    comp: Component,
+    entry: StorageDomain,
+    domain_of: dict[str, StorageDomain],
+    all_loads: dict[Net, list[Component]],
+) -> bool:
+    """First-flop-of-a-synchronizer heuristic.
+
+    A crossing register whose output feeds nothing but the DATA pins of
+    storage clocked by the same root set (plus any checkers) is the front
+    of a multi-flop synchronizer chain, and the crossing is by design.
+    Any combinational consumer or same-stage fanout breaks the pattern.
+    """
+    find = circuit.find
+    fed_any = False
+    for _p, conn in comp.output_pins():
+        rep = find(conn.net)
+        for load in all_loads.get(rep, ()):
+            if load.prim.is_checker:
+                continue
+            follower = domain_of.get(load.name)
+            if follower is None or follower.roots != entry.roots:
+                return False  # combinational logic or a different domain
+            data_conn = load.pins.get("DATA")
+            if data_conn is None or find(data_conn.net) is not rep:
+                return False  # feeds a clock/set/reset pin, not data
+            fed_any = True
+    return fed_any

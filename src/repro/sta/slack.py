@@ -1,0 +1,155 @@
+"""Static setup/hold slack bounds at every checker component.
+
+The engine's checkers (``core/checks.py``) test converged waveforms against
+guard windows built around each clock edge.  The static analogue works on
+arrival-window sets instead: a clock rise *span* ``[r0, r1]`` is the
+interval inside which the rise may occur, so the guarded region for a
+``SETUP HOLD CHK`` is ``[r0 - setup, r1 + hold]`` — any possible data
+change inside it is a potential violation no matter where in the span the
+edge actually lands.  Slack is then a pure interval computation:
+
+* negative slack = the deepest overlap of a data-change window with any
+  guard (how far into the forbidden region the data can reach);
+* positive slack = the smallest circular gap between the data windows and
+  the nearest guard (how much the delays can grow before trouble).
+
+Because arrival windows are over-approximations, static slack is a *lower
+bound* on the engine's margin: static-positive implies engine-clean, while
+static-negative only means the conservative windows overlap — the engine
+run decides whether a real path does.  That one-sided relationship is the
+same soundness contract the crosscheck enforces on values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.circuit import Circuit, Component
+from .windows import WindowAnalysis
+
+_CHECKERS = frozenset({"SETUP_HOLD_CHK", "SETUP_RISE_HOLD_FALL_CHK"})
+
+
+@dataclass(frozen=True)
+class SlackRecord:
+    """Static slack at one checker component (all times integer ps)."""
+
+    component: str
+    prim: str
+    signal: str                 #: guarded data net
+    clock: str                  #: clock net (with ``-`` prefix if inverted)
+    setup_ps: int
+    hold_ps: int
+    slack_ps: int | None        #: None when indeterminate (see flags)
+    no_edge: bool               #: clock has no static rise window
+    overflow: bool              #: clock window widened to the full period
+    origin: tuple[str, int] | None
+
+    @property
+    def ok(self) -> bool:
+        return self.slack_ps is None or self.slack_ps >= 0
+
+
+def compute_slack(
+    circuit: Circuit, analysis: WindowAnalysis
+) -> list[SlackRecord]:
+    """Bound the setup/hold slack of every checker from the static windows."""
+    records: list[SlackRecord] = []
+    for comp in circuit.iter_components():
+        if comp.prim.name not in _CHECKERS:
+            continue
+        records.append(_checker_slack(comp, analysis))
+    records.sort(key=lambda r: (r.slack_ps is None, r.slack_ps or 0, r.component))
+    return records
+
+
+def _checker_slack(comp: Component, analysis: WindowAnalysis) -> SlackRecord:
+    period = analysis.period
+    i_conn, ck_conn = comp.pins["I"], comp.pins["CK"]
+    setup = int(comp.params["setup"])
+    hold = int(comp.params["hold"])
+
+    clk_rise, clk_fall = analysis.prepared(ck_conn)
+    if ck_conn.invert:
+        clk_rise, clk_fall = clk_fall, clk_rise
+    data_rise, data_fall = analysis.prepared(i_conn)
+    changes = data_rise.union(data_fall)
+
+    def record(slack: int | None, *, no_edge: bool = False,
+               overflow: bool = False) -> SlackRecord:
+        return SlackRecord(
+            component=comp.name,
+            prim=comp.prim.name,
+            signal=i_conn.net.name,
+            clock=("-" if ck_conn.invert else "") + ck_conn.net.name,
+            setup_ps=setup,
+            hold_ps=hold,
+            slack_ps=slack,
+            no_edge=no_edge,
+            overflow=overflow,
+            origin=comp.origin,
+        )
+
+    if clk_rise.is_empty:
+        # Mirrors the engine's NO_CLOCK_EDGE violation: nothing to guard.
+        return record(None, no_edge=True)
+    if clk_rise.is_full or changes.is_full:
+        # A feedback cut (or unconstrained input) widened something to the
+        # whole period; any slack number would be meaningless pessimism.
+        return record(None, overflow=True)
+
+    if comp.prim.name == "SETUP_HOLD_CHK":
+        guards = [(r0 - setup, r1 + hold) for r0, r1 in clk_rise.spans]
+    else:
+        # SETUP RISE HOLD FALL: the guard runs from setup-before-rise to
+        # hold-after the *following* fall (checks.py pairs them circularly).
+        guards = []
+        falls = clk_fall.spans
+        for r0, r1 in clk_rise.spans:
+            if falls:
+                f0, f1 = min(
+                    falls, key=lambda s, _r0=r0: (s[0] - _r0) % period
+                )
+                f1 = r0 + ((f1 - r0) % period)
+            else:
+                f1 = r1  # no fall window: degrade to the plain guard
+            guards.append((r0 - setup, max(r1, f1) + hold))
+
+    if changes.is_empty:
+        # Statically stable data: slack is the full distance to the guard,
+        # bounded by what the period can express.
+        return record(max(0, period - max(g1 - g0 for g0, g1 in guards)))
+
+    slack = _interval_slack(guards, changes.spans, period)
+    return record(slack)
+
+
+def _interval_slack(
+    guards: list[tuple[int, int]],
+    changes: tuple[tuple[int, int], ...],
+    period: int,
+) -> int:
+    """Signed circular distance between change windows and guard windows.
+
+    Positive: the smallest gap from any change span to any guard.
+    Negative: minus the deepest penetration of a change span into a guard.
+    """
+    worst_overlap: int | None = None
+    best_gap: int | None = None
+    for g0, g1 in guards:
+        for c0, c1 in changes:
+            # Compare on an unrolled axis: the change span shifted by one
+            # period either way covers every circular alignment, since both
+            # spans are shorter than the period here.
+            for d in (-period, 0, period):
+                lo = max(g0, c0 + d)
+                hi = min(g1, c1 + d)
+                if hi >= lo:  # hi == lo is a boundary touch: zero slack
+                    if worst_overlap is None or hi - lo > worst_overlap:
+                        worst_overlap = hi - lo
+                else:
+                    gap = lo - hi
+                    best_gap = gap if best_gap is None else min(best_gap, gap)
+    if worst_overlap is not None:
+        return -worst_overlap
+    return best_gap if best_gap is not None else 0

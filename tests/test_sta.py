@@ -1,0 +1,524 @@
+"""Tests for the static analysis package (``repro.sta``).
+
+Three layers: interval-set algebra edge cases (the wraparound axis is
+where off-by-ones live), the dataflow passes on hand-built circuits with
+known answers, and the enclosure soundness contract — static windows must
+contain every engine transition, checked deterministically on a size/seed
+matrix and property-style under hypothesis.
+"""
+
+import glob
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Circuit, TimingVerifier, VerifyConfig
+from repro.hdl.expander import MacroExpander
+from repro.lint import LintConfig, lint_circuit
+from repro.sta import (
+    IntervalSet,
+    analyze,
+    check_encloses,
+    compute_slack,
+    compute_windows,
+    infer_domains,
+)
+from repro.workloads.synth import SynthConfig, generate
+
+PERIOD = 50_000
+
+
+def circuit():
+    return Circuit("p", period_ns=50.0, clock_unit_ns=6.25)
+
+
+# ---------------------------------------------------------------------------
+# IntervalSet algebra
+# ---------------------------------------------------------------------------
+
+
+class TestIntervalSet:
+    def test_empty_is_interned(self):
+        a = IntervalSet.empty(PERIOD)
+        b = IntervalSet.empty(PERIOD)
+        assert a is b
+        assert a.is_empty and not a.is_full
+        assert a.measure() == 0
+
+    def test_normalization_sorts_and_merges(self):
+        s = IntervalSet(PERIOD, ((30_000, 40_000), (10_000, 20_000),
+                                 (18_000, 25_000)))
+        assert s.spans == ((10_000, 25_000), (30_000, 40_000))
+
+    def test_wraparound_span_is_canonical(self):
+        # A span crossing the period boundary keeps lo in [0, period).
+        s = IntervalSet(PERIOD, ((45_000, 55_000),))
+        assert s.covers(46_000, 48_000)
+        assert s.covers(1_000, 4_000)      # the wrapped tail
+        assert s.covers(48_000, 52_000)    # across the boundary itself
+        assert not s.covers(6_000, 7_000)
+
+    def test_wrap_merge_with_zero_start(self):
+        # [45000, 50000) tail meeting [0, 5000] head merges across zero.
+        s = IntervalSet(PERIOD, ((45_000, 49_999), (49_999, 55_000),))
+        assert len(s.spans) == 1
+        assert s.covers(49_000, 51_000)
+
+    def test_full_collapse(self):
+        s = IntervalSet(PERIOD, ((0, PERIOD - 1), (PERIOD - 1, PERIOD),))
+        assert s.is_full
+        assert s.covers(0, PERIOD)
+        assert s.measure() == PERIOD
+
+    def test_zero_width_window(self):
+        point = IntervalSet(PERIOD, ((12_345, 12_345),))
+        assert not point.is_empty
+        assert point.measure() == 0
+        assert point.covers(12_345, 12_345)
+        assert not point.covers(12_345, 12_346)
+
+    def test_zero_width_shift_widens(self):
+        point = IntervalSet(PERIOD, ((10_000, 10_000),))
+        shifted = point.shift(1_000, 3_000)
+        assert shifted.spans == ((11_000, 13_000),)
+
+    def test_shift_wraps(self):
+        s = IntervalSet(PERIOD, ((48_000, 49_000),))
+        shifted = s.shift(2_000, 4_000)
+        assert shifted.covers(0, 3_000)
+        assert not shifted.covers(4_000, 5_000)
+
+    def test_shift_zero_is_identity(self):
+        s = IntervalSet(PERIOD, ((1, 2),))
+        assert s.shift(0, 0) is s
+
+    def test_shift_overflow_to_full(self):
+        # Widening by a whole period leaves nowhere uncovered.
+        s = IntervalSet(PERIOD, ((0, 1),))
+        assert s.shift(0, PERIOD).is_full
+
+    def test_union_and_uncovered(self):
+        a = IntervalSet(PERIOD, ((0, 10_000),))
+        b = IntervalSet(PERIOD, ((20_000, 30_000),))
+        u = a.union(b)
+        assert u.spans == ((0, 10_000), (20_000, 30_000))
+        assert u.contains_set(a) and u.contains_set(b)
+        assert a.uncovered(b) == [(20_000, 30_000)]
+        assert u.uncovered(b) == []
+
+    def test_union_noop_returns_self(self):
+        a = IntervalSet(PERIOD, ((0, 10_000),))
+        assert a.union(IntervalSet.empty(PERIOD)) is a
+
+    def test_mismatched_periods_rejected(self):
+        a = IntervalSet(PERIOD, ((0, 1),))
+        b = IntervalSet(PERIOD * 2, ((0, 1),))
+        with pytest.raises(ValueError):
+            a.union(b)
+
+
+# ---------------------------------------------------------------------------
+# dataflow passes on hand-built circuits
+# ---------------------------------------------------------------------------
+
+
+class TestWindows:
+    def test_stable_input_has_empty_windows(self):
+        c = circuit()
+        c.buf("OUT", "A .S0-8", delay=(1.0, 2.0))
+        an = compute_windows(c)
+        rise, fall = an.by_name("OUT")
+        assert rise.is_empty and fall.is_empty
+
+    def test_clock_windows_follow_delay(self):
+        c = circuit()
+        c.buf("OUT", "CK .P2-3", delay=(1.0, 2.0))
+        an = compute_windows(c)
+        ck_r, _ = an.by_name("CK .P2-3")
+        out_r, _ = an.by_name("OUT")
+        # Delayed by [1000, 2000] ps (plus the engine's 1 ps edge paint).
+        assert not out_r.is_empty
+        lo, hi = ck_r.spans[0]
+        assert out_r.covers(lo + 1_000, hi + 2_000)
+
+    def test_feedback_widens_to_full_period(self):
+        c = circuit()
+        c.gate("NOR", "Q", ["R .S0-6", "QB"], delay=(1.0, 2.0), name="g1")
+        c.gate("NOR", "QB", ["S .S0-6", "Q"], delay=(1.0, 2.0), name="g2")
+        an = compute_windows(c)
+        assert an.feedback, "cross-coupled gates must be reported as a cut"
+        for net_name in ("Q", "QB"):
+            rise, fall = an.by_name(net_name)
+            assert rise.is_full and fall.is_full
+        cut_nets = {cut.net for cut in an.feedback}
+        assert cut_nets == {"Q", "QB"}
+
+    def test_register_cuts_feedback(self):
+        # A registered loop is not combinational feedback: no cuts.
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D", delay=(1.0, 2.0))
+        c.gate("NOT", "D", ["Q"], delay=(1.0, 2.0))
+        an = compute_windows(c)
+        assert not an.feedback
+        rise, fall = an.by_name("Q")
+        assert not rise.is_full
+
+
+class TestDomains:
+    def test_single_domain(self):
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", delay=(1.0, 2.0))
+        dom = infer_domains(c, compute_windows(c))
+        assert [r.net for r in dom.roots] == ["CK .P2-3"]
+        (entry,) = dom.storage
+        assert entry.roots == frozenset({"CK .P2-3"})
+        assert not (entry.gated or entry.convergent or entry.unclocked)
+        assert dom.crossings == []
+
+    def test_gated_and_convergent_clock(self):
+        c = circuit()
+        c.gate("AND", "GCK", ["CK .P2-3", "EN .S0-8"], delay=(1.0, 2.0))
+        c.reg("Q1", clock="GCK", data="D .S0-6", name="r1")
+        c.gate("OR", "MCK", ["CK .P2-3", "CK2 .P4-5"], delay=(1.0, 2.0))
+        c.reg("Q2", clock="MCK", data="D .S0-6", name="r2")
+        dom = infer_domains(c, compute_windows(c))
+        r1 = dom.of_component("r1")
+        assert r1.gated and not r1.convergent
+        r2 = dom.of_component("r2")
+        assert r2.convergent and r2.roots == frozenset(
+            {"CK .P2-3", "CK2 .P4-5"}
+        )
+
+    def test_unclocked_storage(self):
+        c = circuit()
+        c.reg("Q", clock="TIED", data="D .S0-6", name="r")
+        c.net("TIED")  # undriven, unasserted: statically quiet
+        dom = infer_domains(c, compute_windows(c))
+        assert dom.of_component("r").unclocked
+
+    def test_crossing_without_synchronizer(self):
+        c = circuit()
+        c.reg("Q1", clock="CKA .P2-3", data="D .S0-6", name="ra")
+        c.reg("Q2", clock="CKB .P4-5", data="Q1", name="rb")
+        c.gate("NOT", "OUT", ["Q2"])  # combinational consumer: not a sync
+        dom = infer_domains(c, compute_windows(c))
+        (crossing,) = dom.crossings
+        assert crossing.component == "rb"
+        assert crossing.foreign_roots == frozenset({"CKA .P2-3"})
+        assert not crossing.synchronized
+
+    def test_crossing_through_logic(self):
+        c = circuit()
+        c.reg("Q1", clock="CKA .P2-3", data="D .S0-6", name="ra")
+        c.gate("AND", "M", ["Q1", "EN .S0-8"])
+        c.reg("Q2", clock="CKB .P4-5", data="M", name="rb")
+        dom = infer_domains(c, compute_windows(c))
+        assert [x.component for x in dom.crossings] == ["rb"]
+
+    def test_two_flop_synchronizer_is_demoted(self):
+        c = circuit()
+        c.reg("Q1", clock="CKA .P2-3", data="D .S0-6", name="ra")
+        c.reg("Q2", clock="CKB .P4-5", data="Q1", name="sync1")
+        c.reg("Q3", clock="CKB .P4-5", data="Q2", name="sync2")
+        dom = infer_domains(c, compute_windows(c))
+        (crossing,) = dom.crossings
+        assert crossing.component == "sync1"
+        assert crossing.synchronized
+
+
+class TestSlack:
+    def test_positive_slack_on_shifter(self):
+        c = MacroExpander.from_file("examples/designs/shifter.scald").expand()
+        records = compute_slack(c, compute_windows(c))
+        assert records and all(r.ok for r in records)
+        assert min(r.slack_ps for r in records) == 400
+
+    def test_stable_data_never_negative(self):
+        c = circuit()
+        c.setup_hold("D .S0-8", "CK .P2-3", setup=5.0, hold=2.0)
+        (rec,) = compute_slack(c, compute_windows(c))
+        assert rec.slack_ps is not None and rec.slack_ps >= 0
+
+    def test_changing_data_in_guard_is_negative(self):
+        # Data is the clock itself through a small delay: it always
+        # changes inside its own setup/hold guard.
+        c = circuit()
+        c.buf("D", "CK .P2-3", delay=(0.5, 1.0))
+        c.setup_hold("D", "CK .P2-3", setup=5.0, hold=5.0)
+        (rec,) = compute_slack(c, compute_windows(c))
+        assert rec.slack_ps is not None and rec.slack_ps < 0
+
+    def test_no_clock_edge(self):
+        c = circuit()
+        c.setup_hold("D .S0-6", "QUIET .S0-8", setup=5.0, hold=2.0)
+        (rec,) = compute_slack(c, compute_windows(c))
+        assert rec.no_edge and rec.slack_ps is None
+
+    def test_overflow_at_feedback(self):
+        c = circuit()
+        c.gate("NOR", "Q", ["R .S0-6", "QB"], delay=(1.0, 2.0))
+        c.gate("NOR", "QB", ["S .S0-6", "Q"], delay=(1.0, 2.0))
+        c.setup_hold("Q", "CK .P2-3", setup=5.0, hold=2.0)
+        (rec,) = compute_slack(c, compute_windows(c))
+        assert rec.overflow and rec.slack_ps is None
+
+
+# ---------------------------------------------------------------------------
+# the sta.* lint rule family
+# ---------------------------------------------------------------------------
+
+
+def _rules_fired(c, *rule_ids):
+    config = LintConfig(selected=frozenset(rule_ids))
+    return [d.rule for d in lint_circuit(c, config).diagnostics]
+
+
+class TestStaRules:
+    def test_negative_slack_rule(self):
+        c = circuit()
+        c.buf("D", "CK .P2-3", delay=(0.5, 1.0))
+        c.setup_hold("D", "CK .P2-3", setup=5.0, hold=5.0)
+        assert _rules_fired(c, "sta.negative-slack") == ["sta.negative-slack"]
+
+    def test_cdc_rule_skips_synchronizers(self):
+        unsync = circuit()
+        unsync.reg("Q1", clock="CKA .P2-3", data="D .S0-6", name="ra")
+        unsync.reg("Q2", clock="CKB .P4-5", data="Q1", name="rb")
+        unsync.gate("NOT", "OUT", ["Q2"])
+        assert _rules_fired(unsync, "sta.clock-domain-crossing") == [
+            "sta.clock-domain-crossing"
+        ]
+
+        synced = circuit()
+        synced.reg("Q1", clock="CKA .P2-3", data="D .S0-6", name="ra")
+        synced.reg("Q2", clock="CKB .P4-5", data="Q1", name="sync1")
+        synced.reg("Q3", clock="CKB .P4-5", data="Q2", name="sync2")
+        assert _rules_fired(synced, "sta.clock-domain-crossing") == []
+
+    def test_unclocked_storage_rule(self):
+        c = circuit()
+        c.reg("Q", clock="TIED", data="D .S0-6", name="r")
+        c.net("TIED")
+        assert _rules_fired(c, "sta.unclocked-storage") == [
+            "sta.unclocked-storage"
+        ]
+
+    def test_window_overflow_rule(self):
+        c = circuit()
+        c.gate("NOR", "Q", ["R .S0-6", "QB"], delay=(1.0, 2.0))
+        c.gate("NOR", "QB", ["S .S0-6", "Q"], delay=(1.0, 2.0))
+        fired = _rules_fired(c, "sta.window-overflow")
+        assert fired == ["sta.window-overflow"] * len(fired) and fired
+
+    def test_shifter_stays_clean(self):
+        c = MacroExpander.from_file("examples/designs/shifter.scald").expand()
+        config = LintConfig(
+            selected=frozenset(
+                {
+                    "sta.negative-slack",
+                    "sta.clock-domain-crossing",
+                    "sta.unclocked-storage",
+                    "sta.window-overflow",
+                }
+            )
+        )
+        assert lint_circuit(c, config).diagnostics == ()
+
+
+# ---------------------------------------------------------------------------
+# enclosure soundness: engine transitions inside static windows
+# ---------------------------------------------------------------------------
+
+
+def _assert_enclosed(c, config=None):
+    result = TimingVerifier(c, config).verify()
+    analysis = compute_windows(c, config)
+    cc = check_encloses(result, analysis)
+    assert cc.ok, cc.failures[:5]
+    return cc
+
+
+class TestEnclosure:
+    @pytest.mark.parametrize("chips", [60, 200, 500])
+    @pytest.mark.parametrize("seed", [1, 7, 1980])
+    def test_synth_matrix(self, chips, seed):
+        c, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
+        cc = _assert_enclosed(c)
+        assert cc.nets_checked > 0
+
+    def test_examples_designs(self):
+        for path in sorted(glob.glob("examples/designs/*.scald")):
+            c = MacroExpander.from_file(path).expand()
+            cc = _assert_enclosed(c)
+            assert cc.cases_checked == max(1, len(c.cases))
+
+    def test_feedback_design_is_enclosed(self):
+        # Widened-to-full windows trivially enclose whatever oscillation
+        # the engine settles on — but the path must not crash.
+        c = circuit()
+        c.gate("NOR", "Q", ["R .S0-6", "QB"], delay=(1.0, 2.0))
+        c.gate("NOR", "QB", ["S .S0-6", "Q"], delay=(1.0, 2.0))
+        result = TimingVerifier(c).verify()
+        assert check_encloses(result, compute_windows(c)).ok
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        chips=st.integers(min_value=40, max_value=150),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_random_synth(self, chips, seed):
+        c, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
+        _assert_enclosed(c)
+
+
+# ---------------------------------------------------------------------------
+# surfaces: analyze facade, scald-sta CLI, scald-tv --crosscheck
+# ---------------------------------------------------------------------------
+
+
+class TestSurfaces:
+    def test_analyze_facade(self):
+        c = MacroExpander.from_file("examples/designs/shifter.scald").expand()
+        a = analyze(c)
+        assert a.ok
+        assert len(a.domains.storage) == 2
+        assert len(a.slack) == 2
+        assert a.windows.period == c.period_ps
+
+    def test_scald_sta_text(self, capsys):
+        from repro.sta.cli import main
+
+        assert main(["examples/designs/shifter.scald"]) == 0
+        out = capsys.readouterr().out
+        assert "STATIC TIMING ANALYSIS" in out
+        assert "statically clean" in out
+
+    def test_scald_sta_json(self, capsys):
+        from repro.sta.cli import main
+
+        assert main(["examples/designs/shifter.scald", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["period_ps"] == 50_000
+        assert {s["component"] for s in doc["slack"]} == {
+            "inreg/su", "outreg/su",
+        }
+
+    def test_scald_sta_usage_errors(self, capsys):
+        from repro.sta.cli import main
+
+        assert main([]) == 2
+        assert main(["/nonexistent/x.scald"]) == 2
+
+    def test_scald_tv_crosscheck(self, capsys):
+        from repro.cli import main
+
+        assert main(["examples/designs/shifter.scald", "--crosscheck"]) == 0
+        assert "crosscheck: static windows enclose" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# satellites: lint --select, JSON envelope, naive-profile rendering
+# ---------------------------------------------------------------------------
+
+
+class TestLintSelect:
+    def test_select_runs_only_named_rules(self):
+        c = circuit()
+        c.buf("D", "CK .P2-3", delay=(0.5, 1.0))
+        c.setup_hold("D", "CK .P2-3", setup=5.0, hold=5.0)
+        all_diags = lint_circuit(c).diagnostics
+        picked = lint_circuit(
+            c, LintConfig(selected=frozenset({"sta.negative-slack"}))
+        ).diagnostics
+        assert {d.rule for d in picked} == {"sta.negative-slack"}
+        assert len(picked) <= len(all_diags)
+
+    def test_disable_wins_over_select(self):
+        c = circuit()
+        c.buf("D", "CK .P2-3", delay=(0.5, 1.0))
+        c.setup_hold("D", "CK .P2-3", setup=5.0, hold=5.0)
+        config = LintConfig(
+            selected=frozenset({"sta.negative-slack"}),
+            disabled=frozenset({"sta.negative-slack"}),
+        )
+        assert lint_circuit(c, config).diagnostics == ()
+
+    def test_cli_select_unknown_rule_exits_2(self, capsys):
+        from repro.lint.cli import main
+
+        code = main(
+            ["examples/designs/shifter.scald", "--select", "no-such-rule"]
+        )
+        assert code == 2
+        assert "unknown rule(s): no-such-rule" in capsys.readouterr().err
+
+    def test_cli_disable_unknown_rule_exits_2(self, capsys):
+        from repro.lint.cli import main
+
+        code = main(
+            ["examples/designs/shifter.scald", "--disable", "nope,dead-net"]
+        )
+        assert code == 2
+        assert "unknown rule(s): nope" in capsys.readouterr().err
+
+    def test_cli_select_known_rule_runs(self, capsys):
+        from repro.lint.cli import main
+
+        code = main(["examples/designs/shifter.scald", "--select", "dead-net"])
+        assert code == 0
+        assert "dead-net" in capsys.readouterr().out
+
+
+class TestLintJsonEnvelope:
+    def test_summary_fields(self, capsys):
+        from repro.lint.cli import main
+
+        assert main(["examples/designs/shifter.scald", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        summary = doc["summary"]
+        for key in ("errors", "warnings", "infos", "total", "suppressed"):
+            assert key in summary
+        assert summary["total"] == (
+            summary["errors"] + summary["warnings"] + summary["infos"]
+        )
+
+    def test_suppressed_count(self):
+        from repro.lint import lint_source
+
+        src = (
+            "design T;\n"
+            "period 50 ns;\n"
+            "clock_unit 6.25 ns;\n"
+            "-- lint: disable=dead-net\n"
+            'prim BUF b (I="CK .P2-3", OUT="UNUSED") delay=1:2;\n'
+        )
+        result = lint_source(src, "t.scald")
+        assert all(d.rule != "dead-net" for d in result.diagnostics)
+        assert result.suppressed >= 1
+
+
+class TestNaiveProfile:
+    def test_disabled_caches_report_disabled(self):
+        from repro.reporting.stats import profile_json, profile_report
+
+        c = MacroExpander.from_file("examples/designs/shifter.scald").expand()
+        res = TimingVerifier(c, VerifyConfig().naive()).verify()
+        caches = profile_json(res)["caches"]
+        assert caches["memo_hit_rate"] == "disabled"
+        assert caches["intern_hit_rate"] == "disabled"
+        assert caches["prepared_hit_rate"] == "disabled"
+        text = profile_report(res)
+        assert "evaluation memo: disabled" in text
+        assert "0%" not in text.split("evaluation memo")[1]
+
+    def test_enabled_caches_stay_numeric(self):
+        from repro.reporting.stats import profile_json
+
+        c = MacroExpander.from_file("examples/designs/shifter.scald").expand()
+        res = TimingVerifier(c).verify()
+        caches = profile_json(res)["caches"]
+        assert isinstance(caches["memo_hit_rate"], float)
+        assert isinstance(caches["intern_hit_rate"], float)

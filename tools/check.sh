@@ -1,0 +1,56 @@
+#!/bin/sh
+# Offline quality gate: tier-1 tests, self-lint of every shipped .scald
+# source, and the engine-vs-static crosscheck smoke.  No network, no
+# arguments; run from anywhere inside the repository.
+#
+#   tools/check.sh
+#
+# Exit status: 0 when every stage passes, 1 on the first failure.
+# REPRO_S1_SCALE is honoured by the test suite exactly as with pytest.
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+# Run the package from src/ so the gate works without an editable install.
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== tier-1 tests =="
+python -m pytest tests/ -q
+
+echo
+echo "== scald-lint --strict over shipped .scald sources =="
+# Design sources self-lint clean; the library ships macro definitions that
+# lint as sources too.  find keeps the gate honest when designs are added.
+designs=$(find examples src/repro/library -name '*.scald' | sort)
+if [ -z "$designs" ]; then
+    echo "no .scald sources found" >&2
+    exit 1
+fi
+# shellcheck disable=SC2086
+python -m repro.lint.cli --strict $designs
+
+echo
+echo "== crosscheck smoke: static windows enclose engine transitions =="
+for design in examples/designs/*.scald; do
+    python -m repro.cli "$design" --crosscheck >/dev/null
+    echo "ok: $design"
+done
+python - <<'EOF'
+from repro.core.verifier import TimingVerifier
+from repro.sta import check_encloses, compute_windows
+from repro.workloads.synth import SynthConfig, generate
+
+for chips, seed in ((60, 1), (200, 7), (500, 1980)):
+    circuit, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
+    result = TimingVerifier(circuit).verify()
+    cc = check_encloses(result, compute_windows(circuit))
+    assert result.ok and cc.ok, (chips, seed, cc.failures[:3])
+    print(f"ok: synth chips={chips} seed={seed} "
+          f"({cc.nets_checked} nets x {cc.cases_checked} cases)")
+EOF
+
+echo
+echo "all checks passed."
