@@ -121,6 +121,22 @@ def intern_stats() -> tuple[int, int]:
     return _INTERN_STATS["hits"], _INTERN_STATS["misses"]
 
 
+def _restore_waveform(
+    period: int, segments: tuple, skew: "Skew", eval_str: str
+) -> "Waveform":
+    """Unpickle hook: rebuild through the constructor, then intern.
+
+    The constructor cannot be pickle's state-restore path (the
+    ``__slots__`` + ``__setattr__`` immutability guard rejects the default
+    per-slot ``setattr`` walk), and the rebuilt instance must re-enter the
+    intern table so that a waveform unpickled into a process that already
+    holds an equal value shares that value's identity — the engine's
+    identity-first convergence test and the cached derived forms stay
+    sound across process boundaries.
+    """
+    return Waveform(period, segments, skew=skew, eval_str=eval_str).intern()
+
+
 class Waveform:
     """The value of one signal over one clock period.
 
@@ -179,6 +195,14 @@ class Waveform:
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Waveform is immutable")
+
+    def __reduce__(self):
+        # The four canonical fields fully determine the value; the lazily
+        # cached derived forms are recomputed (or inherited from an equal
+        # interned instance) on the other side.
+        return _restore_waveform, (
+            self.period, self.segments, self.skew, self.eval_str
+        )
 
     # ------------------------------------------------------------------
     # constructors

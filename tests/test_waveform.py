@@ -511,3 +511,52 @@ class TestSweepOracles:
                 break
             acc += width
         assert wf.value_at(t) is expected
+
+
+class TestPickle:
+    """Regression: pickle.loads used to die with 'Waveform is immutable'.
+
+    The __slots__ + __setattr__ immutability guard rejected pickle's
+    default per-slot state restore; __reduce__ now rebuilds through the
+    constructor and re-enters the intern table.
+    """
+
+    def test_round_trip_restores_equal_value(self):
+        import pickle
+
+        wf = clock(skew=(-1_000, 2_000)).with_eval_str("WH")
+        restored = pickle.loads(pickle.dumps(wf))
+        assert restored == wf
+        assert restored.period == wf.period
+        assert restored.segments == wf.segments
+        assert restored.skew == wf.skew
+        assert restored.eval_str == wf.eval_str
+
+    def test_round_trip_reenters_intern_table(self):
+        """An unpickled waveform shares identity with an equal interned
+        instance, so the engine's identity-first convergence test stays
+        sound across process boundaries."""
+        import pickle
+
+        wf = clock(high=(5_000, 15_000)).intern()
+        restored = pickle.loads(pickle.dumps(wf))
+        assert restored is wf
+
+    def test_restored_instance_is_fully_functional(self):
+        import pickle
+
+        wf = clock(skew=(-500, 500))
+        restored = pickle.loads(pickle.dumps(wf))
+        assert restored.materialized() == wf.materialized()
+        assert restored.boundaries() == wf.boundaries()
+        assert hash(restored) == hash(wf)
+        assert restored.rising_windows() == wf.rising_windows()
+
+    @settings(max_examples=100, deadline=None)
+    @given(waveform_st())
+    def test_round_trip_property(self, wf):
+        import pickle
+
+        for protocol in range(pickle.HIGHEST_PROTOCOL + 1):
+            restored = pickle.loads(pickle.dumps(wf, protocol))
+            assert restored == wf
