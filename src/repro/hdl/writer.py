@@ -7,15 +7,22 @@ Expander handed to the Timing Verifier, and it makes the text format a
 complete interchange: any circuit built with the Python API can be saved,
 inspected, diffed, and reloaded.
 
-Instance names are regenerated (``c1, c2, ...``) because hierarchical
-names like ``rf/su data`` are not identifiers in the source grammar; the
-round-trip therefore preserves *structure and timing*, not spelling.
+Instance names are preserved: hierarchical names like ``rf/su data`` are
+not bare identifiers in the source grammar, so any name that is not a
+plain identifier is written as a quoted string (which the parser accepts
+wherever an instance name is expected).  Violation listings from a
+written-and-re-expanded design therefore name the same components as the
+original — provenance survives the round-trip.
 """
 
 from __future__ import annotations
 
+import re
+
 from ..core.timeline import ps_to_ns
 from ..netlist.circuit import Circuit, Component, Connection
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
 
 
 def _fmt_ns(ps: int) -> str:
@@ -38,6 +45,14 @@ def _sigref(circuit: Circuit, conn: Connection) -> str:
     if conn.directives:
         parts.append(f"&{conn.directives}")
     return "".join(parts)
+
+
+def _inst_ref(name: str) -> str:
+    """An instance name as source text: bare when a plain identifier,
+    quoted otherwise (hierarchical names carry ``/`` and spaces)."""
+    if _IDENT_RE.match(name):
+        return name
+    return '"' + name.replace('"', '\\"') + '"'
 
 
 def _props(comp: Component) -> str:
@@ -74,7 +89,7 @@ def write_scald(circuit: Circuit) -> str:
             name = net.name.replace('"', '\\"')
             lines.append(f'wire "{name}" {_fmt_ns(lo)}:{_fmt_ns(hi)};')
     lines.append("")
-    for index, comp in enumerate(circuit.iter_components(), start=1):
+    for comp in circuit.iter_components():
         pins = []
         for pin, conn in comp.pins.items():
             pins.append(f"{pin}={_sigref(circuit, conn)}")
@@ -83,7 +98,8 @@ def write_scald(circuit: Circuit) -> str:
         props = _props(comp)
         props_text = f" {props}" if props else ""
         lines.append(
-            f"prim {prim_text} c{index} ({', '.join(pins)}){props_text};"
+            f"prim {prim_text} {_inst_ref(comp.name)} "
+            f"({', '.join(pins)}){props_text};"
         )
     if circuit.cases:
         lines.append("")

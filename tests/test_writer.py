@@ -108,3 +108,54 @@ class TestRoundTrip:
         path = tmp_path / "rt.scald"
         save_scald(fig_2_5_register_file(), str(path))
         assert main([str(path)]) == 1  # the two Figure 3-11 errors
+
+
+class TestInstanceNameFidelity:
+    """Regression: the writer used to regenerate instance names as
+    ``c1, c2, ...``, so a written-and-re-expanded Figure 2-5 reported its
+    violations at ``c7``/``c11`` instead of ``rf/su addr``/``out reg/su``
+    — destroying provenance.  Names now survive the round-trip."""
+
+    def test_fig_2_5_violations_name_original_components(self):
+        original = fig_2_5_register_file()
+        reloaded = roundtrip(original)
+        ra = TimingVerifier(original).verify()
+        rb = TimingVerifier(reloaded).verify()
+        assert [v.component for v in ra.violations] == ["rf/su addr", "out reg/su"]
+        assert [v.component for v in rb.violations] == ["rf/su addr", "out reg/su"]
+
+    def test_component_names_preserved(self):
+        original = fig_2_5_register_file()
+        reloaded = roundtrip(original)
+        assert sorted(reloaded.components) == sorted(original.components)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            pytest.param(lambda: __import__(
+                "repro.workloads.figures", fromlist=["fig_1_5_gated_clock"]
+            ).fig_1_5_gated_clock(), id="fig_1_5"),
+            pytest.param(lambda: __import__(
+                "repro.workloads.figures", fromlist=["fig_1_5_gated_clock"]
+            ).fig_1_5_gated_clock(use_directive=True), id="fig_1_5_directive"),
+            pytest.param(fig_2_5_register_file, id="fig_2_5"),
+            pytest.param(fig_2_6_case_analysis, id="fig_2_6"),
+            pytest.param(lambda: __import__(
+                "repro.workloads.figures", fromlist=["fig_3_12_alu_datapath"]
+            ).fig_3_12_alu_datapath(), id="fig_3_12"),
+            pytest.param(lambda: __import__(
+                "repro.workloads.figures", fromlist=["fig_4_1_correlation"]
+            ).fig_4_1_correlation(), id="fig_4_1"),
+        ],
+    )
+    def test_violation_strings_identical_for_figure_circuits(self, make):
+        """Round-trip fidelity is judged on the full violation *strings*
+        (component, signal, window, waveform detail), not just counts."""
+        original = make()
+        reloaded = roundtrip(original)
+        ra = TimingVerifier(original).verify()
+        rb = TimingVerifier(reloaded).verify()
+        assert [v.message() for v in rb.violations] == [
+            v.message() for v in ra.violations
+        ]
+        assert rb.error_listing() == ra.error_listing()
