@@ -42,7 +42,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", action="store_true",
-        help="with --profile, emit the profile as JSON instead of text",
+        help="emit the execution profile as JSON on stdout (implies "
+        "--profile); all human-readable output moves to stderr so the "
+        "stream stays machine-parseable",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="verify cases in N parallel worker processes "
+        "(default 1: serial in-process)",
     )
     parser.add_argument(
         "--wire-delay", metavar="MIN:MAX", default=None,
@@ -79,6 +86,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
 
+    # With --json the only bytes on stdout are the JSON object itself;
+    # every human-readable line moves to stderr (scald-sta's envelope).
+    if args.json:
+        args.profile = True
+    human = sys.stderr if args.json else sys.stdout
+
+    def say(*parts: object) -> None:
+        print(*parts, file=human)
+
+    if args.jobs < 1:
+        print(f"bad --jobs {args.jobs}; need at least 1", file=sys.stderr)
+        return 2
+
     config = VerifyConfig()
     if args.wire_delay:
         try:
@@ -107,8 +127,8 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(lint_text(lint_result))
-        print()
+        say(lint_text(lint_result))
+        say()
         lint_errors = len(lint_result.errors)
 
     try:
@@ -118,47 +138,61 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    result = TimingVerifier(circuit, config).verify()
+    if args.jobs > 1:
+        from .parallel import verify_parallel
+
+        result = verify_parallel(circuit, config, jobs=args.jobs)
+    else:
+        result = TimingVerifier(circuit, config).verify()
+
+    if not 0 <= args.case < len(result.cases):
+        last = len(result.cases) - 1
+        print(
+            f"bad --case {args.case}; the design has {len(result.cases)} "
+            f"case(s) (use 0..{last})",
+            file=sys.stderr,
+        )
+        return 2
 
     for issue in result.structure_warnings:
-        print(f"structure: {issue}")
+        say(f"structure: {issue}")
     if result.structure_warnings:
-        print()
+        say()
 
     if args.summary:
-        print(result.summary_listing(case=args.case))
-        print()
+        say(result.summary_listing(case=args.case))
+        say()
     if args.xref:
-        print(xref_listing(result))
-        print()
+        say(xref_listing(result))
+        say()
     if args.diagram:
         from .reporting.diagram import timing_diagram
 
-        print(timing_diagram(result, case=args.case))
-        print()
-    print(violation_listing(result))
+        say(timing_diagram(result, case=args.case))
+        say()
+    say(violation_listing(result))
     if args.explain and result.violations:
         from .reporting.explain import explain_violation
 
-        print()
+        say()
         for violation in result.violations:
-            print(explain_violation(circuit, result, violation, config))
-            print()
+            say(explain_violation(circuit, result, violation, config))
+            say()
     if args.stats:
-        print()
-        print(expander.stats.table())
-        print()
-        print(phase_table(result))
+        say()
+        say(expander.stats.table())
+        say()
+        say(phase_table(result))
     if args.profile:
         from .reporting.stats import profile_json, profile_report
 
-        print()
         if args.json:
             import json
 
             print(json.dumps(profile_json(result), indent=2))
         else:
-            print(profile_report(result))
+            say()
+            say(profile_report(result))
     if args.storage:
         from .core.engine import Engine
         from .reporting.stats import measure_storage
@@ -166,33 +200,33 @@ def main(argv: list[str] | None = None) -> int:
         engine = Engine(circuit, config)
         engine.initialize(circuit.cases[0] if circuit.cases else {})
         engine.run()
-        print()
-        print(measure_storage(engine).table())
+        say()
+        say(measure_storage(engine).table())
     crosscheck_failed = False
     if args.crosscheck:
         from .sta import check_encloses, compute_windows
 
         analysis = compute_windows(circuit, config)
         cc = check_encloses(result, analysis)
-        print()
+        say()
         if cc.ok:
-            print(
+            say(
                 f"crosscheck: static windows enclose all engine transitions "
                 f"({cc.nets_checked} nets x {cc.cases_checked} cases)."
             )
         else:
             crosscheck_failed = True
-            print(
+            say(
                 f"crosscheck FAILED: {len(cc.failures)} engine transition "
                 "interval(s) outside the static windows:"
             )
             for f in cc.failures[:20]:
-                print(
+                say(
                     f"  case {f.case_index}: {f.net} {f.direction} "
                     f"at {f.span[0]}..{f.span[1]} ps"
                 )
             if len(cc.failures) > 20:
-                print(f"  ... and {len(cc.failures) - 20} more")
+                say(f"  ... and {len(cc.failures) - 20} more")
     return 0 if result.ok and not lint_errors and not crosscheck_failed else 1
 
 

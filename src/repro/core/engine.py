@@ -19,6 +19,7 @@ import heapq
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..netlist.circuit import Circuit, Component, Connection, Net
 from .checks import (
@@ -122,6 +123,31 @@ class EngineStats:
     def prepared_hit_rate(self) -> float:
         total = self.prepared_hits + self.prepared_misses
         return self.prepared_hits / total if total else 0.0
+
+    @classmethod
+    def merged(cls, parts: "Iterable[EngineStats]") -> "EngineStats":
+        """Combine per-worker stats into one run's counters.
+
+        Work counters (events, evaluations, cache hits/misses) are summed;
+        ``events_by_case`` is concatenated in the order given, so callers
+        must pass the parts in case order; ``levelize_seconds`` is
+        max-reduced because the workers levelize concurrently, and
+        ``max_rank`` is the same schedule everywhere (max for safety).
+        """
+        out = cls()
+        for s in parts:
+            out.events += s.events
+            out.evaluations += s.evaluations
+            out.events_by_case.extend(s.events_by_case)
+            out.intern_hits += s.intern_hits
+            out.intern_misses += s.intern_misses
+            out.memo_hits += s.memo_hits
+            out.memo_misses += s.memo_misses
+            out.prepared_hits += s.prepared_hits
+            out.prepared_misses += s.prepared_misses
+            out.levelize_seconds = max(out.levelize_seconds, s.levelize_seconds)
+            out.max_rank = max(out.max_rank, s.max_rank)
+        return out
 
 
 def _strongly_connected(succ: list[list[int]]) -> list[int]:

@@ -61,6 +61,10 @@ class VerificationResult:
     #: The configuration the run used (reporters need it to tell a cache
     #: that was disabled apart from one that never hit).
     config: VerifyConfig | None = None
+    #: CPU seconds per phase, summed across worker processes when the run
+    #: was parallel (``repro.parallel``); None for serial runs, whose
+    #: wall times already equal their CPU spend.
+    phases_cpu: PhaseTimes | None = None
 
     @property
     def violations(self) -> list[Violation]:

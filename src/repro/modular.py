@@ -104,9 +104,20 @@ def check_interfaces(sections: dict[str, Circuit]) -> list[InterfaceIssue]:
 
 
 def verify_sections(
-    sections: dict[str, Circuit], config: VerifyConfig | None = None
+    sections: dict[str, Circuit],
+    config: VerifyConfig | None = None,
+    jobs: int = 1,
 ) -> ModularResult:
-    """Verify each section independently and check interface consistency."""
+    """Verify each section independently and check interface consistency.
+
+    With ``jobs > 1`` the sections — independent circuits by construction —
+    are verified one-per-worker in parallel processes; the merged result is
+    identical to the serial one (see ``repro.parallel``).
+    """
+    if jobs > 1:
+        from .parallel import verify_sections_parallel
+
+        return verify_sections_parallel(sections, config, jobs=jobs)
     result = ModularResult()
     for name, circuit in sections.items():
         result.sections[name] = TimingVerifier(circuit, config).verify()

@@ -200,6 +200,20 @@ class Circuit:
         self.cases: list[dict[str, int]] = []
         self._alias_parent: dict[Net, Net] = {}
 
+    def __getstate__(self) -> dict:
+        """Pickle hook: flatten the union-find first.
+
+        ``find`` compresses paths lazily, so the alias table's internal
+        shape depends on query history.  Compressing every chain before
+        pickling makes the serialized form canonical — workers unpickling
+        the same circuit see the same representative for every net (the
+        pickle memo preserves the ``Net`` identity topology, which is what
+        ``eq=False`` hashing keys on).
+        """
+        for net in list(self._alias_parent):
+            self.find(net)
+        return self.__dict__
+
     # ------------------------------------------------------------------
     # nets and aliases
     # ------------------------------------------------------------------

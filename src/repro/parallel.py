@@ -1,0 +1,270 @@
+"""Process-parallel verification: case sharding and section sharding.
+
+The ROADMAP's scaling story is that both axes of a large verification run
+are embarrassingly parallel: every §2.7 case is an independent fixed-point
+problem over the same circuit, and every §2.5.2 modular section is an
+independent circuit.  This module fans either axis out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (stdlib only) and merges
+the results deterministically, so ``--jobs N`` output is byte-identical to
+a serial run.
+
+Case sharding works in contiguous *blocks*: worker *k* receives the pickled
+circuit once (via the pool initializer), builds one :class:`Engine`, runs
+``initialize(cases[start])`` and then ``apply_case`` incrementally through
+its block — the same §2.7 incremental re-evaluation the serial verifier
+uses, just restarted at each block boundary.  A from-scratch fixed point
+and an incremental one converge to the same waveforms (the fixed point is
+unique for a legal synchronous design), so per-case violations, waveforms
+and summaries match the serial run exactly; only the engine work counters
+differ (each block pays its own initialization events).
+
+Merging is deterministic: blocks are keyed by their start index, per-case
+violations are concatenated in case order (the serial ``report.extend``
+order), :class:`EngineStats` counters are summed via
+:meth:`EngineStats.merged`, and phase times are max-reduced for wall clock
+(workers run concurrently) while a second :class:`PhaseTimes` records the
+sum-reduced CPU seconds in ``result.phases_cpu``.
+
+The enabling layer is serialization: :class:`Waveform` unpickles through
+``Waveform.intern`` (see ``core/waveform.py``), so restored waveforms
+re-enter the intern table and identity-based convergence stays sound in
+every process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from .core.config import VerifyConfig
+from .core.engine import Engine, EngineStats
+from .core.verifier import (
+    CaseResult,
+    PhaseTimes,
+    TimingVerifier,
+    VerificationResult,
+)
+from .core.violations import CheckReport, Violation
+from .netlist.circuit import Circuit
+from .netlist.validate import check as check_structure
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, payload shared at COW speed); fall back to
+    the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def case_blocks(n_cases: int, jobs: int) -> list[tuple[int, int]]:
+    """Partition ``range(n_cases)`` into at most ``jobs`` contiguous blocks.
+
+    A pure function of its arguments, so the sharding — and therefore the
+    merged output — is reproducible for a given (cases, jobs) pair.
+    """
+    jobs = max(1, min(jobs, n_cases))
+    base, extra = divmod(n_cases, jobs)
+    blocks: list[tuple[int, int]] = []
+    start = 0
+    for k in range(jobs):
+        size = base + (1 if k < extra else 0)
+        blocks.append((start, start + size))
+        start += size
+    return blocks
+
+
+@dataclass
+class _BlockResult:
+    """What one worker hands back for its contiguous case block."""
+
+    start: int
+    case_results: list[CaseResult]
+    violations: list[list[Violation]]  # per case, in block order
+    xref_assumed_stable: list[str]
+    stats: EngineStats
+    build_wall: float
+    build_cpu: float
+    verify_wall: float
+    verify_cpu: float
+
+
+# Worker-process globals, set once per worker by the pool initializer so
+# the circuit is unpickled (or inherited through fork) once, not per block.
+_worker_circuit: Circuit | None = None
+_worker_config: VerifyConfig | None = None
+_worker_cases: list[dict[str, int]] = []
+
+
+def _init_case_worker(payload: bytes) -> None:
+    global _worker_circuit, _worker_config, _worker_cases
+    _worker_circuit, _worker_config, _worker_cases = pickle.loads(payload)
+
+
+def _run_case_block(start: int, stop: int) -> _BlockResult:
+    """Verify cases ``start..stop`` incrementally on one fresh engine."""
+    assert _worker_circuit is not None
+    t0, c0 = time.perf_counter(), time.process_time()
+    engine = Engine(_worker_circuit, _worker_config)
+    engine.initialize(_worker_cases[start])
+    xref = list(engine.xref_assumed_stable)
+    build_wall = time.perf_counter() - t0
+    build_cpu = time.process_time() - c0
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    case_results: list[CaseResult] = []
+    violations: list[list[Violation]] = []
+    for index in range(start, stop):
+        if index > start:
+            engine.apply_case(_worker_cases[index])
+        events = engine.run()
+        violations.append(engine.check(case_index=index))
+        case_results.append(
+            CaseResult(
+                index=index,
+                assignments=dict(_worker_cases[index]),
+                waveforms=engine.snapshot(),
+                events=events,
+            )
+        )
+    return _BlockResult(
+        start=start,
+        case_results=case_results,
+        violations=violations,
+        xref_assumed_stable=xref,
+        stats=engine.stats,
+        build_wall=build_wall,
+        build_cpu=build_cpu,
+        verify_wall=time.perf_counter() - t0,
+        verify_cpu=time.process_time() - c0,
+    )
+
+
+def verify_parallel(
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    jobs: int | None = None,
+) -> VerificationResult:
+    """Verify ``circuit`` with case analysis sharded over ``jobs`` processes.
+
+    Produces a :class:`VerificationResult` whose violations, waveforms and
+    listings are byte-identical to ``TimingVerifier(circuit, config)
+    .verify()``; ``result.phases`` holds max-reduced wall times and
+    ``result.phases_cpu`` the summed worker CPU times.  With one case (or
+    ``jobs <= 1``) this falls back to the serial verifier.
+    """
+    config = config or VerifyConfig()
+    cases = circuit.cases or [{}]
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    blocks = case_blocks(len(cases), jobs)
+    if len(blocks) <= 1:
+        return TimingVerifier(circuit, config).verify()
+
+    phases = PhaseTimes()
+    cpu = PhaseTimes()
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    warnings = check_structure(circuit)
+    payload = pickle.dumps(
+        (circuit, config, cases), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    parent_build_wall = time.perf_counter() - t0
+    parent_build_cpu = time.process_time() - c0
+
+    with ProcessPoolExecutor(
+        max_workers=len(blocks),
+        mp_context=_pool_context(),
+        initializer=_init_case_worker,
+        initargs=(payload,),
+    ) as pool:
+        futures = [pool.submit(_run_case_block, a, b) for a, b in blocks]
+        parts = [f.result() for f in futures]
+    parts.sort(key=lambda p: p.start)
+
+    phases.build = parent_build_wall + max(p.build_wall for p in parts)
+    cpu.build = parent_build_cpu + sum(p.build_cpu for p in parts)
+    phases.verify = max(p.verify_wall for p in parts)
+    cpu.verify = sum(p.verify_cpu for p in parts)
+
+    # The cross-reference is a property of initialization, not of any
+    # case, so every worker computed the same list; take block 0's.
+    xref = parts[0].xref_assumed_stable
+
+    report = CheckReport()
+    case_results: list[CaseResult] = []
+    for part in parts:
+        for per_case in part.violations:
+            report.extend(per_case)
+        case_results.extend(part.case_results)
+
+    result = VerificationResult(
+        circuit_name=circuit.name,
+        report=report,
+        cases=case_results,
+        stats=EngineStats.merged(p.stats for p in parts),
+        phases=phases,
+        xref_assumed_stable=xref,
+        structure_warnings=warnings,
+        primitive_count=sum(
+            1 for c in circuit.iter_components() if not c.prim.is_checker
+        ),
+        config=config,
+        phases_cpu=cpu,
+    )
+
+    t0, c0 = time.perf_counter(), time.process_time()
+    result.summary_listing()
+    phases.summary = time.perf_counter() - t0
+    cpu.summary = time.process_time() - c0
+    return result
+
+
+# ----------------------------------------------------------------------
+# section sharding (modular verification, section 2.5.2)
+# ----------------------------------------------------------------------
+
+
+def _verify_section(payload: bytes) -> VerificationResult:
+    circuit, config = pickle.loads(payload)
+    return TimingVerifier(circuit, config).verify()
+
+
+def verify_sections_parallel(
+    sections: dict[str, Circuit],
+    config: VerifyConfig | None = None,
+    jobs: int | None = None,
+):
+    """Verify each section in its own worker process, one section per task.
+
+    Returns the same :class:`~repro.modular.ModularResult` the serial
+    :func:`repro.modular.verify_sections` produces: sections are rebuilt
+    in their original insertion order regardless of completion order, and
+    the interface-consistency check runs in the parent.
+    """
+    from .modular import ModularResult, check_interfaces, verify_sections
+
+    names = list(sections)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(names) <= 1:
+        return verify_sections(sections, config)
+    config = config or VerifyConfig()
+    payloads = [
+        pickle.dumps((sections[name], config), protocol=pickle.HIGHEST_PROTOCOL)
+        for name in names
+    ]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(names)), mp_context=_pool_context()
+    ) as pool:
+        results = list(pool.map(_verify_section, payloads))
+    out = ModularResult()
+    for name, result in zip(names, results):
+        out.sections[name] = result
+    out.interface_issues = check_interfaces(sections)
+    return out

@@ -103,7 +103,7 @@ def profile_json(result: "VerificationResult") -> dict:
     s = result.stats
     p = result.phases
     verify_s = p.verify
-    return {
+    out = {
         "circuit": result.circuit_name,
         "phases_seconds": {
             "build": p.build,
@@ -123,6 +123,18 @@ def profile_json(result: "VerificationResult") -> dict:
         "caches": _cache_stats(result),
         "violations": len(result.violations),
     }
+    if result.phases_cpu is not None:
+        # Parallel runs: wall times above are max-reduced across workers;
+        # this block carries the summed CPU seconds actually spent.
+        c = result.phases_cpu
+        out["phases_cpu_seconds"] = {
+            "build": c.build,
+            "cross_reference": c.cross_reference,
+            "verify": c.verify,
+            "summary": c.summary,
+            "total": c.total,
+        }
+    return out
 
 
 def _cache_disabled(result: "VerificationResult") -> tuple[bool, bool]:

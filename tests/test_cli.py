@@ -123,6 +123,89 @@ class TestStructureWarnings:
         assert "structure:" not in capsys.readouterr().out
 
 
+MULTICASE = CLEAN.replace(
+    "design CLI_TEST;", "design CLI_CASES;"
+) + 'case "SEL" = 0;\ncase "SEL" = 1;\n'
+
+
+@pytest.fixture
+def multicase_file(tmp_path):
+    path = tmp_path / "cases.scald"
+    path.write_text(MULTICASE)
+    return str(path)
+
+
+class TestJsonEnvelope:
+    def test_json_stdout_is_pure_json(self, clean_file, capsys):
+        """Regression: the human 'No setup...' line used to precede the
+        JSON object, so json.loads failed at char 0."""
+        import json
+
+        assert main([clean_file, "--profile", "--json"]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)  # must parse from char 0
+        assert data["circuit"] == "CLI_TEST"
+        assert "No setup" in captured.err  # human text moved to stderr
+
+    def test_json_implies_profile(self, clean_file, capsys):
+        import json
+
+        assert main([clean_file, "--json"]) == 0
+        assert "phases_seconds" in json.loads(capsys.readouterr().out)
+
+    def test_json_with_summary_keeps_stdout_clean(self, clean_file, capsys):
+        import json
+
+        assert main([clean_file, "--json", "--summary"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert "TIMING VERIFIER SUMMARY" in captured.err
+
+    def test_parallel_json_reports_cpu_phases(self, multicase_file, capsys):
+        import json
+
+        assert main([multicase_file, "--json", "--jobs", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "phases_cpu_seconds" in data
+
+
+class TestCaseValidation:
+    def test_out_of_range_case_exits_2_with_usage(self, clean_file, capsys):
+        """Regression: --case 99 used to escape as a raw IndexError from
+        reporting/listing.py."""
+        assert main([clean_file, "--summary", "--case", "99"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --case 99" in err
+        assert "use 0..0" in err
+
+    def test_negative_case_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--summary", "--case=-1"]) == 2
+        assert "bad --case -1" in capsys.readouterr().err
+
+    def test_last_valid_case_accepted(self, multicase_file):
+        assert main([multicase_file, "--summary", "--case", "1"]) == 0
+
+
+class TestJobsFlag:
+    def test_jobs_output_byte_identical_to_serial(self, multicase_file, capsys):
+        assert main([multicase_file, "--summary"]) == 0
+        serial = capsys.readouterr().out
+        assert main([multicase_file, "--summary", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_preserves_failure_exit_and_listing(self, tmp_path, capsys):
+        path = tmp_path / "failing_cases.scald"
+        path.write_text(FAILING + 'case "SEL" = 0;\ncase "SEL" = 1;\n')
+        assert main([str(path)]) == 1
+        serial = capsys.readouterr().out
+        assert main([str(path), "--jobs", "2"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_zero_jobs_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--jobs", "0"]) == 2
+        assert "bad --jobs" in capsys.readouterr().err
+
+
 class TestLintFlag:
     def test_lint_flag_reports_findings(self, clean_file, capsys):
         assert main([clean_file, "--lint"]) == 0

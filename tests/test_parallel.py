@@ -1,0 +1,184 @@
+"""Process-parallel verification must match the serial verifier exactly.
+
+The contract of ``repro.parallel`` is determinism: for any circuit and any
+jobs count, the parallel run's violations, waveforms, listings and exit
+status are byte-identical to the serial run's.  These tests check that
+over a synth size x seed matrix, over a failing multi-case design, and
+over modular sections, plus the merge plumbing (block partitioning,
+EngineStats.merged, CPU phase times) and result-object pickling.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.engine import EngineStats
+from repro.core.verifier import TimingVerifier, VerificationResult
+from repro.modular import verify_sections
+from repro.netlist.circuit import Circuit
+from repro.parallel import case_blocks, verify_parallel
+from repro.workloads.figures import (
+    fig_2_5_register_file,
+    fig_2_6_case_analysis,
+)
+from repro.workloads.synth import SynthConfig, generate
+
+
+def synth_with_cases(chips: int, seed: int, n_cases: int = 5) -> Circuit:
+    design = generate(SynthConfig(chips=chips, stage_chips=max(30, chips // 2),
+                                  seed=seed))
+    circuit, _ = design.circuit()
+    for k in range(n_cases):
+        circuit.add_case_by_name({"MUX CTL .S0-8": k % 2})
+    return circuit
+
+
+def failing_multicase() -> Circuit:
+    """A design with real violations spread over several cases."""
+    c = fig_2_5_register_file()
+    assert TimingVerifier(c).verify().violations  # stays a failing fixture
+    for k in range(4):
+        c.add_case_by_name({"SPARE CTL": k % 2})
+    return c
+
+
+def assert_equivalent(serial: VerificationResult, par: VerificationResult):
+    assert [v.message() for v in serial.violations] == [
+        v.message() for v in par.violations
+    ]
+    assert serial.error_listing() == par.error_listing()
+    assert serial.ok == par.ok
+    assert serial.xref_assumed_stable == par.xref_assumed_stable
+    assert len(serial.cases) == len(par.cases)
+    for cs, cp in zip(serial.cases, par.cases):
+        assert cs.index == cp.index
+        assert cs.assignments == cp.assignments
+        assert cs.waveforms == cp.waveforms
+    for case in range(len(serial.cases)):
+        assert serial.summary_listing(case=case) == par.summary_listing(
+            case=case
+        )
+
+
+class TestCaseBlocks:
+    def test_partition_covers_range_contiguously(self):
+        for n in (1, 2, 5, 7, 16):
+            for jobs in (1, 2, 3, 4, 8, 32):
+                blocks = case_blocks(n, jobs)
+                assert len(blocks) == min(jobs, n)
+                assert blocks[0][0] == 0 and blocks[-1][1] == n
+                for (a0, a1), (b0, b1) in zip(blocks, blocks[1:]):
+                    assert a1 == b0
+                    assert a1 > a0 and b1 > b0
+
+    def test_balanced_within_one(self):
+        sizes = [b - a for a, b in case_blocks(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("chips", [60, 200])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_synth_matrix(self, chips, seed):
+        circuit = synth_with_cases(chips, seed)
+        serial = TimingVerifier(circuit).verify()
+        par = verify_parallel(circuit, jobs=2)
+        assert_equivalent(serial, par)
+        assert serial.ok  # the generator's designs verify clean
+
+    def test_failing_design_violations_in_case_order(self):
+        circuit = failing_multicase()
+        serial = TimingVerifier(circuit).verify()
+        par = verify_parallel(circuit, jobs=3)
+        assert serial.violations  # exercised the merge with real content
+        assert_equivalent(serial, par)
+        assert [v.case_index for v in par.violations] == sorted(
+            v.case_index for v in par.violations
+        )
+
+    def test_more_jobs_than_cases(self):
+        circuit = synth_with_cases(60, 3, n_cases=2)
+        serial = TimingVerifier(circuit).verify()
+        par = verify_parallel(circuit, jobs=8)
+        assert_equivalent(serial, par)
+
+    def test_single_case_falls_back_to_serial(self):
+        circuit, _ = generate(SynthConfig(chips=60, stage_chips=30)).circuit()
+        par = verify_parallel(circuit, jobs=4)
+        serial = TimingVerifier(circuit).verify()
+        assert_equivalent(serial, par)
+        assert par.phases_cpu is None  # the serial verifier ran
+
+    def test_parallel_records_cpu_phase_times(self):
+        circuit = synth_with_cases(60, 1, n_cases=4)
+        par = verify_parallel(circuit, jobs=2)
+        assert par.phases_cpu is not None
+        assert par.phases_cpu.total >= 0.0
+        assert par.stats.events_by_case and len(par.stats.events_by_case) == 4
+
+
+class TestStatsMerge:
+    def test_counters_summed_and_cases_concatenated(self):
+        a = EngineStats(events=3, evaluations=5, events_by_case=[3],
+                        intern_hits=1, memo_hits=2, prepared_misses=4,
+                        levelize_seconds=0.5, max_rank=7)
+        b = EngineStats(events=2, evaluations=1, events_by_case=[1, 1],
+                        intern_misses=6, memo_misses=3, prepared_hits=2,
+                        levelize_seconds=0.2, max_rank=9)
+        m = EngineStats.merged([a, b])
+        assert m.events == 5 and m.evaluations == 6
+        assert m.events_by_case == [3, 1, 1]
+        assert (m.intern_hits, m.intern_misses) == (1, 6)
+        assert (m.memo_hits, m.memo_misses) == (2, 3)
+        assert (m.prepared_hits, m.prepared_misses) == (2, 4)
+        assert m.levelize_seconds == 0.5  # wall: max-reduced
+        assert m.max_rank == 9
+
+    def test_merge_of_nothing_is_zero(self):
+        m = EngineStats.merged([])
+        assert m.events == 0 and m.events_by_case == []
+
+
+class TestModularParallel:
+    def sections(self):
+        return {"rf": fig_2_5_register_file(), "cases": fig_2_6_case_analysis()}
+
+    def test_sections_match_serial(self):
+        secs = self.sections()
+        serial = verify_sections(secs)
+        par = verify_sections(secs, jobs=2)
+        assert list(serial.sections) == list(par.sections)  # original order
+        for name in serial.sections:
+            assert (
+                serial.sections[name].error_listing()
+                == par.sections[name].error_listing()
+            )
+        assert serial.report() == par.report()
+        assert serial.ok == par.ok
+
+    def test_jobs_one_is_the_serial_path(self):
+        secs = self.sections()
+        assert verify_sections(secs, jobs=1).report() == \
+            verify_sections(secs).report()
+
+
+class TestResultPickling:
+    """The tentpole's enabling layer: results must survive a process hop."""
+
+    def test_verification_result_round_trip(self):
+        result = TimingVerifier(fig_2_5_register_file()).verify()
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.error_listing() == result.error_listing()
+        assert restored.summary_listing() == result.summary_listing()
+        assert restored.cases[0].waveforms == result.cases[0].waveforms
+
+    def test_circuit_round_trip_preserves_alias_topology(self):
+        circuit = fig_2_6_case_analysis()
+        restored = pickle.loads(pickle.dumps(circuit))
+        # Same representative structure: verification agrees exactly.
+        a = TimingVerifier(circuit).verify()
+        b = TimingVerifier(restored).verify()
+        assert a.error_listing() == b.error_listing()
+        assert len(restored.representatives()) == len(circuit.representatives())
