@@ -53,4 +53,25 @@ for chips, seed in ((60, 1), (200, 7), (500, 1980)):
 EOF
 
 echo
+echo "== serial-vs-parallel equivalence smoke =="
+python - <<'EOF'
+from repro.core.verifier import TimingVerifier
+from repro.parallel import verify_parallel
+from repro.workloads.synth import SynthConfig, generate
+
+for chips, seed in ((60, 1), (200, 7)):
+    circuit, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
+    for k in range(4):
+        circuit.add_case_by_name({"MUX CTL .S0-8": k % 2})
+    serial = TimingVerifier(circuit).verify()
+    par = verify_parallel(circuit, jobs=2)
+    assert serial.error_listing() == par.error_listing(), (chips, seed)
+    assert all(
+        serial.summary_listing(case=c) == par.summary_listing(case=c)
+        for c in range(4)
+    ), (chips, seed)
+    print(f"ok: synth chips={chips} seed={seed} serial == --jobs 2")
+EOF
+
+echo
 echo "all checks passed."
