@@ -1,0 +1,9 @@
+# Constraints for multicycle.scald: the slow path is sampled every other
+# clock, so its setup requirement moves one full cycle out.  On the
+# verifier's folded single-period axis a 2-cycle setup guard has nothing
+# left to protect (the effective setup is 2.5 - 50 ns < 0); the hold side
+# is untouched and still enforced.  Expected static slack flips from
+# -1502 ps (unconstrained) to +998 ps (hold-limited); see the design's
+# header comment for the arithmetic.
+create_clock -period 50 -name MAINCLK "MAIN CLK .P2-3"
+set_multicycle_path 2 -setup -to SLOW

@@ -1,0 +1,9 @@
+# Modern asynchronous-control checks for recovery.scald.
+#
+# set_recovery: the control must be stable 4 ns before the active clock
+# edge (like setup, but for SET/RESET release).  set_removal: it must be
+# held 2 ns past the edge (like hold).  Expected static slacks are worked
+# out in recovery.scald's header comment: +7500 ps and +11500 ps.
+create_clock -period 50 -name MAINCLK "MAIN CLK .P2-3"
+set_recovery 4 hold
+set_removal 2 hold

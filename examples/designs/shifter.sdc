@@ -1,0 +1,8 @@
+# Constraints for examples/designs/shifter.scald — the quickstart SDC.
+#
+# The design's asserted period is 50 ns; create_clock must agree (a
+# mismatch is reported, the design period wins).  The 0.1 ns uncertainty
+# tightens both registers' setup/hold guards; the design still passes
+# with margin (static setup slack drops from +0.4 ns to +0.3 ns).
+create_clock -period 50 -name MAINCLK "MAIN CLK .P2-3"
+set_clock_uncertainty 0.1 MAINCLK

@@ -78,7 +78,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--crosscheck", action="store_true",
         help="assert that the static arrival windows (repro.sta) enclose "
-        "every engine transition — a soundness self-test of both analyses",
+        "every engine transition — a soundness self-test of both analyses; "
+        "with --sdc it also compares per-check verdicts",
+    )
+    parser.add_argument(
+        "--sdc", metavar="FILE", default=None,
+        help="apply an SDC-subset constraint file (create_clock, "
+        "set_multicycle_path, set_false_path, set_clock_uncertainty, "
+        "set_clock_latency, set_input_delay/set_output_delay, "
+        "set_recovery/set_removal, set_max_time_borrow)",
     )
     return parser
 
@@ -138,12 +146,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    constraints = None
+    sdc_errors = 0
+    if args.sdc:
+        from .constraints import load_constraints
+
+        try:
+            constraints = load_constraints(args.sdc, circuit)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for finding in constraints.findings:
+            say(str(finding))
+        if constraints.findings:
+            say()
+        sdc_errors = len(constraints.errors)
+
     if args.jobs > 1:
         from .parallel import verify_parallel
 
-        result = verify_parallel(circuit, config, jobs=args.jobs)
+        result = verify_parallel(
+            circuit, config, jobs=args.jobs, constraints=constraints
+        )
     else:
-        result = TimingVerifier(circuit, config).verify()
+        result = TimingVerifier(
+            circuit, config, constraints=constraints
+        ).verify()
 
     if not 0 <= args.case < len(result.cases):
         last = len(result.cases) - 1
@@ -205,29 +233,51 @@ def main(argv: list[str] | None = None) -> int:
     crosscheck_failed = False
     if args.crosscheck:
         from .sta import check_encloses, compute_windows
+        from .sta.slack import compute_slack
 
-        analysis = compute_windows(circuit, config)
-        cc = check_encloses(result, analysis)
+        analysis = compute_windows(circuit, config, constraints=constraints)
+        slack = compute_slack(circuit, analysis, constraints=constraints)
+        cc = check_encloses(result, analysis, slack=slack)
         say()
         if cc.ok:
             say(
                 f"crosscheck: static windows enclose all engine transitions "
                 f"({cc.nets_checked} nets x {cc.cases_checked} cases)."
             )
+            say(
+                f"crosscheck: {cc.verdicts_checked} statically-positive "
+                "check(s) confirmed clean in the engine."
+            )
         else:
             crosscheck_failed = True
-            say(
-                f"crosscheck FAILED: {len(cc.failures)} engine transition "
-                "interval(s) outside the static windows:"
-            )
-            for f in cc.failures[:20]:
+            if cc.failures:
                 say(
-                    f"  case {f.case_index}: {f.net} {f.direction} "
-                    f"at {f.span[0]}..{f.span[1]} ps"
+                    f"crosscheck FAILED: {len(cc.failures)} engine transition "
+                    "interval(s) outside the static windows:"
                 )
-            if len(cc.failures) > 20:
-                say(f"  ... and {len(cc.failures) - 20} more")
-    return 0 if result.ok and not lint_errors and not crosscheck_failed else 1
+                for f in cc.failures[:20]:
+                    say(
+                        f"  case {f.case_index}: {f.net} {f.direction} "
+                        f"at {f.span[0]}..{f.span[1]} ps"
+                    )
+                if len(cc.failures) > 20:
+                    say(f"  ... and {len(cc.failures) - 20} more")
+            if cc.verdict_failures:
+                say(
+                    f"crosscheck FAILED: {len(cc.verdict_failures)} engine "
+                    "violation(s) on checks the static analysis cleared:"
+                )
+                for v in cc.verdict_failures[:20]:
+                    say(
+                        f"  case {v.case_index}: {v.component} {v.kind} on "
+                        f"{v.signal} (static slack {v.slack_ps} ps)"
+                    )
+    return (
+        0
+        if result.ok and not lint_errors and not crosscheck_failed
+        and not sdc_errors
+        else 1
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,67 @@
+"""SDC-style constraint front-end (the modern STA vocabulary).
+
+The thesis verifier answers one question — do the setup/hold assertions
+pass at a fixed period — with every constraint carried *inside* the design
+(checker components, signal-name assertions).  Modern timing flows carry
+constraints in a separate Synopsys Design Constraints (``.sdc``) file:
+clocks, I/O delays, multicycle and false paths, clock uncertainty and
+latency, recovery/removal margins, latch time borrowing.
+
+This package is the dependency-free bridge between the two worlds:
+
+* :mod:`repro.constraints.sdc` — a tokenizer/parser for the SDC subset,
+  producing typed commands with ``file:line`` provenance and diagnostics
+  in the shape of the lint pipeline.
+* :mod:`repro.constraints.resolve` — name resolution against an expanded
+  :class:`~repro.netlist.Circuit`, producing a typed, picklable
+  :class:`ConstraintSet` consumed identically by the event-driven engine
+  (``core/checks.py``) and the static analysis (``sta/slack.py``) — the
+  same-object discipline that lets ``scald-tv --crosscheck --sdc`` police
+  one against the other per check.
+
+All times are integer picoseconds internally; the ``.sdc`` surface speaks
+nanoseconds (the API-boundary unit) and is converted on parse.
+"""
+
+from __future__ import annotations
+
+from .resolve import (
+    CheckerMods,
+    ConstraintSet,
+    Finding,
+    InputDelay,
+    OutputDelay,
+    RsCheck,
+    input_delay_spans,
+    resolve,
+)
+from .sdc import SdcCommand, SdcError, parse_sdc
+
+__all__ = [
+    "CheckerMods",
+    "ConstraintSet",
+    "Finding",
+    "InputDelay",
+    "OutputDelay",
+    "RsCheck",
+    "SdcCommand",
+    "SdcError",
+    "input_delay_spans",
+    "load_constraints",
+    "parse_sdc",
+    "resolve",
+]
+
+
+def load_constraints(path: str, circuit) -> ConstraintSet:
+    """Parse ``path`` and resolve it against ``circuit`` in one step.
+
+    Raises :class:`OSError` when the file cannot be read; every other
+    problem (syntax, unknown commands, unresolvable names) becomes a
+    finding on the returned :class:`ConstraintSet` rather than an
+    exception, mirroring how the lint runner treats parse failures.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    commands, findings = parse_sdc(source, filename=path)
+    return resolve(commands, circuit, filename=path, parse_findings=findings)

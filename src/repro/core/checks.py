@@ -219,6 +219,218 @@ def _check_edge_window(
     return out
 
 
+def check_setup_hold_windows(
+    component: str,
+    signal_name: str,
+    data: Waveform,
+    clock_name: str,
+    clock: Waveform,
+    setup_eff_ps: int,
+    hold_eff_ps: int,
+    setup_req_ps: int,
+    hold_req_ps: int,
+    case_index: int = 0,
+    clock_shift_ps: int = 0,
+) -> list[Violation]:
+    """Setup/hold check with *independent* effective guard windows.
+
+    The constrained form of :func:`check_setup_hold`: effective extents
+    come from :meth:`CheckerMods.effective` and may differ wildly from the
+    nominal values (a multicycle setup relaxation makes ``setup_eff``
+    deeply negative on the folded axis).  The two sides are therefore
+    checked as separate windows rather than one merged span:
+
+    * setup window ``[r0 - setup_eff, r1]`` — only when ``setup_eff > 0``
+      (a non-positive effective setup means the side is waived);
+    * hold window ``[r0, r1 + hold_eff]`` — only when it has extent.
+
+    ``clock_shift_ps`` (clock latency) moves the checker's view of the
+    clock edges without touching the circuit fixed point.  The *reported*
+    required times are the nominal ``setup_req``/``hold_req`` so messages
+    stay meaningful to the designer.
+    """
+    out: list[Violation] = []
+    if data.is_fully_unknown or clock.is_fully_unknown:
+        return out
+    clockm = clock.rotated(clock_shift_ps).materialized()
+    edges = clockm.rising_windows()
+    if not edges:
+        out.append(
+            Violation(
+                kind=ViolationKind.NO_CLOCK_EDGE,
+                component=component,
+                signal=signal_name,
+                clock=clock_name,
+                case_index=case_index,
+                clock_waveform=clockm,
+            )
+        )
+        return out
+    datam = data.materialized()
+    for r0, r1 in edges:
+        for lo, hi, kind, required in (
+            (r0 - setup_eff_ps, r1, ViolationKind.SETUP, setup_req_ps),
+            (r0, r1 + hold_eff_ps, ViolationKind.HOLD, hold_req_ps),
+        ):
+            if kind is ViolationKind.SETUP and setup_eff_ps <= 0:
+                continue
+            if hi <= lo:
+                continue
+            bad = datam.instability_in(lo, hi)
+            if not bad:
+                continue
+            if kind is ViolationKind.SETUP:
+                missed = max(h for _l, h, _v in bad) - lo
+            else:
+                missed = hi - min(l for l, _h, _v in bad)
+            missed = min(missed, hi - lo)
+            out.append(
+                Violation(
+                    kind=kind,
+                    component=component,
+                    signal=signal_name,
+                    clock=clock_name,
+                    required_ps=required,
+                    missed_by_ps=missed,
+                    window=(lo, hi),
+                    case_index=case_index,
+                    signal_waveform=datam,
+                    clock_waveform=clockm,
+                )
+            )
+    return out
+
+
+def check_recovery_removal(
+    component: str,
+    control_name: str,
+    control: Waveform,
+    clock_name: str,
+    clock: Waveform,
+    recovery_ps: int | None,
+    removal_ps: int | None,
+    case_index: int = 0,
+) -> list[Violation]:
+    """Recovery/removal check on an asynchronous SET/RESET overlay.
+
+    The deasserting edge of an asynchronous control must not race the
+    active clock edge: the control must be stable for ``recovery`` before
+    each clock-edge window and stay stable for ``removal`` after it —
+    exactly the setup/hold shape, applied to the control pin instead of
+    the data pin.  The thesis's set/reset overlays (section 2.4.5) predate
+    this vocabulary; the check is driven entirely by ``set_recovery`` /
+    ``set_removal`` constraints.
+    """
+    out: list[Violation] = []
+    if control.is_fully_unknown or clock.is_fully_unknown:
+        return out
+    clockm = clock.materialized()
+    edges = clockm.rising_windows()
+    if not edges:
+        return out  # no-edge reporting belongs to the main setup/hold check
+    controlm = control.materialized()
+    for r0, r1 in edges:
+        for lo, hi, kind, required in (
+            (
+                None if recovery_ps is None else r0 - recovery_ps,
+                r1,
+                ViolationKind.RECOVERY,
+                recovery_ps,
+            ),
+            (
+                r0,
+                None if removal_ps is None else r1 + removal_ps,
+                ViolationKind.REMOVAL,
+                removal_ps,
+            ),
+        ):
+            if lo is None or hi is None or required is None or hi <= lo:
+                continue
+            bad = controlm.instability_in(lo, hi)
+            if not bad:
+                continue
+            if kind is ViolationKind.RECOVERY:
+                missed = max(h for _l, h, _v in bad) - lo
+            else:
+                missed = hi - min(l for l, _h, _v in bad)
+            out.append(
+                Violation(
+                    kind=kind,
+                    component=component,
+                    signal=control_name,
+                    clock=clock_name,
+                    required_ps=required,
+                    missed_by_ps=min(missed, required),
+                    window=(lo, hi),
+                    case_index=case_index,
+                    signal_waveform=controlm,
+                    clock_waveform=clockm,
+                )
+            )
+    return out
+
+
+def check_max_time_borrow(
+    component: str,
+    signal_name: str,
+    data: Waveform,
+    clock_name: str,
+    enable: Waveform,
+    max_borrow_ps: int,
+    case_index: int = 0,
+) -> list[Violation]:
+    """The ``set_max_time_borrow`` check on a transparent latch.
+
+    While the latch is open (between the enable's rise and the next fall)
+    late-arriving data "borrows" time from the transparency window.  The
+    constraint caps that: data must settle within ``max_borrow`` of the
+    latch opening, i.e. it must be stable throughout
+    ``[r1 + max_borrow, f0]`` (from the worst-case end of the opening edge
+    to the earliest start of the closing edge).
+    """
+    out: list[Violation] = []
+    if data.is_fully_unknown or enable.is_fully_unknown:
+        return out
+    enablem = enable.materialized()
+    rises = enablem.rising_windows()
+    falls = enablem.falling_windows()
+    if not rises or not falls:
+        return out
+    datam = data.materialized()
+    period = enable.period
+    for r0, r1 in rises:
+        # Pair with the first fall at or after this rise, circularly — the
+        # same pulse-pairing rule as check_setup_rise_hold_fall.
+        def fall_key(fw: tuple[int, int]) -> int:
+            return (fw[0] - r0) % period
+
+        f0, _f1 = min(falls, key=fall_key)
+        f0 = r0 + ((f0 - r0) % period)
+        lo, hi = r1 + max_borrow_ps, f0
+        if hi <= lo:
+            continue
+        bad = datam.instability_in(lo, hi)
+        if not bad:
+            continue
+        borrowed = max(h for _l, h, _v in bad) - r1
+        out.append(
+            Violation(
+                kind=ViolationKind.BORROW,
+                component=component,
+                signal=signal_name,
+                clock=clock_name,
+                required_ps=max_borrow_ps,
+                actual_ps=borrowed,
+                missed_by_ps=borrowed - max_borrow_ps,
+                window=(lo, hi),
+                case_index=case_index,
+                signal_waveform=datam,
+                clock_waveform=enablem,
+            )
+        )
+    return out
+
+
 def check_min_pulse_width(
     component: str,
     signal_name: str,

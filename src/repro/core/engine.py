@@ -24,8 +24,11 @@ from typing import Iterable
 from ..netlist.circuit import Circuit, Component, Connection, Net
 from .checks import (
     check_gating_stability,
+    check_max_time_borrow,
     check_min_pulse_width,
+    check_recovery_removal,
     check_setup_hold,
+    check_setup_hold_windows,
     check_setup_rise_hold_fall,
     check_stable_assertion,
 )
@@ -38,7 +41,7 @@ from .models import (
     eval_mux,
     eval_register,
 )
-from .values import ONE, STABLE, UNKNOWN, ZERO, Value, value_not
+from .values import CHANGE, ONE, STABLE, UNKNOWN, ZERO, Value, value_not
 from .violations import CheckReport, Violation
 from .waveform import Waveform
 
@@ -206,9 +209,18 @@ def _strongly_connected(succ: list[list[int]]) -> list[int]:
 class Engine:
     """Evaluates one circuit to a fixed point and runs its checkers."""
 
-    def __init__(self, circuit: Circuit, config: VerifyConfig | None = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: VerifyConfig | None = None,
+        constraints=None,
+    ) -> None:
         self.circuit = circuit
         self.config = config or VerifyConfig()
+        #: Optional resolved SDC :class:`~repro.constraints.ConstraintSet`.
+        #: With ``None`` the engine's behaviour is byte-identical to the
+        #: unconstrained thesis verifier.
+        self.constraints = constraints
         self.period = circuit.period_ps
         self.values: dict[Net, Waveform] = {}
         self.stats = EngineStats()
@@ -465,6 +477,25 @@ class Engine:
             self._fixed.add(rep)
             wf = assertion.waveform(self.circuit.timebase)
             return self._apply_case(rep, wf)
+        if self.constraints is not None:
+            spec = self.constraints.input_delays.get(rep.name)
+            if spec is not None:
+                # set_input_delay: the port changes inside the declared
+                # windows around its reference clock edge and is stable
+                # elsewhere.  The static analysis synthesizes its arrival
+                # windows from the very same spans (input_delay_spans), so
+                # enclosure holds by construction.
+                from ..constraints import input_delay_spans
+
+                spans = input_delay_spans(spec, self.circuit, self.config)
+                if spans:
+                    self._fixed.add(rep)
+                    wf = Waveform.from_intervals(
+                        self.period,
+                        STABLE,
+                        [(lo, hi, CHANGE) for lo, hi in spans],
+                    )
+                    return self._apply_case(rep, wf)
         # Undefined signal with no assertion: taken to be always stable and
         # put on a special cross-reference listing (section 2.5).
         self._fixed.add(rep)
@@ -718,6 +749,8 @@ class Engine:
         violations.extend(self._check_gating(case_index))
         if self.config.check_assertions:
             violations.extend(self._check_assertions(case_index))
+        if self.constraints is not None:
+            violations.extend(self._check_constraints(case_index))
         return violations
 
     def _check_one(self, comp: Component, case_index: int) -> list[Violation]:
@@ -736,6 +769,47 @@ class Engine:
         i_conn, ck_conn = comp.pins["I"], comp.pins["CK"]
         data = self.prepared_input(i_conn)
         clock = self.prepared_input(ck_conn)
+        clock_name = ("-" if ck_conn.invert else "") + ck_conn.net.name
+        mods = (
+            self.constraints.mods_for(comp.name)
+            if self.constraints is not None
+            else None
+        )
+        if mods is not None:
+            if mods.waived:
+                return []  # false path: pruned at the checker boundary
+            s_eff, h_eff = mods.effective(
+                comp.params["setup"], comp.params["hold"], self.period
+            )
+            if prim == "SETUP_HOLD_CHK":
+                return check_setup_hold_windows(
+                    comp.name,
+                    i_conn.net.name,
+                    data,
+                    clock_name,
+                    clock,
+                    setup_eff_ps=s_eff,
+                    hold_eff_ps=h_eff,
+                    setup_req_ps=comp.params["setup"],
+                    hold_req_ps=comp.params["hold"],
+                    case_index=case_index,
+                    clock_shift_ps=mods.clock_shift_ps,
+                )
+            # Rise/fall checker: the three windows anchor on different
+            # edges, so the effective extents are clamped at zero (a waived
+            # side checks nothing) and fed to the nominal checker against
+            # the latency-shifted clock.  The static side mirrors this
+            # clamped construction exactly.
+            return check_setup_rise_hold_fall(
+                comp.name,
+                i_conn.net.name,
+                data,
+                clock_name,
+                clock.rotated(mods.clock_shift_ps),
+                max(0, s_eff),
+                max(0, h_eff),
+                case_index=case_index,
+            )
         checker = (
             check_setup_hold
             if prim == "SETUP_HOLD_CHK"
@@ -745,12 +819,78 @@ class Engine:
             comp.name,
             i_conn.net.name,
             data,
-            ("-" if ck_conn.invert else "") + ck_conn.net.name,
+            clock_name,
             clock,
             comp.params["setup"],
             comp.params["hold"],
             case_index=case_index,
         )
+
+    def _check_constraints(self, case_index: int) -> list[Violation]:
+        """Checks that exist only when an SDC constraint demands them.
+
+        Each has a static twin in ``sta/slack.py`` producing the same-keyed
+        record, so ``crosscheck.check_encloses`` can compare verdicts
+        per (component, kind, signal).
+        """
+        cs = self.constraints
+        out: list[Violation] = []
+        for comp in self.circuit.iter_components():
+            prim = comp.prim.name
+            spec = cs.rs_checks.get(comp.name)
+            if spec is not None and prim in ("REG_RS", "LATCH_RS"):
+                clock_pin = "CLOCK" if prim == "REG_RS" else "ENABLE"
+                clock_conn = comp.pins[clock_pin]
+                clock = self.prepared_input(clock_conn)
+                for pin in ("SET", "RESET"):
+                    conn = comp.pins.get(pin)
+                    if conn is None:
+                        continue
+                    out.extend(
+                        check_recovery_removal(
+                            comp.name,
+                            conn.net.name,
+                            self.prepared_input(conn),
+                            clock_conn.net.name,
+                            clock,
+                            spec.recovery_ps,
+                            spec.removal_ps,
+                            case_index=case_index,
+                        )
+                    )
+            borrow = cs.max_borrow.get(comp.name)
+            if borrow is not None and prim in ("LATCH", "LATCH_RS"):
+                enable_conn = comp.pins["ENABLE"]
+                data_conn = comp.pins["DATA"]
+                out.extend(
+                    check_max_time_borrow(
+                        comp.name,
+                        data_conn.net.name,
+                        self.prepared_input(data_conn),
+                        enable_conn.net.name,
+                        self.prepared_input(enable_conn),
+                        borrow,
+                        case_index=case_index,
+                    )
+                )
+        for spec in cs.output_delays:
+            net = self.circuit.nets.get(spec.net)
+            clock_net = self.circuit.nets.get(spec.clock)
+            if net is None or clock_net is None:
+                continue
+            out.extend(
+                check_setup_hold(
+                    f"sdc@{spec.net}",
+                    spec.net,
+                    self.raw_value(net),
+                    spec.clock,
+                    self.raw_value(clock_net),
+                    spec.setup_ps,
+                    spec.hold_ps,
+                    case_index=case_index,
+                )
+            )
+        return out
 
     def _check_gating(self, case_index: int) -> list[Violation]:
         """The ``&A``/``&H`` stability checks recorded during evaluation."""

@@ -106,9 +106,15 @@ class TimingVerifier:
             print(violation.message())
     """
 
-    def __init__(self, circuit: Circuit, config: VerifyConfig | None = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: VerifyConfig | None = None,
+        constraints=None,
+    ) -> None:
         self.circuit = circuit
         self.config = config or VerifyConfig()
+        self.constraints = constraints
 
     def verify(self) -> VerificationResult:
         """Run the full verification and return the collected results."""
@@ -116,7 +122,7 @@ class TimingVerifier:
 
         t0 = time.perf_counter()
         warnings = check_structure(self.circuit)
-        engine = Engine(self.circuit, self.config)
+        engine = Engine(self.circuit, self.config, constraints=self.constraints)
         cases = self.circuit.cases or [{}]
         engine.initialize(cases[0])
         phases.build = time.perf_counter() - t0
@@ -166,6 +172,10 @@ class TimingVerifier:
         return result
 
 
-def verify(circuit: Circuit, config: VerifyConfig | None = None) -> VerificationResult:
+def verify(
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    constraints=None,
+) -> VerificationResult:
     """Convenience one-shot verification."""
-    return TimingVerifier(circuit, config).verify()
+    return TimingVerifier(circuit, config, constraints=constraints).verify()

@@ -26,6 +26,9 @@ class ViolationKind(Enum):
     GATING_STABILITY = "gating-stability"
     ASSERTION_MISMATCH = "assertion-mismatch"
     NO_CLOCK_EDGE = "no-clock-edge"
+    RECOVERY = "recovery"
+    REMOVAL = "removal"
+    BORROW = "borrow"
 
 
 @dataclass(frozen=True)
@@ -113,6 +116,23 @@ class Violation:
             parts.append(
                 f"checker never saw a rising edge on clock {self.clock!r}"
             )
+        elif k in (ViolationKind.RECOVERY, ViolationKind.REMOVAL):
+            side = "before" if k is ViolationKind.RECOVERY else "after"
+            parts.append(
+                f"{k.value.upper()} time violated on {self.signal!r}: "
+                f"control must be stable "
+                f"{format_ns(self.required_ps or 0)} ns {side} the "
+                f"{self.clock!r} edge"
+            )
+            if self.missed_by_ps is not None:
+                parts.append(f"(missed by {format_ns(self.missed_by_ps)} ns)")
+        elif k is ViolationKind.BORROW:
+            parts.append(
+                f"latch time borrowing on {self.signal!r} exceeds "
+                f"{format_ns(self.required_ps or 0)} ns"
+            )
+            if self.actual_ps is not None:
+                parts.append(f"(borrowed {format_ns(self.actual_ps)} ns)")
         if self.window is not None:
             lo, hi = self.window
             parts.append(f"[window {format_ns(lo)}..{format_ns(hi)} ns]")

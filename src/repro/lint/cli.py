@@ -4,6 +4,12 @@ Static design-rule analysis without running the verifier.  Exit status: 0
 when no errors were found (``--strict`` also counts warnings), 1 when the
 design has findings, 2 on usage errors.  Parse and expansion failures are
 reported as diagnostics, not tracebacks.
+
+With ``--json`` (or ``--format json``) stdout carries *only* JSON — one
+object for a single design, an array for several — and every
+human-readable line moves to stderr (the ``scald-sta --json`` envelope).
+``--sdc FILE`` resolves an SDC-subset constraint file against each design
+and runs the ``sdc.*`` rule family over its findings.
 """
 
 from __future__ import annotations
@@ -27,6 +33,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="report format (default text)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json; stdout stays pure JSON",
+    )
+    parser.add_argument(
+        "--sdc", metavar="FILE", default=None,
+        help="resolve an SDC-subset constraint file against each design "
+        "and lint it (the sdc.* rule family)",
     )
     parser.add_argument(
         "--disable", metavar="RULE[,RULE]", action="append", default=[],
@@ -88,22 +103,33 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     config = LintConfig(disabled=disabled, selected=selected)
 
-    from ..reporting.lintfmt import lint_json, lint_text
+    from ..reporting.lintfmt import lint_doc, lint_text
+
+    if args.json:
+        args.format = "json"
+    json_mode = args.format == "json"
 
     status = 0
+    docs = []
     for path in args.designs:
         try:
-            result = lint_path(path, config)
+            result = lint_path(path, config, sdc_path=args.sdc)
         except OSError as exc:
             print(f"scald-lint: {exc}", file=sys.stderr)
             return 2
-        if args.format == "json":
-            print(lint_json(result))
+        if json_mode:
+            docs.append(lint_doc(result))
+            print(lint_text(result), file=sys.stderr)
         else:
             if len(args.designs) > 1:
                 print(f"== {path} ==")
             print(lint_text(result))
         status = max(status, result.exit_code(strict=args.strict))
+    if json_mode:
+        import json
+
+        payload = docs[0] if len(docs) == 1 else docs
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return status
 
 

@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Analysis surfaces a rule may declare.
 SURFACE_SOURCE = "source"
 SURFACE_CIRCUIT = "circuit"
+SURFACE_SDC = "sdc"
 
 CheckFn = Callable[["LintContext"], Iterable[Diagnostic]]
 
@@ -58,7 +59,7 @@ def rule(
     The first line of the function's docstring becomes the rule's one-line
     catalogue description (``scald-lint --list-rules``).
     """
-    if surface not in (SURFACE_SOURCE, SURFACE_CIRCUIT):
+    if surface not in (SURFACE_SOURCE, SURFACE_CIRCUIT, SURFACE_SDC):
         raise ValueError(f"unknown lint surface {surface!r}")
     if severity not in SEVERITIES:
         raise ValueError(f"unknown severity {severity!r}")
@@ -93,7 +94,7 @@ def get_rule(rule_id: str) -> Rule:
 
 def _load_rule_modules() -> None:
     """Import the built-in rule modules exactly once."""
-    from . import rules_circuit, rules_source, rules_sta  # noqa: F401
+    from . import rules_circuit, rules_sdc, rules_source, rules_sta  # noqa: F401
 
 
 @dataclass

@@ -1,0 +1,115 @@
+"""Lint rules over a resolved SDC constraint file (the ``sdc`` surface).
+
+The constraint front-end (:mod:`repro.constraints`) is total: parsing and
+resolution never raise on bad input, they accumulate findings with file and
+line provenance.  These rules lift those findings into the one diagnostics
+pipeline so ``scald-lint design.scald --sdc design.sdc`` reports constraint
+problems exactly like design problems — same formatting, same ``--strict``
+behaviour, same suppression pragmas (``# scald: disable=sdc.unresolved-pin``
+works inside the ``.sdc`` file itself).
+
+The family only runs when the lint context carries a resolved
+:class:`~repro.constraints.ConstraintSet` (``ctx.sdc``); without ``--sdc``
+every rule here stands down.
+
+Severity policy mirrors the resolver's: findings that mean a constraint was
+*dropped or malformed* (bad syntax, a pattern matching nothing, an
+uncertainty wider than the period) are errors — a silently ignored
+constraint is an unsound verification run; advisory findings (unknown
+commands skipped, period disagreement resolved in the design's favour,
+conflicting specs resolved by documented precedence) are warnings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .diagnostics import Diagnostic, diag
+from .registry import rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import LintContext
+
+
+def _reemit(ctx: "LintContext", rule_id: str) -> Iterable[Diagnostic]:
+    """Re-emit the constraint findings recorded under ``rule_id``."""
+    for f in ctx.sdc.findings:
+        if f.rule != rule_id:
+            continue
+        yield diag(
+            f.message,
+            file=f.file,
+            line=f.line,
+            component=f.component,
+            net=f.net,
+        )
+
+
+@rule("sdc.syntax-error", surface="sdc", severity="error")
+def check_syntax_error(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """An SDC command is malformed (bad flag, value, or argument count)."""
+    return _reemit(ctx, "sdc.syntax-error")
+
+
+@rule("sdc.unknown-command", surface="sdc", severity="warning")
+def check_unknown_command(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """An SDC command outside the supported subset was skipped."""
+    return _reemit(ctx, "sdc.unknown-command")
+
+
+@rule("sdc.unresolved-pin", surface="sdc", severity="error")
+def check_unresolved_pin(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A constraint target pattern matches nothing in the design."""
+    return _reemit(ctx, "sdc.unresolved-pin")
+
+
+@rule("sdc.period-mismatch", surface="sdc", severity="warning")
+def check_period_mismatch(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """``create_clock -period`` disagrees with the design's period."""
+    return _reemit(ctx, "sdc.period-mismatch")
+
+
+@rule("sdc.not-a-clock", surface="sdc", severity="warning")
+def check_not_a_clock(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """A clock constraint targets a net with no clock assertion."""
+    return _reemit(ctx, "sdc.not-a-clock")
+
+
+@rule("sdc.conflicting-path", surface="sdc", severity="warning")
+def check_conflicting_path(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """Two path constraints overlap; documented precedence resolved it."""
+    return _reemit(ctx, "sdc.conflicting-path")
+
+
+@rule("sdc.uncertainty-exceeds-period", surface="sdc", severity="error")
+def check_uncertainty_exceeds_period(
+    ctx: "LintContext",
+) -> Iterable[Diagnostic]:
+    """A clock uncertainty is as wide as the whole period."""
+    return _reemit(ctx, "sdc.uncertainty-exceeds-period")
+
+
+@rule("sdc.unconstrained-clock-root", surface="sdc", severity="warning")
+def check_unconstrained_clock_root(
+    ctx: "LintContext",
+) -> Iterable[Diagnostic]:
+    """An asserted clock root has no ``create_clock`` covering it."""
+    sta = ctx.sta
+    if sta is None:
+        return
+    constrained = {net.upper() for net in ctx.sdc.clock_nets.values()}
+    constrained.update(name.upper() for name in ctx.sdc.clock_nets)
+    for root in sta.domains.roots:
+        if root.net.upper() in constrained:
+            continue
+        # Anchored at line 1 of the .sdc file: the finding is about what
+        # the file is missing, and the anchor keeps it reachable by a
+        # header suppression pragma.
+        yield diag(
+            f"clock root '{root.net}' is asserted in the design but has "
+            f"no create_clock in {ctx.sdc.path}; its checkers run with "
+            "unconstrained (thesis-default) guards",
+            file=ctx.sdc.path,
+            line=1,
+            net=root.net,
+        )

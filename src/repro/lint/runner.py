@@ -25,7 +25,13 @@ from .registry import LintConfig, Rule, all_rules
 
 #: ``-- lint: disable=rule-a,rule-b`` inside a comment.  The pragma applies
 #: to its own line and the following line (so it can sit above a statement).
-_PRAGMA_RE = re.compile(r"--.*?lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+#: ``#`` comments (``.sdc`` files) and the ``scald:`` keyword are accepted
+#: too, ids may be dotted (``sdc.unresolved-pin``), and a trailing ``.*``
+#: suppresses a whole family (``sdc.*``) — including rule ids registered
+#: after the pragma was written.
+_PRAGMA_RE = re.compile(
+    r"(?:--|#).*?(?:lint|scald):\s*disable=([A-Za-z0-9_.*\-, ]+)"
+)
 
 _LINE_RE = re.compile(r"line (\d+)")
 
@@ -56,6 +62,9 @@ class LintContext:
 
     design: Design | None = None
     circuit: Circuit | None = None
+    #: Resolved SDC :class:`~repro.constraints.ConstraintSet` when the run
+    #: was given one (``--sdc``); the ``sdc.*`` rule family needs it.
+    sdc: object | None = None
     _index: CircuitIndex | None = field(default=None, repr=False)
     _sta: object = field(default=False, repr=False)
 
@@ -128,6 +137,8 @@ def run_rules(ctx: LintContext, config: LintConfig | None = None) -> list[Diagno
             continue
         if r.surface == "circuit" and ctx.circuit is None:
             continue
+        if r.surface == "sdc" and ctx.sdc is None:
+            continue
         severity = config.severity_of(r)
         for d in r.check(ctx):
             found.append(replace(d, rule=r.id, severity=severity))
@@ -146,9 +157,19 @@ def lint_circuit(
 
 
 def lint_source(
-    source: str, filename: str = "", config: LintConfig | None = None
+    source: str,
+    filename: str = "",
+    config: LintConfig | None = None,
+    sdc_path: str | None = None,
 ) -> LintResult:
-    """Lint a ``.scald`` source string (plus anything it includes)."""
+    """Lint a ``.scald`` source string (plus anything it includes).
+
+    With ``sdc_path`` the constraint file is parsed and resolved against
+    the expanded circuit and the ``sdc.*`` rule family runs over its
+    findings (an unreadable file raises ``OSError`` — the callers' usage
+    error path).  Suppression pragmas inside the ``.sdc`` file itself are
+    honoured the same way as in ``.scald`` sources.
+    """
     try:
         design = parse(source, filename)
     except ScaldSyntaxError as exc:
@@ -187,9 +208,22 @@ def lint_source(
                 )
             )
 
+    if sdc_path is not None and ctx.circuit is not None:
+        from ..constraints import load_constraints
+
+        ctx.sdc = load_constraints(sdc_path, ctx.circuit)
+
     found = pipeline + run_rules(ctx, config)
     files = tuple(design.files_read) or ((filename,) if filename else ())
+    if sdc_path is not None and ctx.sdc is not None:
+        files = files + (sdc_path,)
     suppressed = _collect_suppressions(source, filename, design.files_read)
+    if sdc_path is not None and ctx.sdc is not None:
+        try:
+            with open(sdc_path, "r", encoding="utf-8") as fh:
+                suppressed[sdc_path] = _scan_pragmas(fh.read())
+        except OSError:
+            pass
     kept = [d for d in found if not _is_suppressed(d, suppressed)]
     return LintResult(
         diagnostics=tuple(kept),
@@ -198,10 +232,16 @@ def lint_source(
     )
 
 
-def lint_path(path: str, config: LintConfig | None = None) -> LintResult:
+def lint_path(
+    path: str,
+    config: LintConfig | None = None,
+    sdc_path: str | None = None,
+) -> LintResult:
     """Lint a ``.scald`` file on disk."""
     with open(path, "r", encoding="utf-8") as fh:
-        return lint_source(fh.read(), filename=path, config=config)
+        return lint_source(
+            fh.read(), filename=path, config=config, sdc_path=sdc_path
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -245,4 +285,9 @@ def _is_suppressed(
     if not d.file or not d.line:
         return False
     ids = by_file.get(d.file, {}).get(d.line)
-    return bool(ids) and (d.rule in ids or "all" in ids)
+    if not ids:
+        return False
+    if d.rule in ids or "all" in ids:
+        return True
+    # Family wildcard: ``sdc.*`` suppresses every rule under that prefix.
+    return any(i.endswith(".*") and d.rule.startswith(i[:-1]) for i in ids)

@@ -99,18 +99,26 @@ class _BlockResult:
 _worker_circuit: Circuit | None = None
 _worker_config: VerifyConfig | None = None
 _worker_cases: list[dict[str, int]] = []
+_worker_constraints = None
 
 
 def _init_case_worker(payload: bytes) -> None:
-    global _worker_circuit, _worker_config, _worker_cases
-    _worker_circuit, _worker_config, _worker_cases = pickle.loads(payload)
+    global _worker_circuit, _worker_config, _worker_cases, _worker_constraints
+    (
+        _worker_circuit,
+        _worker_config,
+        _worker_cases,
+        _worker_constraints,
+    ) = pickle.loads(payload)
 
 
 def _run_case_block(start: int, stop: int) -> _BlockResult:
     """Verify cases ``start..stop`` incrementally on one fresh engine."""
     assert _worker_circuit is not None
     t0, c0 = time.perf_counter(), time.process_time()
-    engine = Engine(_worker_circuit, _worker_config)
+    engine = Engine(
+        _worker_circuit, _worker_config, constraints=_worker_constraints
+    )
     engine.initialize(_worker_cases[start])
     xref = list(engine.xref_assumed_stable)
     build_wall = time.perf_counter() - t0
@@ -149,6 +157,7 @@ def verify_parallel(
     circuit: Circuit,
     config: VerifyConfig | None = None,
     jobs: int | None = None,
+    constraints=None,
 ) -> VerificationResult:
     """Verify ``circuit`` with case analysis sharded over ``jobs`` processes.
 
@@ -164,7 +173,7 @@ def verify_parallel(
         jobs = os.cpu_count() or 1
     blocks = case_blocks(len(cases), jobs)
     if len(blocks) <= 1:
-        return TimingVerifier(circuit, config).verify()
+        return TimingVerifier(circuit, config, constraints=constraints).verify()
 
     phases = PhaseTimes()
     cpu = PhaseTimes()
@@ -172,7 +181,7 @@ def verify_parallel(
     t0, c0 = time.perf_counter(), time.process_time()
     warnings = check_structure(circuit)
     payload = pickle.dumps(
-        (circuit, config, cases), protocol=pickle.HIGHEST_PROTOCOL
+        (circuit, config, cases, constraints), protocol=pickle.HIGHEST_PROTOCOL
     )
     parent_build_wall = time.perf_counter() - t0
     parent_build_cpu = time.process_time() - c0

@@ -32,11 +32,11 @@ def lint_text(result: LintResult) -> str:
     return "\n".join(lines)
 
 
-def lint_json(result: LintResult) -> str:
-    """The result as a JSON document (stable key order, for tooling)."""
+def lint_doc(result: LintResult) -> dict:
+    """The result as a plain dict (what :func:`lint_json` serializes)."""
     errors = len(result.errors)
     warnings = len(result.warnings)
-    doc = {
+    return {
         "files": list(result.files),
         "diagnostics": [d.to_dict() for d in result.diagnostics],
         "summary": {
@@ -47,4 +47,8 @@ def lint_json(result: LintResult) -> str:
             "suppressed": result.suppressed,
         },
     }
-    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def lint_json(result: LintResult) -> str:
+    """The result as a JSON document (stable key order, for tooling)."""
+    return json.dumps(lint_doc(result), indent=2, sort_keys=True)

@@ -72,11 +72,35 @@ def sta_text(analysis: "StaAnalysis") -> str:
         for cut in analysis.windows.feedback:
             lines.append(f"  {cut.component} ({cut.prim}) -> {cut.net}")
 
+    if analysis.constraints is not None:
+        cs = analysis.constraints
+        parts = []
+        if getattr(cs, "clock_nets", None):
+            parts.append(f"{len(set(cs.clock_nets.values()))} clock(s)")
+        if getattr(cs, "checker_mods", None):
+            parts.append(f"{len(cs.checker_mods)} checker mod(s)")
+        if getattr(cs, "input_delays", None):
+            parts.append(f"{len(cs.input_delays)} input delay(s)")
+        if getattr(cs, "output_delays", None):
+            parts.append(f"{len(cs.output_delays)} output delay(s)")
+        if getattr(cs, "rs_checks", None):
+            parts.append(f"{len(cs.rs_checks)} recovery/removal spec(s)")
+        if getattr(cs, "max_borrow", None):
+            parts.append(f"{len(cs.max_borrow)} borrow cap(s)")
+        lines.append("")
+        lines.append(
+            f"constraints: {cs.path} ({', '.join(parts) if parts else 'empty'})"
+        )
+        if cs.errors:
+            lines.append(f"  {len(cs.errors)} constraint error(s) — see findings.")
+
     lines.append("")
     if analysis.slack:
         lines.append("static slack (worst first):")
         for rec in analysis.slack:
-            if rec.no_edge:
+            if rec.waived:
+                verdict = "waived (false path)"
+            elif rec.no_edge:
                 verdict = "no clock edge"
             elif rec.overflow:
                 verdict = "indeterminate (window overflow)"
@@ -84,8 +108,11 @@ def sta_text(analysis: "StaAnalysis") -> str:
                 verdict = "indeterminate"
             else:
                 verdict = f"{'+' if rec.slack_ps >= 0 else ''}{_ns(rec.slack_ps)} ns"
+            tag = "" if rec.kind == "setup-hold" else f" [{rec.kind}]"
+            if rec.borrow_ps is not None:
+                verdict += f" (borrow {_ns(rec.borrow_ps)} ns)"
             lines.append(
-                f"  {rec.component:<20} {rec.signal} vs {rec.clock}: {verdict}"
+                f"  {rec.component:<20} {rec.signal} vs {rec.clock}:{tag} {verdict}"
             )
     else:
         lines.append("static slack: no checker components.")
@@ -106,8 +133,8 @@ def sta_text(analysis: "StaAnalysis") -> str:
     return "\n".join(lines)
 
 
-def sta_json(analysis: "StaAnalysis") -> str:
-    """The analysis as a JSON document (stable key order, integer ps)."""
+def sta_doc(analysis: "StaAnalysis") -> dict:
+    """The analysis as a plain dict (what :func:`sta_json` serializes)."""
     doc = {
         "circuit": analysis.circuit.name,
         "period_ps": analysis.windows.period,
@@ -148,13 +175,43 @@ def sta_json(analysis: "StaAnalysis") -> str:
                 "component": r.component,
                 "signal": r.signal,
                 "clock": r.clock,
+                "kind": r.kind,
                 "setup_ps": r.setup_ps,
                 "hold_ps": r.hold_ps,
+                "setup_eff_ps": r.setup_eff_ps,
+                "hold_eff_ps": r.hold_eff_ps,
                 "slack_ps": r.slack_ps,
+                "borrow_ps": r.borrow_ps,
+                "waived": r.waived,
                 "no_edge": r.no_edge,
                 "overflow": r.overflow,
             }
             for r in analysis.slack
         ],
     }
-    return json.dumps(doc, indent=2, sort_keys=True)
+    if analysis.constraints is not None:
+        cs = analysis.constraints
+        doc["constraints"] = {
+            "path": cs.path,
+            "clocks": sorted(set(cs.clock_nets.values())),
+            "checker_mods": len(cs.checker_mods),
+            "input_delays": len(cs.input_delays),
+            "output_delays": len(cs.output_delays),
+            "rs_checks": len(cs.rs_checks),
+            "max_borrow_ps": dict(cs.max_borrow),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "message": f.message,
+                    "line": f.line,
+                }
+                for f in cs.findings
+            ],
+        }
+    return doc
+
+
+def sta_json(analysis: "StaAnalysis") -> str:
+    """The analysis as a JSON document (stable key order, integer ps)."""
+    return json.dumps(sta_doc(analysis), indent=2, sort_keys=True)

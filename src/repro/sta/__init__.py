@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 
 from ..core.config import VerifyConfig
 from ..netlist.circuit import Circuit
-from .crosscheck import CrosscheckResult, EnclosureFailure, check_encloses
+from .crosscheck import (
+    CrosscheckResult,
+    EnclosureFailure,
+    VerdictFailure,
+    check_encloses,
+)
 from .domains import ClockRoot, Crossing, DomainAnalysis, StorageDomain, infer_domains
 from .slack import SlackRecord, compute_slack
 from .windows import FeedbackCut, IntervalSet, WindowAnalysis, compute_windows, waveform_windows
@@ -38,6 +43,7 @@ __all__ = [
     "SlackRecord",
     "StaAnalysis",
     "StorageDomain",
+    "VerdictFailure",
     "WindowAnalysis",
     "analyze",
     "check_encloses",
@@ -56,19 +62,31 @@ class StaAnalysis:
     windows: WindowAnalysis
     domains: DomainAnalysis
     slack: list[SlackRecord] = field(default_factory=list)
+    #: Resolved SDC constraints the passes honoured (None = unconstrained).
+    constraints: object | None = None
 
     @property
     def ok(self) -> bool:
         """No negative static slack anywhere."""
         return all(r.ok for r in self.slack)
 
+    @property
+    def cdc_errors(self) -> list[Crossing]:
+        """Clock-domain crossings that do not look synchronized."""
+        return [c for c in self.domains.crossings if not c.synchronized]
 
-def analyze(circuit: Circuit, config: VerifyConfig | None = None) -> StaAnalysis:
+
+def analyze(
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    constraints=None,
+) -> StaAnalysis:
     """Run window propagation, domain inference and slack in one pass."""
-    windows = compute_windows(circuit, config)
+    windows = compute_windows(circuit, config, constraints=constraints)
     return StaAnalysis(
         circuit=circuit,
         windows=windows,
         domains=infer_domains(circuit, windows),
-        slack=compute_slack(circuit, windows),
+        slack=compute_slack(circuit, windows, constraints=constraints),
+        constraints=constraints,
     )

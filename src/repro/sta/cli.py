@@ -2,8 +2,20 @@
 
 Static timing analysis without running the verifier: clock domains,
 arrival windows, and setup/hold slack bounds straight from the dataflow
-passes.  Exit status: 0 when every checker has non-negative static slack,
-1 when some slack bound is negative, 2 on usage errors.
+passes.
+
+Exit status (documented contract, mirrored by ``scald-tv``):
+
+* 0 — every check has non-negative static slack, no unsynchronized
+  clock-domain crossing, no constraint-file errors;
+* 1 — negative static slack, an unsynchronized crossing, or an ``.sdc``
+  error finding;
+* 2 — usage errors (no designs, unreadable/unparsable files).
+
+With ``--json`` (or ``--format json``) stdout carries *only* JSON — one
+object for a single design, an array for several — and every
+human-readable line moves to stderr, so the stream stays
+machine-parseable (the same envelope as ``scald-tv --json``).
 """
 
 from __future__ import annotations
@@ -25,20 +37,34 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="report format (default text)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json; stdout stays pure JSON",
+    )
+    parser.add_argument(
+        "--sdc", metavar="FILE", default=None,
+        help="apply an SDC-subset constraint file to every design",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    if args.json:
+        args.format = "json"
     if not args.designs:
         print("scald-sta: no design files given", file=sys.stderr)
         return 2
 
     from ..hdl.expander import MacroExpander
-    from ..reporting.stafmt import sta_json, sta_text
+    from ..reporting.stafmt import sta_doc, sta_json, sta_text
     from . import analyze
 
+    json_mode = args.format == "json"
+    human = sys.stderr if json_mode else sys.stdout
+
     status = 0
+    docs = []
     for path in args.designs:
         try:
             circuit = MacroExpander.from_file(path).expand()
@@ -48,15 +74,33 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"scald-sta: {path}: {exc}", file=sys.stderr)
             return 2
-        analysis = analyze(circuit)
-        if args.format == "json":
-            print(sta_json(analysis))
+        constraints = None
+        if args.sdc:
+            from ..constraints import load_constraints
+
+            try:
+                constraints = load_constraints(args.sdc, circuit)
+            except OSError as exc:
+                print(f"scald-sta: {exc}", file=sys.stderr)
+                return 2
+            for finding in constraints.findings:
+                print(str(finding), file=human)
+            if constraints.errors:
+                status = 1
+        analysis = analyze(circuit, constraints=constraints)
+        if json_mode:
+            docs.append(sta_doc(analysis))
         else:
             if len(args.designs) > 1:
                 print(f"== {path} ==")
             print(sta_text(analysis))
-        if not analysis.ok:
+        if not analysis.ok or analysis.cdc_errors:
             status = 1
+    if json_mode:
+        import json
+
+        payload = docs[0] if len(docs) == 1 else docs
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return status
 
 

@@ -13,13 +13,32 @@ The check is one-directional by design: static windows wider than the
 engine's behaviour are expected (they fold all cases, worst-case delays
 and feedback widening into one answer), so only engine-outside-static is
 an error.
+
+With a slack list the check extends to per-check *verdicts*: a static
+record with strictly positive slack promises the engine cannot violate
+the matching check, so any engine violation at the same
+(component, kind, signal) is a contract failure.  Strictly positive —
+not merely non-negative — because static zero slack means a change
+window touches the closed guard boundary, where the engine's closed
+``instability_in`` windows legitimately report a violation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.violations import ViolationKind
 from .windows import WindowAnalysis, waveform_windows
+
+#: Engine violation kinds each static record kind vouches for.
+_KINDS_FOR = {
+    "setup-hold": (ViolationKind.SETUP, ViolationKind.HOLD,
+                   ViolationKind.STABLE_WHILE_TRUE),
+    "recovery": (ViolationKind.RECOVERY,),
+    "removal": (ViolationKind.REMOVAL,),
+    "borrow": (ViolationKind.BORROW,),
+    "output": (ViolationKind.SETUP, ViolationKind.HOLD),
+}
 
 
 @dataclass(frozen=True)
@@ -32,6 +51,17 @@ class EnclosureFailure:
     span: tuple[int, int]        #: uncovered interval, ps within the period
 
 
+@dataclass(frozen=True)
+class VerdictFailure:
+    """An engine violation on a check the static analysis cleared."""
+
+    component: str
+    kind: str                    #: the static record's kind
+    signal: str
+    case_index: int
+    slack_ps: int                #: the (positive) static slack that lied
+
+
 @dataclass
 class CrosscheckResult:
     """Outcome of :func:`check_encloses`."""
@@ -39,19 +69,29 @@ class CrosscheckResult:
     failures: list[EnclosureFailure] = field(default_factory=list)
     nets_checked: int = 0
     cases_checked: int = 0
+    verdict_failures: list[VerdictFailure] = field(default_factory=list)
+    verdicts_checked: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.verdict_failures
 
 
-def check_encloses(result, analysis: WindowAnalysis) -> CrosscheckResult:
+def check_encloses(
+    result, analysis: WindowAnalysis, slack=None
+) -> CrosscheckResult:
     """Assert every engine transition lies inside the static windows.
 
     ``result`` is a :class:`repro.core.verifier.VerificationResult`;
     ``analysis`` the :class:`WindowAnalysis` for the same circuit.  Returns
     a :class:`CrosscheckResult` whose ``failures`` list every uncovered
     rise/fall interval with case and net provenance.
+
+    With ``slack`` (a :func:`repro.sta.slack.compute_slack` list, which
+    must have been computed with the *same* constraints as the engine run)
+    the per-check verdict pass also runs: every record with strictly
+    positive slack must correspond to zero engine violations of its kinds
+    at the same (component, signal).
     """
     out = CrosscheckResult(cases_checked=len(result.cases))
     seen: set[str] = set()
@@ -79,4 +119,28 @@ def check_encloses(result, analysis: WindowAnalysis) -> CrosscheckResult:
                         )
                     )
     out.nets_checked = len(seen)
+
+    if slack:
+        # Engine violations indexed by (component, signal) -> kinds seen.
+        index: dict[tuple[str, str], list] = {}
+        for v in result.violations:
+            index.setdefault((v.component, v.signal), []).append(v)
+        for rec in slack:
+            if rec.slack_ps is None or rec.slack_ps <= 0 or rec.waived:
+                continue
+            kinds = _KINDS_FOR.get(rec.kind)
+            if kinds is None:
+                continue
+            out.verdicts_checked += 1
+            for v in index.get((rec.component, rec.signal), ()):
+                if v.kind in kinds:
+                    out.verdict_failures.append(
+                        VerdictFailure(
+                            component=rec.component,
+                            kind=rec.kind,
+                            signal=rec.signal,
+                            case_index=v.case_index,
+                            slack_ps=rec.slack_ps,
+                        )
+                    )
     return out

@@ -32,7 +32,17 @@ _CHECKERS = frozenset({"SETUP_HOLD_CHK", "SETUP_RISE_HOLD_FALL_CHK"})
 
 @dataclass(frozen=True)
 class SlackRecord:
-    """Static slack at one checker component (all times integer ps)."""
+    """Static slack at one checker component (all times integer ps).
+
+    ``kind`` distinguishes the check families the constraint front-end
+    added: ``"setup-hold"`` (the thesis checkers), ``"recovery"`` /
+    ``"removal"`` (asynchronous SET/RESET margins), ``"borrow"`` (latch
+    time borrowing — always reported, pass/fail only under a
+    ``set_max_time_borrow`` constraint) and ``"output"`` (virtual
+    ``set_output_delay`` boundary checks).  The engine's matching checks
+    produce violations keyed by the same (component, kind, signal), which
+    is what the per-check crosscheck verdict compares.
+    """
 
     component: str
     prim: str
@@ -44,6 +54,11 @@ class SlackRecord:
     no_edge: bool               #: clock has no static rise window
     overflow: bool              #: clock window widened to the full period
     origin: tuple[str, int] | None
+    kind: str = "setup-hold"
+    waived: bool = False        #: false path pruned this check
+    setup_eff_ps: int | None = None  #: effective guard extents after SDC mods
+    hold_eff_ps: int | None = None
+    borrow_ps: int | None = None     #: latch borrow depth (kind="borrow")
 
     @property
     def ok(self) -> bool:
@@ -51,19 +66,49 @@ class SlackRecord:
 
 
 def compute_slack(
-    circuit: Circuit, analysis: WindowAnalysis
+    circuit: Circuit, analysis: WindowAnalysis, constraints=None
 ) -> list[SlackRecord]:
-    """Bound the setup/hold slack of every checker from the static windows."""
+    """Bound the slack of every check from the static windows.
+
+    Without constraints this is exactly the thesis checker sweep plus the
+    informational latch-borrow report.  A :class:`ConstraintSet` adds the
+    modern vocabulary: multicycle/uncertainty/latency-adjusted guards,
+    false-path waivers, recovery/removal records and output-delay records —
+    each mirroring the engine check that consumes the same constraint.
+    """
     records: list[SlackRecord] = []
     for comp in circuit.iter_components():
-        if comp.prim.name not in _CHECKERS:
-            continue
-        records.append(_checker_slack(comp, analysis))
+        prim = comp.prim.name
+        if prim in _CHECKERS:
+            mods = (
+                constraints.mods_for(comp.name)
+                if constraints is not None
+                else None
+            )
+            records.append(_checker_slack(comp, analysis, mods))
+        if prim in ("REG_RS", "LATCH_RS") and constraints is not None:
+            spec = constraints.rs_checks.get(comp.name)
+            if spec is not None:
+                records.extend(_rs_slack(comp, analysis, spec))
+        if prim in ("LATCH", "LATCH_RS"):
+            borrow_cap = (
+                constraints.max_borrow.get(comp.name)
+                if constraints is not None
+                else None
+            )
+            records.append(_borrow_slack(comp, analysis, borrow_cap))
+    if constraints is not None:
+        for spec in constraints.output_delays:
+            rec = _output_slack(spec, analysis)
+            if rec is not None:
+                records.append(rec)
     records.sort(key=lambda r: (r.slack_ps is None, r.slack_ps or 0, r.component))
     return records
 
 
-def _checker_slack(comp: Component, analysis: WindowAnalysis) -> SlackRecord:
+def _checker_slack(
+    comp: Component, analysis: WindowAnalysis, mods=None
+) -> SlackRecord:
     period = analysis.period
     i_conn, ck_conn = comp.pins["I"], comp.pins["CK"]
     setup = int(comp.params["setup"])
@@ -75,8 +120,18 @@ def _checker_slack(comp: Component, analysis: WindowAnalysis) -> SlackRecord:
     data_rise, data_fall = analysis.prepared(i_conn)
     changes = data_rise.union(data_fall)
 
+    s_eff = h_eff = None
+    if mods is not None and not mods.waived:
+        s_eff, h_eff = mods.effective(setup, hold, period)
+        if mods.clock_shift_ps:
+            # set_clock_latency: this checker sees its clock edges later
+            # (mirrors Engine rotating the clock before materializing).
+            shift = mods.clock_shift_ps
+            clk_rise = clk_rise.shift(shift, shift)
+            clk_fall = clk_fall.shift(shift, shift)
+
     def record(slack: int | None, *, no_edge: bool = False,
-               overflow: bool = False) -> SlackRecord:
+               overflow: bool = False, waived: bool = False) -> SlackRecord:
         return SlackRecord(
             component=comp.name,
             prim=comp.prim.name,
@@ -88,7 +143,15 @@ def _checker_slack(comp: Component, analysis: WindowAnalysis) -> SlackRecord:
             no_edge=no_edge,
             overflow=overflow,
             origin=comp.origin,
+            waived=waived,
+            setup_eff_ps=s_eff,
+            hold_eff_ps=h_eff,
         )
+
+    if mods is not None and mods.waived:
+        # set_false_path: the engine skips this checker; record the waiver
+        # (pruned at the checker boundary — stored windows are untouched).
+        return record(None, waived=True)
 
     if clk_rise.is_empty:
         # Mirrors the engine's NO_CLOCK_EDGE violation: nothing to guard.
@@ -99,10 +162,28 @@ def _checker_slack(comp: Component, analysis: WindowAnalysis) -> SlackRecord:
         return record(None, overflow=True)
 
     if comp.prim.name == "SETUP_HOLD_CHK":
-        guards = [(r0 - setup, r1 + hold) for r0, r1 in clk_rise.spans]
+        if s_eff is None:
+            guards = [(r0 - setup, r1 + hold) for r0, r1 in clk_rise.spans]
+        else:
+            # Constrained: the two sides become independent guards exactly
+            # as in check_setup_hold_windows — a non-positive effective
+            # setup waives the setup side; a deeply negative effective hold
+            # can empty the hold side per span.
+            guards = []
+            for r0, r1 in clk_rise.spans:
+                if s_eff > 0:
+                    guards.append((r0 - s_eff, r1))
+                if r1 + h_eff > r0:
+                    guards.append((r0, r1 + h_eff))
+            if not guards:
+                return record(None, waived=True)
     else:
         # SETUP RISE HOLD FALL: the guard runs from setup-before-rise to
         # hold-after the *following* fall (checks.py pairs them circularly).
+        # Constrained extents are clamped at zero, mirroring the engine's
+        # dispatch of the clamped values into the nominal checker.
+        g_setup = setup if s_eff is None else max(0, s_eff)
+        g_hold = hold if h_eff is None else max(0, h_eff)
         guards = []
         falls = clk_fall.spans
         for r0, r1 in clk_rise.spans:
@@ -113,7 +194,7 @@ def _checker_slack(comp: Component, analysis: WindowAnalysis) -> SlackRecord:
                 f1 = r0 + ((f1 - r0) % period)
             else:
                 f1 = r1  # no fall window: degrade to the plain guard
-            guards.append((r0 - setup, max(r1, f1) + hold))
+            guards.append((r0 - g_setup, max(r1, f1) + g_hold))
 
     if changes.is_empty:
         # Statically stable data: slack is the full distance to the guard,
@@ -122,6 +203,184 @@ def _checker_slack(comp: Component, analysis: WindowAnalysis) -> SlackRecord:
 
     slack = _interval_slack(guards, changes.spans, period)
     return record(slack)
+
+
+def _rs_slack(comp: Component, analysis: WindowAnalysis, spec) -> list[SlackRecord]:
+    """Static recovery/removal slack on a REG_RS / LATCH_RS (per control pin).
+
+    Mirror of ``check_recovery_removal``: guard windows ``[r0 - R, r1]``
+    and ``[r0, r1 + M]`` around each clock/enable rise span, compared
+    against the control pin's change windows.
+    """
+    period = analysis.period
+    clock_conn = comp.pins["CLOCK" if comp.prim.name == "REG_RS" else "ENABLE"]
+    clk_rise, _clk_fall = analysis.prepared(clock_conn)
+    records: list[SlackRecord] = []
+    for pin in ("SET", "RESET"):
+        conn = comp.pins.get(pin)
+        if conn is None:
+            continue
+        ctl_rise, ctl_fall = analysis.prepared(conn)
+        changes = ctl_rise.union(ctl_fall)
+        for kind, margin in (
+            ("recovery", spec.recovery_ps),
+            ("removal", spec.removal_ps),
+        ):
+            if margin is None:
+                continue
+
+            def record(slack, *, no_edge=False, overflow=False):
+                return SlackRecord(
+                    component=comp.name,
+                    prim=comp.prim.name,
+                    signal=conn.net.name,
+                    clock=clock_conn.net.name,
+                    setup_ps=margin if kind == "recovery" else 0,
+                    hold_ps=margin if kind == "removal" else 0,
+                    slack_ps=slack,
+                    no_edge=no_edge,
+                    overflow=overflow,
+                    origin=comp.origin,
+                    kind=kind,
+                )
+
+            if clk_rise.is_empty:
+                records.append(record(None, no_edge=True))
+                continue
+            if clk_rise.is_full or changes.is_full:
+                records.append(record(None, overflow=True))
+                continue
+            if kind == "recovery":
+                guards = [(r0 - margin, r1) for r0, r1 in clk_rise.spans]
+            else:
+                guards = [(r0, r1 + margin) for r0, r1 in clk_rise.spans]
+            guards = [(g0, g1) for g0, g1 in guards if g1 > g0]
+            if not guards:
+                records.append(record(None, no_edge=True))
+                continue
+            if changes.is_empty:
+                records.append(
+                    record(max(0, period - max(g1 - g0 for g0, g1 in guards)))
+                )
+                continue
+            records.append(record(_interval_slack(guards, changes.spans, period)))
+    return records
+
+
+def _borrow_slack(
+    comp: Component, analysis: WindowAnalysis, borrow_cap: int | None
+) -> SlackRecord:
+    """Latch time-borrowing: how deep data arrivals reach into transparency.
+
+    ``borrow_ps`` is the worst-case settle time of the data input after the
+    latch opens (0 when data is quiet before every opening).  Without a
+    ``set_max_time_borrow`` cap the record is informational
+    (``slack_ps=None``); with a cap it mirrors ``check_max_time_borrow``:
+    guard ``[r1 + cap, f0]`` over each transparency window.
+    """
+    period = analysis.period
+    enable_conn = comp.pins["ENABLE"]
+    data_conn = comp.pins["DATA"]
+    en_rise, en_fall = analysis.prepared(enable_conn)
+    data_rise, data_fall = analysis.prepared(data_conn)
+    changes = data_rise.union(data_fall)
+
+    def record(slack, *, borrow=None, no_edge=False, overflow=False):
+        return SlackRecord(
+            component=comp.name,
+            prim=comp.prim.name,
+            signal=data_conn.net.name,
+            clock=enable_conn.net.name,
+            setup_ps=borrow_cap or 0,
+            hold_ps=0,
+            slack_ps=slack,
+            no_edge=no_edge,
+            overflow=overflow,
+            origin=comp.origin,
+            kind="borrow",
+            borrow_ps=borrow,
+        )
+
+    if en_rise.is_empty or en_fall.is_empty:
+        return record(None, no_edge=True)
+    if en_rise.is_full or en_fall.is_full or changes.is_full:
+        return record(None, overflow=True)
+
+    falls = en_fall.spans
+    transparency: list[tuple[int, int]] = []
+    for r0, r1 in en_rise.spans:
+        f0, _f1 = min(falls, key=lambda s, _r0=r0: (s[0] - _r0) % period)
+        f0 = r0 + ((f0 - r0) % period)
+        if f0 > r1:
+            transparency.append((r1, f0))
+
+    borrow = 0
+    for t0, t1 in transparency:
+        for c0, c1 in changes.spans:
+            for d in (-period, 0, period):
+                lo, hi = max(t0, c0 + d), min(t1, c1 + d)
+                if hi >= lo:
+                    borrow = max(borrow, hi - t0)
+
+    if borrow_cap is None:
+        return record(None, borrow=borrow)
+    guards = [(t0 + borrow_cap, t1) for t0, t1 in transparency if t1 > t0 + borrow_cap]
+    if not guards:
+        return record(None, borrow=borrow, no_edge=not transparency)
+    if changes.is_empty:
+        return record(
+            max(0, period - max(g1 - g0 for g0, g1 in guards)), borrow=borrow
+        )
+    return record(
+        _interval_slack(guards, changes.spans, period), borrow=borrow
+    )
+
+
+def _output_slack(spec, analysis: WindowAnalysis) -> SlackRecord | None:
+    """Static twin of the engine's virtual ``set_output_delay`` check.
+
+    Uses the *stored* net windows (no wire delay), matching the engine's
+    use of the raw converged value, and the reference clock's own source
+    windows for the capture edges.
+    """
+    period = analysis.period
+    circuit = analysis.circuit
+    net = circuit.nets.get(spec.net)
+    clock_net = circuit.nets.get(spec.clock)
+    if net is None or clock_net is None:
+        return None
+    clk_rise, _clk_fall = analysis.of(clock_net)
+    data_rise, data_fall = analysis.of(net)
+    changes = data_rise.union(data_fall)
+
+    def record(slack, *, no_edge=False, overflow=False):
+        return SlackRecord(
+            component=f"sdc@{spec.net}",
+            prim="SETUP_HOLD_CHK",
+            signal=spec.net,
+            clock=spec.clock,
+            setup_ps=spec.setup_ps,
+            hold_ps=spec.hold_ps,
+            slack_ps=slack,
+            no_edge=no_edge,
+            overflow=overflow,
+            origin=None,
+            kind="output",
+        )
+
+    if clk_rise.is_empty:
+        return record(None, no_edge=True)
+    if clk_rise.is_full or changes.is_full:
+        return record(None, overflow=True)
+    guards = [
+        (r0 - spec.setup_ps, r1 + spec.hold_ps) for r0, r1 in clk_rise.spans
+    ]
+    guards = [(g0, g1) for g0, g1 in guards if g1 > g0]
+    if not guards:
+        return record(None, no_edge=True)
+    if changes.is_empty:
+        return record(max(0, period - max(g1 - g0 for g0, g1 in guards)))
+    return record(_interval_slack(guards, changes.spans, period))
 
 
 def _interval_slack(

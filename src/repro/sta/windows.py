@@ -268,6 +268,10 @@ class WindowAnalysis:
     period: int
     windows: dict[Net, tuple[IntervalSet, IntervalSet]]
     feedback: list[FeedbackCut] = field(default_factory=list)
+    #: Resolved SDC constraints the sweep honoured (input-delay sources).
+    #: False paths never narrow stored windows — they are pruned at the
+    #: checker boundary (``slack.py``) so this enclosure stays intact.
+    constraints: object | None = None
 
     def of(self, net: Net) -> tuple[IntervalSet, IntervalSet]:
         return self.windows[self.circuit.find(net)]
@@ -368,7 +372,11 @@ def _is_fixed_source(rep: Net, driven: bool) -> bool:
 
 
 def _source_windows(
-    circuit: Circuit, config: VerifyConfig, rep: Net, period: int
+    circuit: Circuit,
+    config: VerifyConfig,
+    rep: Net,
+    period: int,
+    constraints=None,
 ) -> tuple[IntervalSet, IntervalSet]:
     """Windows of a fixed-source net (supply, assertion, assumed stable)."""
     if rep.base_name.upper() in _SUPPLY:
@@ -379,6 +387,19 @@ def _source_windows(
         return waveform_windows(assertion.waveform(circuit.timebase, skew))
     if assertion is not None:
         return waveform_windows(assertion.waveform(circuit.timebase))
+    if constraints is not None:
+        spec = constraints.input_delays.get(rep.name)
+        if spec is not None:
+            # set_input_delay: the port changes inside the declared spans.
+            # The engine paints CHANGE over the *same* spans
+            # (Engine._initial_value uses input_delay_spans too), so the
+            # windows enclose it by construction.
+            from ..constraints import input_delay_spans
+
+            spans = input_delay_spans(spec, circuit, config)
+            if spans:
+                win = IntervalSet(period, spans)
+                return win, win
     # Assumed stable (section 2.5); the case mapping replaces STABLE with a
     # constant, which has no transitions either.
     return IntervalSet.empty(period), IntervalSet.empty(period)
@@ -507,7 +528,9 @@ def _used_input_conns(
 
 
 def compute_windows(
-    circuit: Circuit, config: VerifyConfig | None = None
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    constraints=None,
 ) -> WindowAnalysis:
     """One-pass static arrival-window analysis of an expanded circuit."""
     config = config or VerifyConfig()
@@ -590,6 +613,7 @@ def compute_windows(
         config=config,
         period=period,
         windows={},
+        constraints=constraints,
         _loads=loads,
         _rep_of=rep_of,
     )
@@ -613,7 +637,9 @@ def compute_windows(
         driven = rep in drivers
         if _is_fixed_source(rep, driven):
             fixed.add(rep)
-            analysis.windows[rep] = _source_windows(circuit, config, rep, period)
+            analysis.windows[rep] = _source_windows(
+                circuit, config, rep, period, constraints
+            )
 
     # Directive letters per gate input (None when certainly absent).
     comp_letters: list[list[tuple[str, bool]] | None] = [None] * n

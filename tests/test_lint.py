@@ -55,7 +55,7 @@ class TestRegistry:
         for r in all_rules():
             assert r.doc, f"{r.id} has no one-line description"
             assert r.severity in ("error", "warning", "info")
-            assert r.surface in ("source", "circuit")
+            assert r.surface in ("source", "circuit", "sdc")
 
     def test_structural_subset_matches_validate(self):
         structural = {r.id for r in all_rules() if r.structural}

@@ -372,6 +372,58 @@ class TestEnclosure:
         c, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
         _assert_enclosed(c)
 
+    @settings(max_examples=8, deadline=None)
+    @given(
+        chips=st.integers(min_value=40, max_value=120),
+        seed=st.integers(min_value=0, max_value=5_000),
+        data=st.data(),
+    )
+    def test_property_constrained_enclosure(self, chips, seed, data):
+        """A random valid ConstraintSet keeps static enclosing the engine.
+
+        Constraints tighten (uncertainty), relax (multicycle), shift
+        (latency) or waive (false path) individual checks — but always
+        identically in both analyses, so the enclosure AND the per-check
+        verdict contract must survive any mix of them.
+        """
+        from repro.constraints.resolve import CheckerMods, ConstraintSet
+
+        c, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
+        checkers = sorted(
+            comp.name
+            for comp in c.iter_components()
+            if comp.prim.name in (
+                "SETUP_HOLD_CHK", "SETUP_RISE_HOLD_FALL_CHK",
+            )
+        )[:8]
+        mods = {}
+        for name in checkers:
+            if not data.draw(st.booleans(), label=f"constrain {name}"):
+                continue
+            mods[name] = CheckerMods(
+                setup_cycles=data.draw(
+                    st.integers(1, 3), label=f"{name} setup_cycles"
+                ),
+                hold_cycles=data.draw(
+                    st.integers(0, 1), label=f"{name} hold_cycles"
+                ),
+                uncertainty_ps=data.draw(
+                    st.integers(0, 2_000), label=f"{name} uncertainty"
+                ),
+                clock_shift_ps=data.draw(
+                    st.integers(0, 1_000), label=f"{name} latency"
+                ),
+                waived=data.draw(st.booleans(), label=f"{name} waived"),
+            )
+        cs = ConstraintSet(
+            path="<property>", period_ps=c.period_ps, checker_mods=mods
+        )
+        result = TimingVerifier(c, constraints=cs).verify()
+        analysis = compute_windows(c, constraints=cs)
+        slack = compute_slack(c, analysis, constraints=cs)
+        cc = check_encloses(result, analysis, slack=slack)
+        assert cc.ok, (cc.failures[:3], cc.verdict_failures[:3])
+
 
 # ---------------------------------------------------------------------------
 # surfaces: analyze facade, scald-sta CLI, scald-tv --crosscheck

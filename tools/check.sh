@@ -34,9 +34,18 @@ python -m repro.lint.cli --strict $designs
 
 echo
 echo "== crosscheck smoke: static windows enclose engine transitions =="
+# A sibling .sdc rides along: multicycle.scald only verifies clean under
+# its constraints, and constrained runs also exercise the per-check
+# verdict pass of the crosscheck.
 for design in examples/designs/*.scald; do
-    python -m repro.cli "$design" --crosscheck >/dev/null
-    echo "ok: $design"
+    sdc="${design%.scald}.sdc"
+    if [ -f "$sdc" ]; then
+        python -m repro.cli "$design" --sdc "$sdc" --crosscheck >/dev/null
+        echo "ok: $design (with $sdc)"
+    else
+        python -m repro.cli "$design" --crosscheck >/dev/null
+        echo "ok: $design"
+    fi
 done
 python - <<'EOF'
 from repro.core.verifier import TimingVerifier
@@ -51,6 +60,29 @@ for chips, seed in ((60, 1), (200, 7), (500, 1980)):
     print(f"ok: synth chips={chips} seed={seed} "
           f"({cc.nets_checked} nets x {cc.cases_checked} cases)")
 EOF
+
+echo
+echo "== SDC gate: shipped constraint files parse, lint and agree =="
+# Every shipped .sdc must resolve against its design with zero findings
+# under --strict, and the text and JSON reporters must agree on the
+# verdict (same exit code, parseable stdout).
+for sdc in examples/designs/*.sdc; do
+    design="${sdc%.sdc}.scald"
+    python -m repro.lint.cli --strict "$design" --sdc "$sdc" >/dev/null
+    echo "ok: $sdc (lints clean against $design)"
+done
+for design in examples/designs/shifter.scald examples/designs/multicycle.scald; do
+    sdc="${design%.scald}.sdc"
+    text_rc=0; json_rc=0
+    python -m repro.sta.cli "$design" --sdc "$sdc" >/dev/null 2>&1 || text_rc=$?
+    python -m repro.sta.cli "$design" --sdc "$sdc" --json 2>/dev/null \
+        | python -c 'import json,sys; json.load(sys.stdin)' || json_rc=$?
+    if [ "$text_rc" -ne 0 ] || [ "$json_rc" -ne 0 ]; then
+        echo "scald-sta text/JSON disagree on $design (text=$text_rc json=$json_rc)" >&2
+        exit 1
+    fi
+    echo "ok: $design text and JSON reporters agree"
+done
 
 echo
 echo "== serial-vs-parallel equivalence smoke =="
