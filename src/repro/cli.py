@@ -88,6 +88,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "set_clock_latency, set_input_delay/set_output_delay, "
         "set_recovery/set_removal, set_max_time_borrow)",
     )
+    parser.add_argument(
+        "--bit-blast", action="store_true",
+        help="expand every vector primitive and net to per-bit scalars "
+        "before verifying — the legacy Table 3-2 representation, kept as "
+        "the word-level engine's differential oracle",
+    )
     return parser
 
 
@@ -161,6 +167,13 @@ def main(argv: list[str] | None = None) -> int:
         if constraints.findings:
             say()
         sdc_errors = len(constraints.errors)
+
+    if args.bit_blast:
+        # Constraints are resolved against the vector circuit first; the
+        # lookup fallbacks map them onto the per-bit clone names.
+        from .netlist import bit_blast
+
+        circuit = bit_blast(circuit)
 
     if args.jobs > 1:
         from .parallel import verify_parallel

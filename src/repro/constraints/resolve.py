@@ -39,6 +39,7 @@ Per-check semantics (also tabulated in DESIGN.md):
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 from fnmatch import fnmatchcase
 
@@ -139,8 +140,45 @@ class ConstraintSet:
         return not self.errors
 
     def mods_for(self, component_name: str) -> CheckerMods | None:
-        """The non-default mods of a checker, or None when unconstrained."""
-        return self.checker_mods.get(component_name)
+        """The non-default mods of a checker, or None when unconstrained.
+
+        Falls back to the lane-stripped base name so a constraint set
+        resolved against the original vector circuit applies unchanged to
+        its bit-blasted twin (per-bit components are named ``"name [i]"``).
+        """
+        return _lane_lookup(self.checker_mods, component_name)
+
+    def rs_for(self, component_name: str) -> "RsCheck | None":
+        """Recovery/removal spec for a component, lane-suffix tolerant."""
+        return _lane_lookup(self.rs_checks, component_name)
+
+    def borrow_for(self, component_name: str) -> int | None:
+        """Max-time-borrow cap for a latch, lane-suffix tolerant."""
+        return _lane_lookup(self.max_borrow, component_name)
+
+    def input_delay_for(self, net_name: str) -> "InputDelay | None":
+        """Input-delay spec for a net, lane-suffix tolerant."""
+        return _lane_lookup(self.input_delays, net_name)
+
+
+_LANE_SUFFIX_RE = re.compile(r"\A(?P<base>.+) \[\d+\]\Z")
+
+
+def strip_lane_suffix(name: str) -> str:
+    """``"name [i]"`` -> ``"name"``; other names pass through unchanged."""
+    m = _LANE_SUFFIX_RE.match(name)
+    return m.group("base") if m is not None else name
+
+
+def _lane_lookup(table: dict, name: str):
+    """Exact-name lookup with a bit-blast lane-suffix fallback."""
+    hit = table.get(name)
+    if hit is not None:
+        return hit
+    base = strip_lane_suffix(name)
+    if base != name:
+        return table.get(base)
+    return None
 
 
 def input_delay_spans(

@@ -18,10 +18,10 @@ from __future__ import annotations
 import heapq
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Callable, Iterable
 
-from ..netlist.circuit import Circuit, Component, Connection, Net
+from ..netlist.circuit import Circuit, Component, Connection, Net, parse_lane_ref
 from .checks import (
     check_gating_stability,
     check_max_time_borrow,
@@ -44,6 +44,7 @@ from .models import (
 from .values import CHANGE, ONE, STABLE, UNKNOWN, ZERO, Value, value_not
 from .violations import CheckReport, Violation
 from .waveform import Waveform
+from .wordwave import WordWave
 
 #: Net names treated as supply rails.
 _SUPPLY = {"GND": ZERO, "VSS": ZERO, "VCC": ONE, "VDD": ONE}
@@ -93,6 +94,10 @@ class EngineStats:
 
     events: int = 0
     evaluations: int = 0
+    #: Events on nets of width > 1 — one such event covers the whole word.
+    vector_events: int = 0
+    #: Stores that left a net with diverged lanes (per-bit overrides).
+    lane_splits: int = 0
     events_by_case: list[int] = field(default_factory=list)
     intern_hits: int = 0
     intern_misses: int = 0
@@ -141,6 +146,8 @@ class EngineStats:
         for s in parts:
             out.events += s.events
             out.evaluations += s.evaluations
+            out.vector_events += s.vector_events
+            out.lane_splits += s.lane_splits
             out.events_by_case.extend(s.events_by_case)
             out.intern_hits += s.intern_hits
             out.intern_misses += s.intern_misses
@@ -226,6 +233,16 @@ class Engine:
         self.stats = EngineStats()
         self.xref_assumed_stable: list[str] = []
         self._case_map: dict[Net, Value] = {}
+        #: Word-level divergence state (section "Word-level evaluation" in
+        #: DESIGN.md).  A vector net normally carries ONE waveform shared by
+        #: all of its lanes; a per-lane case directive ("NAME [i]") is the
+        #: only source of per-lane divergence, recorded sparsely here as
+        #: overrides against the base value in :attr:`values`.
+        self._lanes: dict[Net, dict[int, Waveform]] = {}
+        self._lane_case: dict[Net, dict[int, Value]] = {}
+        #: True when any per-lane state exists; False keeps every hot path
+        #: on the scalar fast path.
+        self._word_needed = False
         self._fixed: set[Net] = set()
         self._gating: dict[str, str] = {}  # component name -> directive pin
         self._eval_counts: dict[str, int] = {}
@@ -428,21 +445,35 @@ class Engine:
         self.stats = EngineStats(
             levelize_seconds=self._levelize_seconds, max_rank=self._max_rank
         )
-        self._case_map = self._build_case_map(case or {})
+        self._lanes.clear()
+        self._case_map, self._lane_case = self._build_case_map(case or {})
         for rep in self.circuit.representatives():
-            self.values[rep] = self._intern(self._initial_value(rep))
+            raw, caseable = self._initial_value_raw(rep)
+            base = self._apply_case(rep, raw) if caseable else raw
+            self.values[rep] = base = self._intern(base)
+            self._set_initial_lanes(rep, raw, base, caseable)
+        self._word_needed = bool(self._lane_case)
         for comp in self.circuit.iter_components():
             if not comp.prim.is_checker:
                 self._enqueue(comp)
 
-    def _build_case_map(self, case: dict[str, int]) -> dict[Net, Value]:
+    def _build_case_map(
+        self, case: dict[str, int]
+    ) -> tuple[dict[Net, Value], dict[Net, dict[int, Value]]]:
         out: dict[Net, Value] = {}
+        lanes: dict[Net, dict[int, Value]] = {}
         for name, bit in case.items():
+            value = ONE if bit else ZERO
             net = self.circuit.nets.get(name)
-            if net is None:
+            if net is not None:
+                out[self.circuit.find(net)] = value
+                continue
+            ref = parse_lane_ref(self.circuit, name)
+            if ref is None:
                 raise KeyError(f"case references unknown signal {name!r}")
-            out[self.circuit.find(net)] = ONE if bit else ZERO
-        return out
+            rep, lane = ref
+            lanes.setdefault(rep, {})[lane] = value
+        return out, lanes
 
     def _apply_case(self, rep: Net, wf: Waveform) -> Waveform:
         """Map STABLE to the case constant for case-analysis signals.
@@ -455,11 +486,47 @@ class Engine:
             return wf
         return wf.mapped(lambda v: target if v is STABLE else v)
 
-    def _initial_value(self, rep: Net) -> Waveform:
+    def _lane_target(self, rep: Net, lane: int) -> Value | None:
+        """The case constant governing one lane: lane key beats whole-net."""
+        lc = self._lane_case.get(rep)
+        if lc is not None:
+            target = lc.get(lane)
+            if target is not None:
+                return target
+        return self._case_map.get(rep)
+
+    def _apply_lane_case(self, rep: Net, lane: int, wf: Waveform) -> Waveform:
+        target = self._lane_target(rep, lane)
+        if target is None:
+            return wf
+        return wf.mapped(lambda v: target if v is STABLE else v)
+
+    def _set_initial_lanes(
+        self, rep: Net, raw: Waveform, base: Waveform, caseable: bool
+    ) -> None:
+        """Record per-lane initial overrides where a lane case key differs."""
+        lc = self._lane_case.get(rep)
+        if not lc or not caseable:
+            return
+        over: dict[int, Waveform] = {}
+        for lane in sorted(lc):
+            wf = self._intern(self._apply_lane_case(rep, lane, raw))
+            if wf != base:
+                over[lane] = wf
+        if over:
+            self._lanes[rep] = over
+
+    def _initial_value_raw(self, rep: Net) -> tuple[Waveform, bool]:
+        """The pre-case initial value, plus whether case mapping applies.
+
+        The raw waveform is what a lane case key re-maps per lane; the
+        ``caseable`` flag is False exactly for the branches the scalar path
+        never case-mapped (supplies, clock assertions, driven-UNKNOWN).
+        """
         name = rep.base_name.upper()
         if name in _SUPPLY:
             self._fixed.add(rep)
-            return Waveform.constant(self.period, _SUPPLY[name])
+            return Waveform.constant(self.period, _SUPPLY[name]), False
         assertion = rep.assertion
         driven = rep in self._drivers
         if assertion is not None and assertion.kind.is_clock:
@@ -468,17 +535,16 @@ class Engine:
             skew = self.config.clock_skew_ns(
                 assertion.kind.name == "PRECISION_CLOCK"
             )
-            return assertion.waveform(self.circuit.timebase, skew)
+            return assertion.waveform(self.circuit.timebase, skew), False
         if driven:
-            return Waveform.constant(self.period, UNKNOWN)
+            return Waveform.constant(self.period, UNKNOWN), False
         if assertion is not None:
             # Interface signal: the designer's assertion drives it until
             # hardware generates it (section 2.5.2).
             self._fixed.add(rep)
-            wf = assertion.waveform(self.circuit.timebase)
-            return self._apply_case(rep, wf)
+            return assertion.waveform(self.circuit.timebase), True
         if self.constraints is not None:
-            spec = self.constraints.input_delays.get(rep.name)
+            spec = self.constraints.input_delay_for(rep.name)
             if spec is not None:
                 # set_input_delay: the port changes inside the declared
                 # windows around its reference clock edge and is stable
@@ -495,12 +561,12 @@ class Engine:
                         STABLE,
                         [(lo, hi, CHANGE) for lo, hi in spans],
                     )
-                    return self._apply_case(rep, wf)
+                    return wf, True
         # Undefined signal with no assertion: taken to be always stable and
         # put on a special cross-reference listing (section 2.5).
         self._fixed.add(rep)
         self.xref_assumed_stable.append(rep.name)
-        return self._apply_case(rep, Waveform.constant(self.period, STABLE))
+        return Waveform.constant(self.period, STABLE), True
 
     # ------------------------------------------------------------------
     # fixed point
@@ -538,6 +604,42 @@ class Engine:
             return
         self.values[rep] = wf
         self.stats.events += 1
+        if rep.width > 1:
+            self.stats.vector_events += 1
+        for load in self._loads.get(rep, ()):
+            self._enqueue(load)
+
+    def _store_word(self, conn: Connection, lane_out: list[Waveform]) -> None:
+        """Store a per-lane evaluation result as base + sparse overrides."""
+        rep = self.circuit.find(conn.net)
+        if rep in self._fixed:
+            return  # assertion or supply wins over the driver
+        width = rep.width
+        n = len(lane_out)
+        finals = [
+            self._intern(
+                self._apply_lane_case(
+                    rep, lane, lane_out[lane] if lane < n else lane_out[lane % n]
+                )
+            )
+            for lane in range(width)
+        ]
+        word = WordWave.from_lanes(finals)
+        base, over = word.base, word.overrides
+        prev_base = self.values.get(rep)
+        if (prev_base is base or prev_base == base) and self._lanes.get(
+            rep, {}
+        ) == over:
+            return
+        self.values[rep] = base
+        if over:
+            self._lanes[rep] = dict(over)
+            self.stats.lane_splits += 1
+        else:
+            self._lanes.pop(rep, None)
+        self.stats.events += 1
+        if width > 1:
+            self.stats.vector_events += 1
         for load in self._loads.get(rep, ()):
             self._enqueue(load)
 
@@ -562,33 +664,57 @@ class Engine:
 
     def apply_case(self, case: dict[str, int]) -> None:
         """Switch to the next case, disturbing only affected signals."""
-        new_map = self._build_case_map(case)
+        new_map, new_lanes = self._build_case_map(case)
         affected = {
             rep
-            for rep in set(new_map) | set(self._case_map)
+            for rep in (
+                set(new_map)
+                | set(self._case_map)
+                | set(new_lanes)
+                | set(self._lane_case)
+            )
             if new_map.get(rep) is not self._case_map.get(rep)
+            or new_lanes.get(rep) != self._lane_case.get(rep)
         }
         self._case_map = new_map
+        self._lane_case = new_lanes
+        self._word_needed = bool(self._lane_case)
         for rep in affected:
             if rep in self._drivers:
                 # Re-evaluating the driver re-stores the value through the
-                # new case mapping.
+                # new case mapping (the word path also refreshes any stale
+                # lane overrides at that store).
                 self._enqueue(self._drivers[rep][0])
             else:
-                wf = self._initial_value_for_case_change(rep)
-                if self.values.get(rep) != wf:
-                    self.values[rep] = self._intern(wf)
+                raw, caseable = self._case_change_raw(rep)
+                base = self._intern(self._apply_case(rep, raw)) if caseable else raw
+                over: dict[int, Waveform] = {}
+                lc = self._lane_case.get(rep)
+                if lc and caseable:
+                    for lane in sorted(lc):
+                        wf = self._intern(self._apply_lane_case(rep, lane, raw))
+                        if wf != base:
+                            over[lane] = wf
+                if self.values.get(rep) != base or self._lanes.get(rep, {}) != over:
+                    self.values[rep] = base
+                    if over:
+                        self._lanes[rep] = over
+                        self.stats.lane_splits += 1
+                    else:
+                        self._lanes.pop(rep, None)
                     self.stats.events += 1
+                    if rep.width > 1:
+                        self.stats.vector_events += 1
                     for load in self._loads.get(rep, ()):
                         self._enqueue(load)
 
-    def _initial_value_for_case_change(self, rep: Net) -> Waveform:
+    def _case_change_raw(self, rep: Net) -> tuple[Waveform, bool]:
         assertion = rep.assertion
         if assertion is not None and not assertion.kind.is_clock:
-            return self._apply_case(rep, assertion.waveform(self.circuit.timebase))
+            return assertion.waveform(self.circuit.timebase), True
         if assertion is None and rep.base_name.upper() not in _SUPPLY:
-            return self._apply_case(rep, Waveform.constant(self.period, STABLE))
-        return self.values[rep]
+            return Waveform.constant(self.period, STABLE), True
+        return self.values[rep], False
 
     # ------------------------------------------------------------------
     # primitive evaluation
@@ -618,62 +744,168 @@ class Engine:
             memo.popitem(last=False)
         return out
 
+    def _raw_of(self, conn: Connection) -> Waveform:
+        return self.raw_value(conn.net)
+
+    def _comp_diverged(self, comp: Component) -> bool:
+        """Does any pin of ``comp`` touch a net with per-lane state?"""
+        lanes = self._lanes
+        lane_case = self._lane_case
+        for conn in comp.pins.values():
+            rep = self.circuit.find(conn.net)
+            if rep in lanes or rep in lane_case:
+                return True
+        return False
+
+    def _input_conns(self, comp: Component) -> list[Connection]:
+        """Every non-output connection, in pin declaration order."""
+        out_pins = {pin for pin, _conn in comp.output_pins()}
+        return [conn for pin, conn in comp.pins.items() if pin not in out_pins]
+
+    def _lane_raw(self, conn: Connection, lane: int) -> Waveform:
+        return self._net_lane_value(conn.net, lane)
+
+    def _net_lane_value(self, net: Net, lane: int) -> Waveform:
+        """One lane of a net: the sparse override if present, else the base."""
+        rep = self.circuit.find(net)
+        over = self._lanes.get(rep)
+        if over:
+            wf = over.get(lane % rep.width)
+            if wf is not None:
+                return wf
+        return self.raw_value(net)
+
+    def _lane_prepared(
+        self, conn: Connection, lane: int, zero_wire: bool = False
+    ) -> Waveform:
+        """Per-lane :meth:`prepared_input`, sharing the scalar cache.
+
+        A lane whose raw value is the net's base waveform prepares through
+        the ordinary per-connection cache; only overridden lanes pay for a
+        lane-keyed entry.
+        """
+        rep = self.circuit.find(conn.net)
+        idx = lane % rep.width
+        over = self._lanes.get(rep)
+        raw = over.get(idx) if over else None
+        if raw is None:
+            return self.prepared_input(conn, zero_wire)
+        if not self.config.memoize_evaluation:
+            return self._prepare(conn, raw, zero_wire)
+        key = (id(conn), zero_wire, idx)
+        entry = self._prepared_cache.get(key)
+        if entry is not None and entry[0] is raw:
+            self.stats.prepared_hits += 1
+            return entry[1]
+        self.stats.prepared_misses += 1
+        prepared = self._intern(self._prepare(conn, raw, zero_wire))
+        self._prepared_cache[key] = (raw, prepared)
+        return prepared
+
     def _evaluate(self, comp: Component) -> None:
+        if self._word_needed and self._comp_diverged(comp):
+            self._evaluate_word(comp)
+            return
+        out = self._model_output(comp, self._raw_of, self.prepared_input)
+        self._store(comp.pins["OUT"], out)
+
+    def _evaluate_word(self, comp: Component) -> None:
+        """Per-lane evaluation of a primitive with diverged inputs.
+
+        Lanes whose input tuples agree share one model run (and the runs
+        themselves share the content-addressed memo with the scalar path),
+        so a word primitive costs one evaluation per *divergence group*,
+        not one per bit.
+        """
+        in_conns = self._input_conns(comp)
+        cache: dict[tuple[Waveform, ...], Waveform] = {}
+        lane_out: list[Waveform] = []
+        for lane in range(comp.width):
+            key = tuple(self._lane_raw(conn, lane) for conn in in_conns)
+            out = cache.get(key)
+            if out is None:
+
+                def raw_of(conn: Connection, _lane: int = lane) -> Waveform:
+                    return self._lane_raw(conn, _lane)
+
+                def prepared_of(
+                    conn: Connection,
+                    zero_wire: bool = False,
+                    _lane: int = lane,
+                ) -> Waveform:
+                    return self._lane_prepared(conn, _lane, zero_wire)
+
+                out = cache[key] = self._model_output(comp, raw_of, prepared_of)
+            lane_out.append(out)
+        self._store_word(comp.pins["OUT"], lane_out)
+
+    def _model_output(
+        self,
+        comp: Component,
+        raw_of: Callable[[Connection], Waveform],
+        prepared_of: Callable[..., Waveform],
+    ) -> Waveform:
         prim = comp.prim.name
         if prim in _GATE_PRIMS:
-            out = self._evaluate_gate(comp)
-        elif prim in ("REG", "REG_RS"):
-            clock = self.prepared_input(comp.pins["CLOCK"])
-            data = self.prepared_input(comp.pins["DATA"])
+            return self._evaluate_gate(comp, raw_of, prepared_of)
+        if prim in ("REG", "REG_RS"):
+            clock = prepared_of(comp.pins["CLOCK"])
+            data = prepared_of(comp.pins["DATA"])
             delay = comp.delay_ps()
-            set_ = self._optional_input(comp, "SET")
-            reset = self._optional_input(comp, "RESET")
-            out = self._memoized(
+            set_ = self._optional_input(comp, "SET", prepared_of)
+            reset = self._optional_input(comp, "RESET", prepared_of)
+            return self._memoized(
                 ("REG", clock, data, delay, set_, reset),
                 lambda: eval_register(
                     clock=clock, data=data, delay=delay, set_=set_, reset=reset
                 ),
             )
-        elif prim in ("LATCH", "LATCH_RS"):
-            enable = self.prepared_input(comp.pins["ENABLE"])
-            data = self.prepared_input(comp.pins["DATA"])
+        if prim in ("LATCH", "LATCH_RS"):
+            enable = prepared_of(comp.pins["ENABLE"])
+            data = prepared_of(comp.pins["DATA"])
             delay = comp.delay_ps()
-            set_ = self._optional_input(comp, "SET")
-            reset = self._optional_input(comp, "RESET")
-            out = self._memoized(
+            set_ = self._optional_input(comp, "SET", prepared_of)
+            reset = self._optional_input(comp, "RESET", prepared_of)
+            return self._memoized(
                 ("LATCH", enable, data, delay, set_, reset),
                 lambda: eval_latch(
                     enable=enable, data=data, delay=delay, set_=set_, reset=reset
                 ),
             )
-        elif prim.startswith("MUX"):
+        if prim.startswith("MUX"):
             n = int(prim[3:])
             n_sel = max(1, n.bit_length() - 1)
             selects = tuple(
-                self.prepared_input(comp.pins[f"S{i}"]) for i in range(n_sel)
+                prepared_of(comp.pins[f"S{i}"]) for i in range(n_sel)
             )
-            data = tuple(self.prepared_input(comp.pins[f"I{i}"]) for i in range(n))
+            data = tuple(prepared_of(comp.pins[f"I{i}"]) for i in range(n))
             delay = comp.delay_ps()
             select_delay = comp.delay_ps("select_delay")
-            out = self._memoized(
+            return self._memoized(
                 ("MUX", selects, data, delay, select_delay),
                 lambda: eval_mux(
                     selects, data, delay=delay, select_delay=select_delay
                 ),
             )
-        else:  # pragma: no cover - registry covers everything else
-            raise AssertionError(f"no model for primitive {prim}")
-        self._store(comp.pins["OUT"], out)
+        # pragma: no cover - registry covers everything else
+        raise AssertionError(f"no model for primitive {prim}")
 
-    def _optional_input(self, comp: Component, pin: str) -> Waveform | None:
+    def _optional_input(
+        self, comp: Component, pin: str, prepared_of: Callable[..., Waveform]
+    ) -> Waveform | None:
         conn = comp.pins.get(pin)
-        return self.prepared_input(conn) if conn is not None else None
+        return prepared_of(conn) if conn is not None else None
 
-    def _evaluate_gate(self, comp: Component) -> Waveform:
+    def _evaluate_gate(
+        self,
+        comp: Component,
+        raw_of: Callable[[Connection], Waveform],
+        prepared_of: Callable[..., Waveform],
+    ) -> Waveform:
         """Gate evaluation with directive handling (section 2.6)."""
         conns = [conn for _pin, conn in comp.input_pins()]
         pins = [pin for pin, _conn in comp.input_pins()]
-        raws = [self.raw_value(c.net) for c in conns]
+        raws = [raw_of(c) for c in conns]
         letters: list[str] = []
         rests: list[str] = []
         for conn, raw in zip(conns, raws):
@@ -681,7 +913,7 @@ class Engine:
             letters.append(letter)
             rests.append(rest)
         prepared = [
-            self.prepared_input(conn, zero_wire=(letter in _ZERO_WIRE))
+            prepared_of(conn, zero_wire=(letter in _ZERO_WIRE))
             for conn, letter in zip(conns, letters)
         ]
         delay = comp.delay_ps()
@@ -753,22 +985,98 @@ class Engine:
             violations.extend(self._check_constraints(case_index))
         return violations
 
+    def _suffix_name(self, name: str, lane: int) -> str:
+        """Lane-qualify a signal name when its net is a vector.
+
+        Matches the :func:`~repro.netlist.bitblast.bit_blast` naming
+        contract — ``"NAME [i]"`` with ``i`` modulo the net's width, scalar
+        nets untouched, a clock's ``-`` prefix preserved.
+        """
+        invert = name.startswith("-")
+        bare = name[1:] if invert else name
+        net = self.circuit.nets.get(bare)
+        if net is None:
+            return name
+        rep = self.circuit.find(net)
+        if rep.width == 1:
+            return name
+        return ("-" if invert else "") + f"{bare} [{lane % rep.width}]"
+
+    def _relabel(self, comp: Component, v: Violation, lane: int) -> Violation:
+        fields: dict[str, str] = {"signal": self._suffix_name(v.signal, lane)}
+        if comp.width > 1:
+            fields["component"] = f"{comp.name} [{lane}]"
+        if v.clock is not None:
+            fields["clock"] = self._suffix_name(v.clock, lane)
+        return _dc_replace(v, **fields)
+
+    def _lane_variants(
+        self, comp: Component, case_index: int, impl
+    ) -> list[Violation]:
+        """Run a checker body once per divergence group, relabelled per lane.
+
+        ``impl(comp, case_index, raw_of, prepared_of)`` must produce records
+        with unsuffixed names; lanes whose inputs agree reuse one run.  When
+        every lane lands in the same group the word has not really diverged
+        at this checker, and the single run's records come back unsuffixed —
+        byte-identical to the scalar path (the per-bit comparison expands an
+        unsuffixed record over the full width, so blast parity holds).
+        """
+        in_conns = self._input_conns(comp)
+        cache: dict[tuple[Waveform, ...], tuple[int, list[Violation]]] = {}
+        lanes: list[tuple[int, list[Violation]]] = []
+        for lane in range(comp.width):
+            key = tuple(self._lane_raw(conn, lane) for conn in in_conns)
+            entry = cache.get(key)
+            if entry is None:
+
+                def raw_of(conn: Connection, _lane: int = lane) -> Waveform:
+                    return self._lane_raw(conn, _lane)
+
+                def prepared_of(
+                    conn: Connection,
+                    zero_wire: bool = False,
+                    _lane: int = lane,
+                ) -> Waveform:
+                    return self._lane_prepared(conn, _lane, zero_wire)
+
+                entry = cache[key] = (
+                    lane,
+                    impl(comp, case_index, raw_of, prepared_of),
+                )
+            lanes.append((lane, entry[1]))
+        if len(cache) == 1:
+            return list(lanes[0][1])
+        out: list[Violation] = []
+        for lane, records in lanes:
+            out.extend(self._relabel(comp, v, lane) for v in records)
+        return out
+
     def _check_one(self, comp: Component, case_index: int) -> list[Violation]:
+        if self._word_needed and self._comp_diverged(comp):
+            return self._lane_variants(comp, case_index, self._check_one_impl)
+        return self._check_one_impl(
+            comp, case_index, self._raw_of, self.prepared_input
+        )
+
+    def _check_one_impl(
+        self, comp: Component, case_index: int, raw_of, prepared_of
+    ) -> list[Violation]:
         prim = comp.prim.name
         if prim == "MIN_PULSE_WIDTH":
             conn = comp.pins["I"]
             return check_min_pulse_width(
                 comp.name,
                 conn.net.name,
-                self.prepared_input(conn),
+                prepared_of(conn),
                 comp.params.get("min_high"),
                 comp.params.get("min_low"),
                 case_index=case_index,
                 glitch_warnings=self.config.glitch_warnings,
             )
         i_conn, ck_conn = comp.pins["I"], comp.pins["CK"]
-        data = self.prepared_input(i_conn)
-        clock = self.prepared_input(ck_conn)
+        data = prepared_of(i_conn)
+        clock = prepared_of(ck_conn)
         clock_name = ("-" if ck_conn.invert else "") + ck_conn.net.name
         mods = (
             self.constraints.mods_for(comp.name)
@@ -837,86 +1145,211 @@ class Engine:
         out: list[Violation] = []
         for comp in self.circuit.iter_components():
             prim = comp.prim.name
-            spec = cs.rs_checks.get(comp.name)
-            if spec is not None and prim in ("REG_RS", "LATCH_RS"):
-                clock_pin = "CLOCK" if prim == "REG_RS" else "ENABLE"
-                clock_conn = comp.pins[clock_pin]
-                clock = self.prepared_input(clock_conn)
-                for pin in ("SET", "RESET"):
-                    conn = comp.pins.get(pin)
-                    if conn is None:
-                        continue
+            has_rs = (
+                prim in ("REG_RS", "LATCH_RS")
+                and cs.rs_for(comp.name) is not None
+            )
+            has_borrow = (
+                prim in ("LATCH", "LATCH_RS")
+                and cs.borrow_for(comp.name) is not None
+            )
+            if not has_rs and not has_borrow:
+                continue
+            diverged = self._word_needed and self._comp_diverged(comp)
+            if has_rs:
+                if diverged:
                     out.extend(
-                        check_recovery_removal(
-                            comp.name,
-                            conn.net.name,
-                            self.prepared_input(conn),
-                            clock_conn.net.name,
-                            clock,
-                            spec.recovery_ps,
-                            spec.removal_ps,
-                            case_index=case_index,
+                        self._lane_variants(comp, case_index, self._check_rs_impl)
+                    )
+                else:
+                    out.extend(
+                        self._check_rs_impl(
+                            comp, case_index, self._raw_of, self.prepared_input
                         )
                     )
-            borrow = cs.max_borrow.get(comp.name)
-            if borrow is not None and prim in ("LATCH", "LATCH_RS"):
-                enable_conn = comp.pins["ENABLE"]
-                data_conn = comp.pins["DATA"]
-                out.extend(
-                    check_max_time_borrow(
-                        comp.name,
-                        data_conn.net.name,
-                        self.prepared_input(data_conn),
-                        enable_conn.net.name,
-                        self.prepared_input(enable_conn),
-                        borrow,
-                        case_index=case_index,
+            if has_borrow:
+                if diverged:
+                    out.extend(
+                        self._lane_variants(
+                            comp, case_index, self._check_borrow_impl
+                        )
                     )
-                )
+                else:
+                    out.extend(
+                        self._check_borrow_impl(
+                            comp, case_index, self._raw_of, self.prepared_input
+                        )
+                    )
         for spec in cs.output_delays:
-            net = self.circuit.nets.get(spec.net)
-            clock_net = self.circuit.nets.get(spec.clock)
-            if net is None or clock_net is None:
+            out.extend(self._check_output_delay(spec, case_index))
+        return out
+
+    def _check_rs_impl(
+        self, comp: Component, case_index: int, raw_of, prepared_of
+    ) -> list[Violation]:
+        spec = self.constraints.rs_for(comp.name)
+        prim = comp.prim.name
+        clock_pin = "CLOCK" if prim == "REG_RS" else "ENABLE"
+        clock_conn = comp.pins[clock_pin]
+        clock = prepared_of(clock_conn)
+        out: list[Violation] = []
+        for pin in ("SET", "RESET"):
+            conn = comp.pins.get(pin)
+            if conn is None:
                 continue
             out.extend(
-                check_setup_hold(
-                    f"sdc@{spec.net}",
-                    spec.net,
-                    self.raw_value(net),
-                    spec.clock,
-                    self.raw_value(clock_net),
-                    spec.setup_ps,
-                    spec.hold_ps,
+                check_recovery_removal(
+                    comp.name,
+                    conn.net.name,
+                    prepared_of(conn),
+                    clock_conn.net.name,
+                    clock,
+                    spec.recovery_ps,
+                    spec.removal_ps,
                     case_index=case_index,
                 )
             )
         return out
+
+    def _check_borrow_impl(
+        self, comp: Component, case_index: int, raw_of, prepared_of
+    ) -> list[Violation]:
+        borrow = self.constraints.borrow_for(comp.name)
+        enable_conn = comp.pins["ENABLE"]
+        data_conn = comp.pins["DATA"]
+        return check_max_time_borrow(
+            comp.name,
+            data_conn.net.name,
+            prepared_of(data_conn),
+            enable_conn.net.name,
+            prepared_of(enable_conn),
+            borrow,
+            case_index=case_index,
+        )
+
+    def _check_output_delay(self, spec, case_index: int) -> list[Violation]:
+        """set_output_delay as a setup/hold check on the port's raw value.
+
+        Resolves per-bit clones (``"NET [i]"``) when the exact name is
+        absent — the bit-blasted twin of a vector port — and expands by
+        lane when the word-level run diverged the port or its clock.
+        """
+        out: list[Violation] = []
+        net = self.circuit.nets.get(spec.net)
+        clock_net = self.circuit.nets.get(spec.clock)
+        if net is None:
+            # Bit-blasted circuit: check each per-bit clone of the port.
+            i = 0
+            while True:
+                n = self.circuit.nets.get(f"{spec.net} [{i}]")
+                if n is None:
+                    break
+                cn = clock_net or self.circuit.nets.get(f"{spec.clock} [{i}]")
+                if cn is not None:
+                    out.extend(
+                        check_setup_hold(
+                            f"sdc@{spec.net}",
+                            n.name,
+                            self.raw_value(n),
+                            cn.name,
+                            self.raw_value(cn),
+                            spec.setup_ps,
+                            spec.hold_ps,
+                            case_index=case_index,
+                        )
+                    )
+                i += 1
+            return out
+        if clock_net is None:
+            return out
+        rep = self.circuit.find(net)
+        crep = self.circuit.find(clock_net)
+        if self._lanes.get(rep) or self._lanes.get(crep):
+            cache: dict[tuple[Waveform, Waveform], list[Violation]] = {}
+            for lane in range(rep.width):
+                data = self._net_lane_value(net, lane)
+                clock = self._net_lane_value(clock_net, lane)
+                records = cache.get((data, clock))
+                if records is None:
+                    records = cache[(data, clock)] = check_setup_hold(
+                        f"sdc@{spec.net}",
+                        spec.net,
+                        data,
+                        spec.clock,
+                        clock,
+                        spec.setup_ps,
+                        spec.hold_ps,
+                        case_index=case_index,
+                    )
+                out.extend(
+                    _dc_replace(
+                        v,
+                        signal=self._suffix_name(v.signal, lane),
+                        clock=self._suffix_name(v.clock, lane)
+                        if v.clock is not None
+                        else None,
+                    )
+                    for v in records
+                )
+            return out
+        return check_setup_hold(
+            f"sdc@{spec.net}",
+            spec.net,
+            self.raw_value(net),
+            spec.clock,
+            self.raw_value(clock_net),
+            spec.setup_ps,
+            spec.hold_ps,
+            case_index=case_index,
+        )
 
     def _check_gating(self, case_index: int) -> list[Violation]:
         """The ``&A``/``&H`` stability checks recorded during evaluation."""
         out: list[Violation] = []
         for comp_name, directive_pin in sorted(self._gating.items()):
             comp = self.circuit.components[comp_name]
-            clock_conn = comp.pins[directive_pin]
-            raw = self.raw_value(clock_conn.net)
-            letter, _rest = self._directive_letter(clock_conn, raw)
-            clock = self.prepared_input(
-                clock_conn, zero_wire=(letter in _ZERO_WIRE)
-            )
-            for pin, conn in comp.input_pins():
-                if pin == directive_pin:
-                    continue
-                control = self.prepared_input(conn)
+            if self._word_needed and self._comp_diverged(comp):
+
+                def impl(
+                    c, ci, raw_of, prepared_of, _pin: str = directive_pin
+                ) -> list[Violation]:
+                    return self._check_gating_impl(c, _pin, ci, raw_of, prepared_of)
+
+                out.extend(self._lane_variants(comp, case_index, impl))
+            else:
                 out.extend(
-                    check_gating_stability(
-                        comp.name,
-                        conn.net.name,
-                        control,
-                        clock_conn.net.name,
-                        clock,
-                        case_index=case_index,
+                    self._check_gating_impl(
+                        comp,
+                        directive_pin,
+                        case_index,
+                        self._raw_of,
+                        self.prepared_input,
                     )
                 )
+        return out
+
+    def _check_gating_impl(
+        self, comp: Component, directive_pin: str, case_index: int, raw_of, prepared_of
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        clock_conn = comp.pins[directive_pin]
+        raw = raw_of(clock_conn)
+        letter, _rest = self._directive_letter(clock_conn, raw)
+        clock = prepared_of(clock_conn, zero_wire=(letter in _ZERO_WIRE))
+        for pin, conn in comp.input_pins():
+            if pin == directive_pin:
+                continue
+            control = prepared_of(conn)
+            out.extend(
+                check_gating_stability(
+                    comp.name,
+                    conn.net.name,
+                    control,
+                    clock_conn.net.name,
+                    clock,
+                    case_index=case_index,
+                )
+            )
         return out
 
     def _check_assertions(self, case_index: int) -> list[Violation]:
@@ -931,11 +1364,26 @@ class Engine:
             ):
                 continue
             asserted = assertion.waveform(self.circuit.timebase)
-            out.extend(
-                check_stable_assertion(
-                    rep.name, self.values[rep], asserted, case_index=case_index
+            over = self._lanes.get(rep)
+            if over:
+                cache: dict[Waveform, list[Violation]] = {}
+                for lane in range(rep.width):
+                    wf = over.get(lane, self.values[rep])
+                    records = cache.get(wf)
+                    if records is None:
+                        records = cache[wf] = check_stable_assertion(
+                            rep.name, wf, asserted, case_index=case_index
+                        )
+                    out.extend(
+                        _dc_replace(v, signal=self._suffix_name(v.signal, lane))
+                        for v in records
+                    )
+            else:
+                out.extend(
+                    check_stable_assertion(
+                        rep.name, self.values[rep], asserted, case_index=case_index
+                    )
                 )
-            )
         return out
 
     # ------------------------------------------------------------------
@@ -951,3 +1399,11 @@ class Engine:
         if net is None:
             raise KeyError(f"no signal named {name!r}")
         return self.raw_value(net)
+
+    def word_value(self, name: str) -> WordWave:
+        """The full word on a net: base waveform plus per-lane overrides."""
+        net = self.circuit.nets.get(name)
+        if net is None:
+            raise KeyError(f"no signal named {name!r}")
+        rep = self.circuit.find(net)
+        return WordWave(rep.width, self.raw_value(net), self._lanes.get(rep, {}))

@@ -1,6 +1,7 @@
 """Circuit substrate: primitive registry, netlist graph, validation."""
 
-from .circuit import Circuit, Component, Connection, Net, NetlistError
+from .bitblast import bit_blast
+from .circuit import Circuit, Component, Connection, Net, NetlistError, parse_lane_ref
 from .primitives import PRIMITIVES, PrimitiveType, lookup
 from .validate import InvalidCircuitError, ValidationIssue, check, validate
 
@@ -10,6 +11,8 @@ __all__ = [
     "Connection",
     "Net",
     "NetlistError",
+    "bit_blast",
+    "parse_lane_ref",
     "PRIMITIVES",
     "PrimitiveType",
     "lookup",

@@ -11,6 +11,7 @@ the Macro Expander resolves them.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -24,6 +25,35 @@ DIRECTIVE_LETTERS = frozenset("EWZAH")
 
 class NetlistError(ValueError):
     """Raised for structural errors while building a circuit."""
+
+
+#: A per-lane signal reference: ``"NAME [i]"`` names bit ``i`` of the
+#: vector net ``NAME`` (the same suffix the bit-blast transform uses for
+#: its per-bit net clones).
+_LANE_REF_RE = re.compile(r"\A(?P<base>.+) \[(?P<lane>\d+)\]\Z")
+
+
+def parse_lane_ref(circuit: "Circuit", name: str) -> "tuple[Net, int] | None":
+    """Resolve ``"NAME [i]"`` to ``(net, i)`` when it names a vector lane.
+
+    Returns None unless the suffix parses, the base net already exists,
+    and the lane index is inside the net's declared width.  A name that is
+    itself a registered net (a bit-blasted circuit's per-bit clone) is
+    *not* a lane reference — the whole-net meaning wins.
+    """
+    if name in circuit.nets:
+        return None
+    m = _LANE_REF_RE.match(name)
+    if m is None:
+        return None
+    base = circuit.nets.get(m.group("base"))
+    if base is None:
+        return None
+    lane = int(m.group("lane"))
+    rep = circuit.find(base)
+    if lane >= rep.width:
+        return None
+    return rep, lane
 
 
 @dataclass(eq=False)  # identity equality/hashing, at C speed
@@ -520,14 +550,23 @@ class Circuit:
         """Add one simulated case (section 2.7.1).
 
         Each entry maps a signal name to 0 or 1; during that case the
-        signal's STABLE values are replaced by the given constant.
+        signal's STABLE values are replaced by the given constant.  A key
+        of the form ``"NAME [i]"`` where ``NAME`` is an existing vector
+        net addresses bit ``i`` alone — the word-level engine diverges
+        just that lane, and a lane key always overrides a whole-net key
+        for the same net.  (A registered net whose *name* carries the
+        suffix — a bit-blasted clone — keeps its whole-net meaning.)
         """
         case: dict[str, int] = {}
         for name, value in assignments.items():
             if value not in (0, 1):
                 raise NetlistError(f"case value for {name!r} must be 0 or 1")
-            net = self.net(name)
-            net.is_case_signal = True
+            lane_ref = parse_lane_ref(self, name)
+            if lane_ref is not None:
+                lane_ref[0].is_case_signal = True
+            else:
+                net = self.net(name)
+                net.is_case_signal = True
             case[name] = value
         self.cases.append(case)
 

@@ -117,6 +117,8 @@ def profile_json(result: "VerificationResult") -> dict:
         "cases": len(result.cases),
         "events": s.events,
         "evaluations": s.evaluations,
+        "vector_events": s.vector_events,
+        "lane_splits": s.lane_splits,
         "events_per_primitive": result.events_per_primitive,
         "events_per_second": s.events / verify_s if verify_s > 0 else 0.0,
         "max_rank": s.max_rank,
@@ -195,6 +197,9 @@ def profile_report(result: "VerificationResult") -> str:
         "(thesis: ~2.4)",
         f"  events/second: {data['events_per_second']:,.0f}, "
         f"max schedule rank: {data['max_rank']}",
+        f"  word-level: {data['vector_events']} vector events "
+        f"(one per word, any width), {data['lane_splits']} per-bit "
+        "divergence splits",
         "",
         _cache_line(
             "evaluation memo:", s.memo_hits, s.memo_misses, memo_off,

@@ -45,6 +45,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--sdc", metavar="FILE", default=None,
         help="apply an SDC-subset constraint file to every design",
     )
+    parser.add_argument(
+        "--bit-blast", action="store_true",
+        help="analyze the per-bit scalar expansion of every vector "
+        "(the word-level analysis' differential oracle)",
+    )
     return parser
 
 
@@ -87,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(str(finding), file=human)
             if constraints.errors:
                 status = 1
+        if args.bit_blast:
+            # Constraints resolve against the vector circuit first; the
+            # lane-suffix lookup fallbacks map them onto the clones.
+            from ..netlist import bit_blast
+
+            circuit = bit_blast(circuit)
         analysis = analyze(circuit, constraints=constraints)
         if json_mode:
             docs.append(sta_doc(analysis))

@@ -87,21 +87,19 @@ def compute_slack(
             )
             records.append(_checker_slack(comp, analysis, mods))
         if prim in ("REG_RS", "LATCH_RS") and constraints is not None:
-            spec = constraints.rs_checks.get(comp.name)
+            spec = constraints.rs_for(comp.name)
             if spec is not None:
                 records.extend(_rs_slack(comp, analysis, spec))
         if prim in ("LATCH", "LATCH_RS"):
             borrow_cap = (
-                constraints.max_borrow.get(comp.name)
+                constraints.borrow_for(comp.name)
                 if constraints is not None
                 else None
             )
             records.append(_borrow_slack(comp, analysis, borrow_cap))
     if constraints is not None:
         for spec in constraints.output_delays:
-            rec = _output_slack(spec, analysis)
-            if rec is not None:
-                records.append(rec)
+            records.extend(_output_slack_all(spec, analysis))
     records.sort(key=lambda r: (r.slack_ps is None, r.slack_ps or 0, r.component))
     return records
 
@@ -336,7 +334,33 @@ def _borrow_slack(
     )
 
 
-def _output_slack(spec, analysis: WindowAnalysis) -> SlackRecord | None:
+def _output_slack_all(spec, analysis: WindowAnalysis) -> list[SlackRecord]:
+    """Every record of one ``set_output_delay`` spec.
+
+    One record normally; on a bit-blasted circuit (the port name resolves
+    only as per-bit clones) one record per clone, matching the engine's
+    per-bit fallback in ``_check_output_delay``.
+    """
+    circuit = analysis.circuit
+    if circuit.nets.get(spec.net) is not None:
+        rec = _output_slack(spec, analysis)
+        return [rec] if rec is not None else []
+    out: list[SlackRecord] = []
+    i = 0
+    while True:
+        n = circuit.nets.get(f"{spec.net} [{i}]")
+        if n is None:
+            break
+        rec = _output_slack(spec, analysis, net_name=n.name)
+        if rec is not None:
+            out.append(rec)
+        i += 1
+    return out
+
+
+def _output_slack(
+    spec, analysis: WindowAnalysis, net_name: str | None = None
+) -> SlackRecord | None:
     """Static twin of the engine's virtual ``set_output_delay`` check.
 
     Uses the *stored* net windows (no wire delay), matching the engine's
@@ -345,7 +369,8 @@ def _output_slack(spec, analysis: WindowAnalysis) -> SlackRecord | None:
     """
     period = analysis.period
     circuit = analysis.circuit
-    net = circuit.nets.get(spec.net)
+    net_name = net_name or spec.net
+    net = circuit.nets.get(net_name)
     clock_net = circuit.nets.get(spec.clock)
     if net is None or clock_net is None:
         return None
@@ -357,7 +382,7 @@ def _output_slack(spec, analysis: WindowAnalysis) -> SlackRecord | None:
         return SlackRecord(
             component=f"sdc@{spec.net}",
             prim="SETUP_HOLD_CHK",
-            signal=spec.net,
+            signal=net_name,
             clock=spec.clock,
             setup_ps=spec.setup_ps,
             hold_ps=spec.hold_ps,

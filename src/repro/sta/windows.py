@@ -37,7 +37,7 @@ from ..core.values import (
     transition_value,
 )
 from ..core.waveform import Waveform
-from ..netlist.circuit import Circuit, Component, Connection, Net
+from ..netlist.circuit import Circuit, Component, Connection, Net, parse_lane_ref
 
 #: Directive letters, mirrored from the engine (section 2.6).
 _ZERO_WIRE = frozenset("WZH")
@@ -388,7 +388,7 @@ def _source_windows(
     if assertion is not None:
         return waveform_windows(assertion.waveform(circuit.timebase))
     if constraints is not None:
-        spec = constraints.input_delays.get(rep.name)
+        spec = constraints.input_delay_for(rep.name)
         if spec is not None:
             # set_input_delay: the port changes inside the declared spans.
             # The engine paints CHANGE over the *same* spans
@@ -412,7 +412,13 @@ def _case_values(circuit: Circuit) -> dict[Net, set[Value]]:
         for name, bit in case.items():
             net = circuit.nets.get(name)
             if net is None:
-                continue
+                # Per-lane case key ("NAME [i]"): fold the lane's constant
+                # into the whole net's possible values — conservative for
+                # the only consumer (_may_hold_value).
+                ref = parse_lane_ref(circuit, name)
+                if ref is None:
+                    continue
+                net = ref[0]
             out.setdefault(circuit.find(net), set()).add(ONE if bit else ZERO)
     return out
 

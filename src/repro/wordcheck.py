@@ -1,0 +1,182 @@
+"""Word-level vs bit-blasted differential comparison.
+
+The word-level engine reports a uniform vector once, under its vector
+names; the bit-blasted oracle reports every bit separately, under the
+``"NAME [i]"`` clone names.  This module canonicalizes both reports to the
+same per-bit form so equality can be asserted byte-for-byte:
+
+* an unsuffixed record from a width-``N`` checker expands to ``N`` lane
+  records (what the blasted twin would have emitted);
+* an already lane-suffixed record (the word engine's diverged path, or any
+  blasted record) passes through;
+* every signal name is normalized to its representative net's name, so an
+  alias used at a pin compares equal to the clone named after the rep.
+
+``tools/check.sh`` and ``tests/test_wordlevel.py`` gate on
+:func:`assert_word_equivalent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .constraints.resolve import strip_lane_suffix
+from .core.verifier import VerificationResult
+from .core.violations import Violation
+from .netlist.bitblast import blast_width
+from .netlist.circuit import Circuit, parse_lane_ref
+
+
+def _rep_width(circuit: Circuit, name: str) -> int:
+    net = circuit.nets.get(name)
+    if net is None:
+        return 1
+    return circuit.find(net).width
+
+
+def _normalize_name(circuit: Circuit, name: str | None) -> str | None:
+    """Alias -> representative name, preserving lane suffix and '-' prefix."""
+    if name is None:
+        return None
+    invert = name.startswith("-")
+    bare = name[1:] if invert else name
+    base = strip_lane_suffix(bare)
+    suffix = bare[len(base):]
+    net = circuit.nets.get(base)
+    if net is not None:
+        base = circuit.find(net).name
+    return ("-" if invert else "") + base + suffix
+
+
+def _suffixed(circuit: Circuit, name: str, lane: int) -> str:
+    """Lane-qualify ``name`` when its net is a vector (modulo the width)."""
+    invert = name.startswith("-")
+    bare = name[1:] if invert else name
+    width = _rep_width(circuit, bare)
+    if width == 1:
+        return _normalize_name(circuit, name)
+    return _normalize_name(circuit, f"{'-' if invert else ''}{bare} [{lane % width}]")
+
+
+def _is_lane_suffixed(circuit: Circuit, name: str) -> bool:
+    bare = name[1:] if name.startswith("-") else name
+    if strip_lane_suffix(bare) == bare:
+        return False
+    # A name that is itself a registered net (a blasted clone) still counts
+    # as suffixed for comparison purposes, so check the textual form only.
+    return True
+
+
+def _expand_one(circuit: Circuit, v: Violation) -> list[Violation]:
+    """One record -> its canonical per-bit records."""
+    # Already per-lane (word diverged path, blasted run, or a suffixed
+    # component clone): normalize names only.
+    if (
+        _is_lane_suffixed(circuit, v.component)
+        or _is_lane_suffixed(circuit, v.signal)
+        or (v.clock is not None and _is_lane_suffixed(circuit, v.clock))
+    ):
+        return [
+            replace(
+                v,
+                component=_normalize_name(circuit, v.component),
+                signal=_normalize_name(circuit, v.signal),
+                clock=_normalize_name(circuit, v.clock),
+            )
+        ]
+    comp = circuit.components.get(v.component)
+    if comp is not None:
+        width = blast_width(circuit, comp)
+        comp_vector = width > 1
+    else:
+        # "assertion", "sdc@NET", or other synthetic components: the record
+        # covers every lane of the signal's net.
+        bare = v.signal[1:] if v.signal.startswith("-") else v.signal
+        width = _rep_width(circuit, bare)
+        comp_vector = False
+    out: list[Violation] = []
+    for lane in range(width):
+        out.append(
+            replace(
+                v,
+                component=f"{v.component} [{lane}]" if comp_vector else v.component,
+                signal=_suffixed(circuit, v.signal, lane),
+                clock=None
+                if v.clock is None
+                else _suffixed(circuit, v.clock, lane),
+            )
+        )
+    return out
+
+
+def per_bit_violation_lines(
+    result: VerificationResult, circuit: Circuit
+) -> list[str]:
+    """Canonical sorted per-bit headline of every violation.
+
+    ``circuit`` must be the *word-level* (unblasted) circuit — widths and
+    representative names are resolved against it for both runs, which is
+    valid because the blasted twin's names embed the word circuit's rep
+    names by construction.
+    """
+    lines: list[str] = []
+    for v in result.violations:
+        lines.extend(str(x) for x in _expand_one(circuit, v))
+    return sorted(lines)
+
+
+def per_bit_xref(result: VerificationResult, circuit: Circuit) -> list[str]:
+    """The assumed-stable cross-reference, expanded to per-bit names."""
+    out: list[str] = []
+    for name in result.xref_assumed_stable:
+        base = strip_lane_suffix(name)
+        if base != name and parse_lane_ref(circuit, name) is None:
+            # A blasted clone name: keep as-is (it already names one bit).
+            out.append(_normalize_name(circuit, name))
+            continue
+        if base != name:
+            out.append(_normalize_name(circuit, name))
+            continue
+        width = _rep_width(circuit, name)
+        if width == 1:
+            out.append(_normalize_name(circuit, name))
+        else:
+            rep = _normalize_name(circuit, name)
+            out.extend(f"{rep} [{i}]" for i in range(width))
+    return sorted(out)
+
+
+def assert_word_equivalent(
+    word_result: VerificationResult,
+    blast_result: VerificationResult,
+    circuit: Circuit,
+) -> None:
+    """Byte-identical violation output between the two modes, or raise.
+
+    Compares the canonical per-bit expansion of every violation headline,
+    the assumed-stable cross-reference, and the overall verdict.
+    ``circuit`` is the word-level circuit both runs were derived from.
+    """
+    word_lines = per_bit_violation_lines(word_result, circuit)
+    blast_lines = per_bit_violation_lines(blast_result, circuit)
+    if word_lines != blast_lines:
+        extra_w = [l for l in word_lines if l not in blast_lines]
+        extra_b = [l for l in blast_lines if l not in word_lines]
+        raise AssertionError(
+            "word-level and bit-blasted violation reports differ\n"
+            f"  only word-level ({len(extra_w)}): {extra_w[:5]}\n"
+            f"  only bit-blasted ({len(extra_b)}): {extra_b[:5]}"
+        )
+    word_xref = per_bit_xref(word_result, circuit)
+    blast_xref = per_bit_xref(blast_result, circuit)
+    if word_xref != blast_xref:
+        raise AssertionError(
+            "assumed-stable cross-references differ\n"
+            f"  word-level: {word_xref}\n"
+            f"  bit-blasted: {blast_xref}"
+        )
+    if word_result.ok != blast_result.ok:  # pragma: no cover - implied above
+        raise AssertionError(
+            f"verdicts differ: word ok={word_result.ok}, "
+            f"blast ok={blast_result.ok}"
+        )

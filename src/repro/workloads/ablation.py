@@ -1,10 +1,9 @@
 """Ablation transforms for the design-choice benchmarks.
 
-* :func:`bit_blast` — undo the vector-primitive symmetry of Table 3-2: a
-  width-*w* primitive becomes *w* width-1 primitives over per-bit nets.
-  The thesis notes the 6 357-chip design would have needed 53 833 instead
-  of 8 282 primitives without the symmetry; the ablation benchmark measures
-  both representations through the same verifier.
+* :func:`bit_blast` — undo the vector-primitive symmetry of Table 3-2.
+  The transform itself now lives in :mod:`repro.netlist.bitblast` (it is
+  the word-level engine's differential oracle and the ``--bit-blast`` CLI
+  mode, not just an ablation); re-exported here for the benchmarks.
 
 * :func:`fold_all_skew` — undo the separate skew field of section 2.8 on a
   set of waveforms, reproducing the false minimum-pulse-width errors the
@@ -13,85 +12,9 @@
 
 from __future__ import annotations
 
-from ..netlist.circuit import Circuit, Component, Connection, Net
+from ..netlist.bitblast import bit_blast
 
-
-def _bit_net(target: Circuit, source_net: Net, bit: int, width: int) -> Net:
-    """The per-bit clone of a (possibly vector) net.
-
-    Scalar nets (clocks, selects, controls) are shared by every bit slice;
-    vector nets get one clone per bit, keeping the original's assertion and
-    wire delay.  The bit suffix is attached outside the assertion-bearing
-    name, so the assertion object is copied explicitly rather than
-    re-parsed.
-    """
-    if source_net.width == 1:
-        clone = target.nets.get(source_net.name)
-        if clone is None:
-            clone = Net(
-                name=source_net.name,
-                width=1,
-                base_name=source_net.base_name,
-                assertion=source_net.assertion,
-                wire_delay_ps=source_net.wire_delay_ps,
-            )
-            target.nets[clone.name] = clone
-        return clone
-    index = bit % source_net.width
-    name = f"{source_net.name} [{index}]"
-    clone = target.nets.get(name)
-    if clone is None:
-        clone = Net(
-            name=name,
-            width=1,
-            base_name=f"{source_net.base_name} [{index}]",
-            assertion=source_net.assertion,
-            wire_delay_ps=source_net.wire_delay_ps,
-        )
-        target.nets[name] = clone
-    return clone
-
-
-def bit_blast(circuit: Circuit) -> Circuit:
-    """Expand every vector primitive into per-bit scalar primitives.
-
-    The result is semantically the design the thesis says would have taken
-    53 833 primitives: same timing behaviour per bit, no vector symmetry.
-    """
-    blasted = Circuit(
-        f"{circuit.name}-bitblasted",
-        period_ns=circuit.timebase.period_ns,
-        clock_unit_ns=circuit.timebase.clock_unit_ns,
-    )
-    for comp in circuit.iter_components():
-        width = comp.width
-        for bit in range(width):
-            pins: dict[str, Connection] = {}
-            for pin, conn in comp.pins.items():
-                net = _bit_net(blasted, circuit.find(conn.net), bit, width)
-                pins[pin] = Connection(
-                    net=net,
-                    invert=conn.invert,
-                    directives=conn.directives,
-                    wire_delay_ps=conn.wire_delay_ps,
-                )
-            name = comp.name if width == 1 else f"{comp.name} [{bit}]"
-            params = dict(comp.params)
-            params["width"] = 1
-            blasted.components[name] = Component(
-                name=name, prim=comp.prim, pins=pins, params=params
-            )
-    for case in circuit.cases:
-        mapped: dict[str, int] = {}
-        for name, value in case.items():
-            source = circuit.nets.get(name)
-            if source is None or source.width == 1:
-                mapped[name] = value
-            else:
-                for bit in range(source.width):
-                    mapped[f"{name} [{bit}]"] = value
-        blasted.cases.append(mapped)
-    return blasted
+__all__ = ["bit_blast", "fold_all_skew"]
 
 
 def fold_all_skew(waveforms: dict[str, object]) -> dict[str, object]:

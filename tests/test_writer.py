@@ -94,6 +94,29 @@ class TestRoundTrip:
 
         check()
 
+    def test_vector_widths_preserved(self):
+        original = fig_2_5_register_file()
+        reloaded = roundtrip(original)
+        for name, net in original.nets.items():
+            rep = original.find(net)
+            assert reloaded.nets[rep.name].width == rep.width
+
+    def test_lane_case_keys_roundtrip(self):
+        """A per-lane case key survives without minting a spurious net."""
+        c = Circuit("lanecase", period_ns=50.0, clock_unit_ns=12.5)
+        c.net("EN .S0-6", width=8)
+        d = c.net("D .C1-2")
+        q = c.net("Q", width=8)
+        c.gate("AND", q, [d, "EN .S0-6"], delay=(2.0, 3.0), name="g", width=8)
+        c.add_case_by_name({"EN .S0-6 [0]": 0, "EN .S0-6 [5]": 0})
+        reloaded = roundtrip(c)
+        assert reloaded.cases == c.cases
+        assert "EN .S0-6 [0]" not in reloaded.nets  # a lane ref, not a net
+        assert reloaded.nets["EN .S0-6"].width == 8
+        ra = TimingVerifier(c, EXACT).verify()
+        rb = TimingVerifier(reloaded, EXACT).verify()
+        assert results_equal(ra, rb)
+
     def test_save_scald_writes_file(self, tmp_path):
         path = tmp_path / "out.scald"
         save_scald(fig_2_6_case_analysis(), str(path))
