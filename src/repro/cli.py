@@ -56,7 +56,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="default interconnection delay in ns (default 0.0:2.0)",
     )
     parser.add_argument(
-        "--case", type=int, default=0, metavar="N",
+        "--case", type=int, default=None, metavar="N",
         help="which case's summary to print (default 0)",
     )
     parser.add_argument(
@@ -94,6 +94,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "before verifying — the legacy Table 3-2 representation, kept as "
         "the word-level engine's differential oracle",
     )
+    parser.add_argument(
+        "--fmax", action="store_true",
+        help="after verifying at the design period, bisect over the clock "
+        "period with full engine runs to find the fastest clean period "
+        "(the independent oracle for scald-sta --fmax)",
+    )
     return parser
 
 
@@ -109,9 +115,21 @@ def main(argv: list[str] | None = None) -> int:
     def say(*parts: object) -> None:
         print(*parts, file=human)
 
+    # Contradictory flag combinations die with one line and exit 2, the
+    # documented usage-error status, before any work starts.
     if args.jobs < 1:
         print(f"bad --jobs {args.jobs}; need at least 1", file=sys.stderr)
         return 2
+    if args.fmax and args.case is not None:
+        print("bad flags: --fmax sweeps the clock period across every case; "
+              "it cannot be combined with --case", file=sys.stderr)
+        return 2
+    if args.bit_blast and args.jobs > 1:
+        print("bad flags: --bit-blast verifies the per-bit expansion "
+              "in-process; it cannot be combined with --jobs", file=sys.stderr)
+        return 2
+    if args.case is None:
+        args.case = 0
 
     config = VerifyConfig()
     if args.wire_delay:
@@ -212,6 +230,14 @@ def main(argv: list[str] | None = None) -> int:
         say(timing_diagram(result, case=args.case))
         say()
     say(violation_listing(result))
+    fmax = None
+    if args.fmax:
+        from .reporting.stafmt import fmax_text
+        from .sta.parametric import bisect_fmax
+
+        fmax = bisect_fmax(circuit, config, constraints=constraints)
+        say()
+        say(fmax_text(fmax))
     if args.explain and result.violations:
         from .reporting.explain import explain_violation
 
@@ -230,7 +256,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             import json
 
-            print(json.dumps(profile_json(result), indent=2))
+            doc = profile_json(result)
+            if fmax is not None:
+                from .reporting.stafmt import fmax_doc
+
+                doc["fmax"] = fmax_doc(fmax)
+            print(json.dumps(doc, indent=2))
         else:
             say()
             say(profile_report(result))

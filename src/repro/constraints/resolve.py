@@ -73,6 +73,13 @@ class CheckerMods:
         A non-positive effective setup means the setup side is waived
         (fully relaxed by multicycle); an effective hold that pulls the
         guard end at or before the edge-window start waives the hold side.
+
+        ``period`` may be an affine form ``a + b*T`` rather than an int:
+        the parametric Fmax pass (``repro.sta.parametric``) evaluates this
+        same arithmetic symbolically in the clock period, so multicycle
+        relaxation correctly scales with ``T`` when solving
+        min-slack(T) = 0.  Keep the body to ``+``/``-``/``*`` on
+        ``period`` — int-only operations would break that duck typing.
         """
         s = setup_ps - (self.setup_cycles - 1) * period + self.uncertainty_ps
         h = hold_ps - self.hold_cycles * period + self.uncertainty_ps

@@ -118,6 +118,23 @@ class Timebase:
         return t_ps % self.period_ps
 
 
+def scaled_timebase(base: Timebase, period_ps: int) -> Timebase:
+    """The timebase of the same design run at a different clock period.
+
+    Clock-unit times scale with the cycle (section 2.3: a clock unit is a
+    designer-chosen *fraction* of the period), so the unit is stretched by
+    the same ratio as the period.  The unit may become a non-integer
+    :class:`~fractions.Fraction` of a picosecond — ``units_to_ps`` still
+    rounds every derived time to integer picoseconds, so all downstream
+    interval arithmetic stays exact.  This is the knob the Fmax solvers
+    (``repro.sta.parametric``) turn to re-run a design at a trial period.
+    """
+    if period_ps == base.period_ps:
+        return base
+    unit = Fraction(base.clock_unit_ps) * period_ps / base.period_ps
+    return Timebase(period_ps=period_ps, clock_unit_ps=unit)
+
+
 def wrap_interval(start: int, end: int, period: int) -> list[tuple[int, int]]:
     """Split a possibly wrapping interval into non-wrapping pieces.
 

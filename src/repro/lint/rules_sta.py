@@ -83,6 +83,77 @@ def check_unclocked_storage(ctx: "LintContext") -> Iterable[Diagnostic]:
         )
 
 
+@rule("sta.fmax", surface="circuit", severity="warning")
+def check_fmax_binding_path(ctx: "LintContext") -> Iterable[Diagnostic]:
+    """The check that limits Fmax sits on an unconstrained or CDC path.
+
+    Solves the static closed form for the fastest clock period
+    (:mod:`repro.sta.parametric`) and traces the binding check's critical
+    path backward.  A path that ends on no assertion at all, or that dies
+    at a feedback cut, means the reported Fmax rests on a vacuous or
+    missing constraint; a binding check that is also a clock-domain
+    crossing means "speeding up the clock" is gated by an asynchronous
+    hand-off, not a timing path.
+    """
+    sta = ctx.sta
+    if sta is None:
+        return
+    from ..sta.parametric import solve_static_fmax, trace_witness
+
+    try:
+        static = solve_static_fmax(ctx.circuit, constraints=ctx.sdc)
+    except Exception:
+        return
+    if not static.period_limited or static.period_ps is None:
+        return
+    rec = static.binding
+    if rec is None:
+        return
+    terminal = ""
+    try:
+        _, terminal = trace_witness(
+            ctx.circuit, None, ctx.sdc, static.period_ps, rec
+        )
+    except Exception:
+        pass
+    if terminal in ("unconstrained", "feedback-cut"):
+        why = (
+            "ends on a signal with no assertion"
+            if terminal == "unconstrained"
+            else "dies at a combinational feedback cut (vacuous windows)"
+        )
+        yield diag(
+            f"the Fmax-binding check (min period {static.period_ps} ps, "
+            f"data '{rec.signal}') sits on a critical path that {why} — "
+            "the static Fmax bound rests on a missing constraint",
+            component=rec.component,
+            net=rec.signal,
+            origin=rec.origin,
+        )
+    # The binding record names the checker; a crossing names the capture
+    # storage element — they meet on the guarded data net.
+    crossing = next(
+        (
+            c
+            for c in sta.domains.crossings
+            if not c.synchronized
+            and (c.data_net == rec.signal or c.component == rec.component)
+        ),
+        None,
+    )
+    if crossing is not None:
+        foreign = ", ".join(sorted(crossing.foreign_roots))
+        yield diag(
+            f"the Fmax-binding check (min period {static.period_ps} ps) "
+            f"guards a clock-domain crossing from {foreign} — the period "
+            "bound is limited by an asynchronous hand-off, not a timing "
+            "path",
+            component=rec.component,
+            net=rec.signal,
+            origin=rec.origin,
+        )
+
+
 @rule("sta.window-overflow", surface="circuit", severity="info")
 def check_window_overflow(ctx: "LintContext") -> Iterable[Diagnostic]:
     """Feedback widened a net's arrival window to the whole period."""

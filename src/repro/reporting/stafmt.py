@@ -126,11 +126,106 @@ def sta_text(analysis: "StaAnalysis") -> str:
         lines.append(f"{summary}.")
     else:
         failing = sum(1 for r in analysis.slack if not r.ok)
-        lines.append(
+        # Name the binding check the way scald-tv violations do
+        # ("rf/su addr ... on 'ADR'") so the two reports cross-reference.
+        bad = [r for r in analysis.slack if not r.ok and r.slack_ps is not None]
+        summary = (
             f"{failing} checker(s) with negative static slack; "
-            f"worst {_ns(min(worst))} ns."
+            f"worst {_ns(min(worst))} ns"
         )
+        if bad:
+            rec = min(bad, key=lambda r: r.slack_ps)
+            summary += f" at {rec.component} on {rec.signal!r}"
+        lines.append(summary + ".")
     return "\n".join(lines)
+
+
+def fmax_text(res) -> str:
+    """Human-readable Fmax report with the binding check and its path.
+
+    ``res`` is a :class:`repro.sta.parametric.FmaxResult`.
+    """
+    lines: list[str] = []
+    if not res.period_limited:
+        lines.append(
+            "fmax: not period-limited — the design verifies at every "
+            "probed clock period."
+        )
+    elif res.period_ps is None:
+        lines.append(
+            "fmax: no clean period — the engine reports violations at "
+            "every probed period (period-independent failure)."
+        )
+    else:
+        lines.append(
+            f"fmax: {res.fmax_mhz:.3f} MHz "
+            f"(min period {res.period_ps} ps = {_ns(res.period_ps)} ns) "
+            f"[{res.method}]"
+        )
+        if res.static_period_ps is not None:
+            lines.append(
+                f"  static root {res.static_period_ps} ps; engine "
+                f"confirmed down to {res.period_ps} ps"
+            )
+    if res.binding is not None:
+        rec = res.binding
+        tag = "" if rec.kind == "setup-hold" else f" [{rec.kind}]"
+        line = f"  binding check: {rec.component} on {rec.signal!r}{tag}"
+        if res.slope is not None:
+            line += f"  (slack slope {res.slope} ps per ps of period)"
+        lines.append(line)
+        if res.witness:
+            lines.append(f"  critical path (backward from {rec.signal!r}):")
+            for hop in res.witness:
+                lo, hi = hop.delay
+                lines.append(
+                    f"    {hop.component:<20} {hop.prim:<8} -> {hop.net}"
+                    f"  [{_ns(lo)}..{_ns(hi)} ns]"
+                )
+        if res.witness_terminal:
+            lines.append(f"    <- {res.witness_terminal}")
+    lines.append(
+        f"  cost: {res.engine_runs} engine run(s), "
+        f"{res.parametric_passes} parametric pass(es), "
+        f"{res.static_evals} static eval(s)"
+    )
+    return "\n".join(lines)
+
+
+def fmax_doc(res) -> dict:
+    """An :class:`FmaxResult` as a plain dict for the ``--json`` envelope."""
+    doc = {
+        "period_limited": res.period_limited,
+        "min_period_ps": res.period_ps,
+        "fmax_mhz": res.fmax_mhz,
+        "method": res.method,
+        "static_period_ps": res.static_period_ps,
+        "binding": None,
+        "witness": [
+            {
+                "component": hop.component,
+                "prim": hop.prim,
+                "net": hop.net,
+                "delay_ps": list(hop.delay),
+            }
+            for hop in res.witness
+        ],
+        "witness_terminal": res.witness_terminal,
+        "cost": {
+            "engine_runs": res.engine_runs,
+            "parametric_passes": res.parametric_passes,
+            "static_evals": res.static_evals,
+        },
+    }
+    if res.binding is not None:
+        doc["binding"] = {
+            "component": res.binding.component,
+            "signal": res.binding.signal,
+            "clock": res.binding.clock,
+            "kind": res.binding.kind,
+            "slack_slope": None if res.slope is None else str(res.slope),
+        }
+    return doc
 
 
 def sta_doc(analysis: "StaAnalysis") -> dict:

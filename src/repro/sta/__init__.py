@@ -11,6 +11,9 @@ that bound every net's behaviour without running the fixed point.
 * :mod:`repro.sta.slack` — setup/hold slack bounds at every checker.
 * :mod:`repro.sta.crosscheck` — enclosure check against engine waveforms,
   the machine-checked soundness contract between the two analyses.
+* :mod:`repro.sta.parametric` — window bounds affine in the clock period;
+  solves min-slack(T) = 0 for Fmax in closed form, anchored by engine
+  confirmation, with an independent engine-bisection oracle.
 
 :func:`analyze` bundles the three static passes into one result, sharing
 the window computation they all feed from.
@@ -29,6 +32,14 @@ from .crosscheck import (
     check_encloses,
 )
 from .domains import ClockRoot, Crossing, DomainAnalysis, StorageDomain, infer_domains
+from .parametric import (
+    FmaxResult,
+    StaticFmax,
+    WitnessHop,
+    bisect_fmax,
+    solve_fmax,
+    solve_static_fmax,
+)
 from .slack import SlackRecord, compute_slack
 from .windows import FeedbackCut, IntervalSet, WindowAnalysis, compute_windows, waveform_windows
 
@@ -39,17 +50,23 @@ __all__ = [
     "DomainAnalysis",
     "EnclosureFailure",
     "FeedbackCut",
+    "FmaxResult",
     "IntervalSet",
     "SlackRecord",
     "StaAnalysis",
+    "StaticFmax",
     "StorageDomain",
     "VerdictFailure",
     "WindowAnalysis",
+    "WitnessHop",
     "analyze",
+    "bisect_fmax",
     "check_encloses",
     "compute_slack",
     "compute_windows",
     "infer_domains",
+    "solve_fmax",
+    "solve_static_fmax",
     "waveform_windows",
 ]
 

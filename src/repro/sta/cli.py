@@ -50,6 +50,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="analyze the per-bit scalar expansion of every vector "
         "(the word-level analysis' differential oracle)",
     )
+    parser.add_argument(
+        "--fmax", action="store_true",
+        help="solve for the fastest clock period analytically: propagate "
+        "period-affine window bounds, intersect min-slack(T) = 0, and "
+        "confirm the boundary with the engine (repro.sta.parametric)",
+    )
     return parser
 
 
@@ -62,7 +68,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     from ..hdl.expander import MacroExpander
-    from ..reporting.stafmt import sta_doc, sta_json, sta_text
+    from ..reporting.stafmt import fmax_doc, fmax_text, sta_doc, sta_json, sta_text
     from . import analyze
 
     json_mode = args.format == "json"
@@ -99,12 +105,23 @@ def main(argv: list[str] | None = None) -> int:
 
             circuit = bit_blast(circuit)
         analysis = analyze(circuit, constraints=constraints)
+        fmax = None
+        if args.fmax:
+            from .parametric import solve_fmax
+
+            fmax = solve_fmax(circuit, constraints=constraints)
         if json_mode:
-            docs.append(sta_doc(analysis))
+            doc = sta_doc(analysis)
+            if fmax is not None:
+                doc["fmax"] = fmax_doc(fmax)
+            docs.append(doc)
         else:
             if len(args.designs) > 1:
                 print(f"== {path} ==")
             print(sta_text(analysis))
+            if fmax is not None:
+                print()
+                print(fmax_text(fmax))
         if not analysis.ok or analysis.cdc_errors:
             status = 1
     if json_mode:

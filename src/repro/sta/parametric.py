@@ -1,0 +1,1346 @@
+"""Parametric static timing: window bounds affine in the clock period.
+
+The window dataflow (``sta/windows.py``) and slack pass (``sta/slack.py``)
+compute with integer-picosecond bounds through ``+ - % < <= min max sort``.
+Nothing in that arithmetic cares that a bound is an *integer* — only that
+the operations are exact and totally ordered.  This module re-runs the very
+same passes with every bound an affine form ``a + b*T`` (:class:`Aff`,
+exact :class:`~fractions.Fraction` coefficients, never floats) where ``T``
+is the clock period in picoseconds.  One pass then yields every checker's
+slack as an affine function of ``T``, valid over a *region* of periods
+around the sample point — intersecting ``min-slack(T) = 0`` gives the
+static Fmax in closed form (:func:`solve_static_fmax`).
+
+Guided evaluation
+-----------------
+Branch decisions inside the passes (span ordering, guard emptiness,
+``% period`` folding) are resolved at a concrete sample period ``T0``, and
+every decision records the affine sign constraint it relied on, narrowing
+the validity region (:class:`_Region`).  Inside the region the propagated
+forms are exact; outside it another pass is taken at a new sample — the
+Newton-style region walk of :func:`solve_static_fmax`.
+
+Soundness
+---------
+Static slack is a lower bound on the engine margin (the crosscheck
+contract), and the pessimism — the 1 ps change-marker pads, skew
+materialization — is constant in ``T``: it perturbs only the ``a``
+coefficients, never the ``b*T`` slopes, so the static root ``T_s`` can
+only sit *above* the true engine boundary.  Reported Fmax is therefore
+conservative by construction.  :func:`solve_fmax` anchors ``T_s`` to the
+engine with a short confirmation descent, giving the exact engine boundary
+that :func:`bisect_fmax` — the independent pure-bisection oracle behind
+``scald-tv --fmax`` — must reproduce to within the rounding wobble.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..core.config import VerifyConfig
+from ..core.engine import _SUPPLY
+from ..core.timeline import Timebase, scaled_timebase
+from ..netlist.circuit import Circuit, Component, Connection, Net
+from .slack import SlackRecord, compute_slack
+from .windows import IntervalSet, WindowAnalysis, compute_windows, _used_input_conns
+
+__all__ = [
+    "Aff",
+    "FmaxResult",
+    "ParametricRun",
+    "StaticFmax",
+    "WitnessHop",
+    "bisect_fmax",
+    "run_parametric",
+    "solve_fmax",
+    "solve_static_fmax",
+    "trace_witness",
+]
+
+
+# ---------------------------------------------------------------------------
+# the affine form and its guided evaluation context
+# ---------------------------------------------------------------------------
+
+
+class _Region:
+    """The period region where every guided decision so far stays valid.
+
+    ``t0`` is the concrete sample period; ``lo``/``hi`` are exact rational
+    bounds narrowed by each recorded sign constraint (``hi`` None = +inf).
+    Strictness at the boundary is deliberately ignored — the solvers
+    confirm candidate roots with concrete integer passes, so a region edge
+    being off by the open/closed distinction costs at most one extra pass.
+    """
+
+    __slots__ = ("t0", "lo", "hi")
+
+    def __init__(self, t0: int) -> None:
+        self.t0 = t0
+        self.lo = Fraction(1)
+        self.hi: Fraction | None = None
+
+    def require_nonneg(self, d: "Aff") -> None:
+        """Record that ``d(T) >= 0`` must keep holding (it holds at t0)."""
+        if not d.b:
+            return
+        # Coefficients may be plain ints; force exact rational division.
+        root = Fraction(-d.a) / d.b
+        if d.b > 0:  # d >= 0 for T >= root
+            if root > self.lo:
+                self.lo = root
+        else:  # d >= 0 for T <= root
+            if self.hi is None or root < self.hi:
+                self.hi = root
+
+    @property
+    def lo_int(self) -> int:
+        return max(1, math.ceil(self.lo))
+
+    @property
+    def hi_int(self) -> int | None:
+        return None if self.hi is None else math.floor(self.hi)
+
+
+#: The active guided-evaluation context; set only inside run_parametric.
+_CTX: _Region | None = None
+
+
+def _ctx() -> _Region:
+    if _CTX is None:
+        raise RuntimeError(
+            "Aff used outside a parametric context (run_parametric)"
+        )
+    return _CTX
+
+
+def _decide_pos(d: "Aff") -> bool:
+    """Guided ``d(T) > 0``: answer at t0, constrain the region to match."""
+    if not d.b:
+        return d.a > 0
+    ctx = _ctx()
+    if d.a + d.b * ctx.t0 > 0:
+        ctx.require_nonneg(d)
+        return True
+    ctx.require_nonneg(-d)
+    return False
+
+
+class Aff:
+    """An exact affine form ``a + b*T`` of the clock period ``T``.
+
+    Equality and hashing are *structural* (coefficient equality) so interval
+    sets and transfer memos never conflate forms with different slopes.
+    Ordering, truthiness and ``%`` are *guided*: evaluated at the active
+    region's sample period, recording the sign constraint that keeps the
+    answer stable (see module docstring).  ``round``/``int``/``float``
+    raise — a silent collapse to a number would hide period dependence.
+
+    Coefficients are exact ints or :class:`~fractions.Fraction`s; the
+    arithmetic keeps plain ints plain (most bounds in the dataflow are
+    integer delays riding on a handful of sloped clock terms, and Fraction
+    normalization is ~30x the cost of an int add), with every division
+    site forcing a Fraction so int/int can never decay to float.
+    """
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b=0) -> None:
+        self.a = a if isinstance(a, (int, Fraction)) else Fraction(a)
+        self.b = b if isinstance(b, (int, Fraction)) else Fraction(b)
+
+    def at(self, period) -> Fraction:
+        """Exact value at a concrete period."""
+        return self.a + self.b * period
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other):
+        if type(other) is int:
+            return Aff(self.a + other, self.b)
+        o = _as_aff(other)
+        if o is None:
+            return NotImplemented
+        sb, ob = self.b, o.b
+        return Aff(self.a + o.a, sb + ob if sb and ob else (sb or ob))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if type(other) is int:
+            return Aff(self.a - other, self.b)
+        o = _as_aff(other)
+        if o is None:
+            return NotImplemented
+        sb, ob = self.b, o.b
+        return Aff(self.a - o.a, sb - ob if ob else sb)
+
+    def __rsub__(self, other):
+        if type(other) is int:
+            return Aff(other - self.a, -self.b)
+        o = _as_aff(other)
+        if o is None:
+            return NotImplemented
+        sb, ob = self.b, o.b
+        return Aff(o.a - self.a, ob - sb if sb else ob)
+
+    def __neg__(self):
+        return Aff(-self.a, -self.b)
+
+    def __pos__(self):
+        return self
+
+    def __mul__(self, other):
+        if isinstance(other, Aff):
+            if other.b:
+                return NotImplemented  # quadratic: never needed, never safe
+            other = other.a
+        if not isinstance(other, (int, Fraction)):
+            return NotImplemented
+        return Aff(self.a * other, self.b * other)
+
+    __rmul__ = __mul__
+
+    def __mod__(self, other):
+        o = _as_aff(other)
+        if o is None:
+            return NotImplemented
+        if not self.b and not o.b:
+            return Aff(self.a % o.a)
+        ctx = _ctx()
+        k = self.at(ctx.t0) // o.at(ctx.t0)
+        r = self - k * o
+        # Valid while the quotient stays k: 0 <= r < o.
+        ctx.require_nonneg(r)
+        ctx.require_nonneg(o - r)
+        return r
+
+    def __rmod__(self, other):
+        o = _as_aff(other)
+        if o is None:
+            return NotImplemented
+        return o % self
+
+    # -- ordering (guided) ----------------------------------------------
+
+    # Equal-slope comparisons (the common case: two plain delays) reduce
+    # to the constant terms for every T — no allocation, no region update.
+
+    def __lt__(self, other):
+        if type(other) is int:
+            if not self.b:
+                return self.a < other
+            o = Aff(other)
+        else:
+            o = _as_aff(other)
+            if o is None:
+                return NotImplemented
+            if self.b == o.b:
+                return self.a < o.a
+        return _decide_pos(o - self)
+
+    def __gt__(self, other):
+        if type(other) is int:
+            if not self.b:
+                return self.a > other
+            o = Aff(other)
+        else:
+            o = _as_aff(other)
+            if o is None:
+                return NotImplemented
+            if self.b == o.b:
+                return self.a > o.a
+        return _decide_pos(self - o)
+
+    def __le__(self, other):
+        if type(other) is int:
+            if not self.b:
+                return self.a <= other
+            o = Aff(other)
+        else:
+            o = _as_aff(other)
+            if o is None:
+                return NotImplemented
+            if self.b == o.b:
+                return self.a <= o.a
+        return not _decide_pos(self - o)
+
+    def __ge__(self, other):
+        if type(other) is int:
+            if not self.b:
+                return self.a >= other
+            o = Aff(other)
+        else:
+            o = _as_aff(other)
+            if o is None:
+                return NotImplemented
+            if self.b == o.b:
+                return self.a >= o.a
+        return not _decide_pos(o - self)
+
+    # -- identity (structural) ------------------------------------------
+
+    def __eq__(self, other):
+        o = _as_aff(other)
+        if o is None:
+            return NotImplemented
+        return self.a == o.a and self.b == o.b
+
+    def __hash__(self):
+        return hash((self.a, self.b))
+
+    def __bool__(self):
+        if not self.b:
+            return bool(self.a)
+        ctx = _ctx()
+        v = self.at(ctx.t0)
+        if v > 0:
+            ctx.require_nonneg(self)
+            return True
+        if v < 0:
+            ctx.require_nonneg(-self)
+            return True
+        # Zero exactly at t0 with nonzero slope: truthiness is only stable
+        # at the sample itself; pin the region rather than guess.
+        ctx.require_nonneg(self)
+        ctx.require_nonneg(-self)
+        return False
+
+    def __round__(self, ndigits=None):
+        raise TypeError("rounding an Aff would hide its period dependence")
+
+    __int__ = __float__ = __index__ = __round__
+
+    def __repr__(self) -> str:
+        if not self.b:
+            return f"Aff({self.a})"
+        return f"Aff({self.a} + {self.b}*T)"
+
+
+def _as_aff(x) -> Aff | None:
+    if isinstance(x, Aff):
+        return x
+    if isinstance(x, (int, Fraction)):
+        return Aff(x)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the parametric timebase and source windows
+# ---------------------------------------------------------------------------
+
+
+class ParamTimebase:
+    """Duck-typed :class:`Timebase` whose period is the symbol ``T``.
+
+    Clock units are a fixed fraction of the period (``scaled_timebase``
+    keeps the same ratio at every concrete period), so a clock-unit time
+    becomes a pure slope ``(units * unit/period) * T`` — exact, unrounded.
+    The concrete timebase rounds each derived time to an integer picosecond;
+    that rounding is a step function of ``T``, so the parametric pass keeps
+    the exact rational form and leaves integer truth to the concrete
+    confirmation passes of the solvers.
+    """
+
+    __slots__ = ("base", "period_ps", "_unit_slope")
+
+    def __init__(self, base: Timebase) -> None:
+        self.base = base
+        self.period_ps = Aff(0, 1)
+        self._unit_slope = Fraction(base.clock_unit_ps) / base.period_ps
+
+    def units_to_ps(self, units) -> Aff:
+        return Aff(0, Fraction(str(units)) * self._unit_slope)
+
+    def wrap(self, t_ps):
+        return t_ps % self.period_ps
+
+
+def _clock_edge_windows(
+    assertion, timebase: ParamTimebase, period: Aff, skew: tuple[int, int]
+) -> tuple[IntervalSet, IntervalSet]:
+    """(may-rise, may-fall) of a clock assertion, affine bounds.
+
+    Mirror of ``waveform_windows(assertion.waveform(...))``: the asserted
+    ranges paint one level over the other, so after the union each span
+    start/end is one edge instant, widened by the skew to ``[t+early,
+    t+late]``.  Overlapping skew windows of opposite edges materialize as
+    CHANGE — which lands in *both* direction sets concretely, but never
+    extends past the union of the per-edge paints, so per-direction unions
+    are exactly the concrete windows.
+    """
+    bounds = [r.bounds_ps(timebase) for r in assertion.ranges]
+    bounds = [(lo, hi) for lo, hi in bounds if hi > lo]  # zero-width paints vanish
+    level = IntervalSet(period, bounds)
+    empty = IntervalSet.empty(period)
+    if level.is_full or level.is_empty:
+        return empty, empty  # constant level: no edges
+    early, late = skew
+    rises: list[tuple] = []
+    falls: list[tuple] = []
+    for lo, hi in level.spans:
+        r, f = (lo, hi) if not assertion.low else (hi, lo)
+        rises.append((r + early, r + late))
+        falls.append((f + early, f + late))
+    return IntervalSet(period, rises), IntervalSet(period, falls)
+
+
+def _stable_windows(
+    assertion, timebase: ParamTimebase, period: Aff
+) -> tuple[IntervalSet, IntervalSet]:
+    """Change windows of a ``.S`` stable assertion, affine bounds.
+
+    STABLE is painted over the ranges, CHANGE elsewhere; the change windows
+    are the circular complement of the stable union, endpoints included
+    (the STABLE/CHANGE boundaries contribute their instants concretely, and
+    interval-set spans are closed).
+    """
+    bounds = [r.bounds_ps(timebase) for r in assertion.ranges]
+    bounds = [(lo, hi) for lo, hi in bounds if hi > lo]
+    stable = IntervalSet(period, bounds)
+    if stable.is_full:
+        win = IntervalSet.empty(period)
+    elif stable.is_empty:
+        win = IntervalSet.everywhere(period)
+    else:
+        spans = stable.spans
+        gaps = []
+        for i, (_lo, hi) in enumerate(spans):
+            nxt = spans[i + 1][0] if i + 1 < len(spans) else spans[0][0] + period
+            gaps.append((hi, nxt))
+        win = IntervalSet(period, gaps)
+    return win, win
+
+
+def _param_source_windows(
+    circuit: Circuit,
+    config: VerifyConfig,
+    rep: Net,
+    period: Aff,
+    constraints=None,
+) -> tuple[IntervalSet, IntervalSet]:
+    """Affine twin of ``windows._source_windows`` (same signature)."""
+    empty = IntervalSet.empty(period)
+    if rep.base_name.upper() in _SUPPLY:
+        return empty, empty
+    timebase = circuit.timebase  # the installed ParamTimebase
+    assertion = rep.assertion
+    if assertion is not None and assertion.kind.is_clock:
+        skew = assertion.skew_ps(
+            config.clock_skew_ns(assertion.kind.name == "PRECISION_CLOCK")
+        )
+        return _clock_edge_windows(assertion, timebase, period, skew)
+    if assertion is not None:
+        return _stable_windows(assertion, timebase, period)
+    if constraints is not None:
+        spec = constraints.input_delay_for(rep.name)
+        if spec is not None:
+            clock_net = circuit.nets.get(spec.clock)
+            if clock_net is not None:
+                clock_rep = circuit.find(clock_net)
+                a = clock_rep.assertion
+                if a is not None and a.kind.is_clock:
+                    # Mirror of constraints.input_delay_spans: the port
+                    # changes [min, max] after each clock rise window.
+                    skew = a.skew_ps(
+                        config.clock_skew_ns(a.kind.name == "PRECISION_CLOCK")
+                    )
+                    rise, _fall = _clock_edge_windows(a, timebase, period, skew)
+                    if not (rise.is_empty or rise.is_full):
+                        win = IntervalSet(
+                            period,
+                            [
+                                (r0 + spec.min_ps, r1 + spec.max_ps)
+                                for r0, r1 in rise.spans
+                            ],
+                        )
+                        return win, win
+    return empty, empty
+
+
+# ---------------------------------------------------------------------------
+# one parametric pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParametricRun:
+    """One guided pass: affine slack records valid over a period region."""
+
+    t0: int                      #: sample period the decisions were taken at
+    lo: int                      #: region floor (inclusive, integer ps)
+    hi: int | None               #: region ceiling (inclusive; None = open)
+    records: list[SlackRecord]   #: slack_ps fields are Aff (or int) forms
+    analysis: WindowAnalysis
+
+
+def run_parametric(
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    constraints=None,
+    t0: int | None = None,
+) -> ParametricRun:
+    """Run the window + slack passes with bounds affine in the period.
+
+    The circuit's timebase is swapped for a :class:`ParamTimebase` for the
+    duration (and always restored); the existing passes run unmodified via
+    the ``source_windows`` hook.  Not reentrant — module-level context —
+    which matches every caller (the solvers run passes sequentially).
+    """
+    global _CTX
+    config = config or VerifyConfig()
+    base = circuit.timebase
+    sample = int(t0) if t0 is not None else base.period_ps
+    if sample < 1:
+        raise ValueError(f"sample period must be positive, got {sample}")
+    region = _Region(sample)
+    prev = _CTX
+    _CTX = region
+    circuit.timebase = ParamTimebase(base)
+    try:
+        analysis = compute_windows(
+            circuit, config, constraints, source_windows=_param_source_windows
+        )
+        records = compute_slack(circuit, analysis, constraints)
+    finally:
+        circuit.timebase = base
+        _CTX = prev
+    hi = region.hi_int
+    lo = region.lo_int
+    if hi is not None and hi < lo:
+        # Degenerate region (a decision sat exactly on its boundary at t0):
+        # still valid at the sample itself.
+        lo = hi = sample
+    return ParametricRun(t0=sample, lo=lo, hi=hi, records=records, analysis=analysis)
+
+
+def _slack_form(value) -> Aff | None:
+    if value is None:
+        return None
+    return value if isinstance(value, Aff) else Aff(value)
+
+
+def _record_key(rec: SlackRecord) -> tuple[str, str, str]:
+    return (rec.component, rec.kind, rec.signal)
+
+
+# ---------------------------------------------------------------------------
+# concrete passes at a trial period
+# ---------------------------------------------------------------------------
+
+
+class _at_period:
+    """Temporarily rescale a circuit to a trial period (always restored)."""
+
+    def __init__(self, circuit: Circuit, period_ps: int) -> None:
+        self.circuit = circuit
+        self.period_ps = period_ps
+
+    def __enter__(self) -> Circuit:
+        self._saved = self.circuit.timebase
+        self.circuit.timebase = scaled_timebase(self._saved, self.period_ps)
+        return self.circuit
+
+    def __exit__(self, *exc) -> None:
+        self.circuit.timebase = self._saved
+
+
+def _static_records(circuit, config, constraints, period_ps):
+    with _at_period(circuit, period_ps):
+        analysis = compute_windows(circuit, config, constraints)
+        return compute_slack(circuit, analysis, constraints)
+
+
+def _static_ok(records, baseline_overflow) -> bool:
+    """Is a concrete static pass clean at this period?
+
+    Records that overflow (windows widened to the full period) carry no
+    slack number.  Overflow already present at the *design* period is
+    structural (feedback cuts) and stays indeterminate at every period;
+    overflow that only appears at the trial period is period-driven (a
+    clock window wrapped) and conservatively blocks the period.
+    """
+    for r in records:
+        if r.slack_ps is None:
+            if r.overflow and _record_key(r) not in baseline_overflow:
+                return False
+            continue
+        if r.slack_ps < 0:
+            return False
+    return True
+
+
+def _engine_probe(circuit, config, constraints, period_ps) -> int | None:
+    """One engine run at ``period_ps``: None when clean, else the worst
+    ``missed_by_ps`` over all violations (0 when none carries a margin)."""
+    from ..core.verifier import TimingVerifier
+
+    with _at_period(circuit, period_ps):
+        result = TimingVerifier(
+            circuit, config=config, constraints=constraints
+        ).verify()
+    if result.ok:
+        return None
+    return max((v.missed_by_ps or 0) for v in result.violations)
+
+
+def _engine_ok(circuit, config, constraints, period_ps) -> bool:
+    return _engine_probe(circuit, config, constraints, period_ps) is None
+
+
+def _engine_binding(circuit, config, constraints, boundary):
+    """Name the check the engine reports one picosecond below the boundary.
+
+    Used by the bisection fallback, where the static pass could not name a
+    binding record itself.  Returns ``(record, witness, terminal)`` — the
+    concrete static record matching the first engine violation at
+    ``boundary - 1`` (None when no static record corresponds).
+    """
+    from ..core.verifier import TimingVerifier
+
+    if boundary is None or boundary <= 1:
+        return None, [], ""
+    with _at_period(circuit, boundary - 1):
+        result = TimingVerifier(
+            circuit, config=config, constraints=constraints
+        ).verify()
+    if result.ok or not result.violations:
+        return None, [], ""
+    v = result.violations[0]
+    records = _static_records(circuit, config, constraints, boundary - 1)
+    record = None
+    for rec in records:
+        if rec.component == v.component and rec.signal == v.signal:
+            record = rec
+            break
+    else:
+        for rec in records:
+            if rec.component == v.component:
+                record = rec
+                break
+    probe = record if record is not None else None
+    signal = probe.signal if probe is not None else v.signal
+    witness, terminal = trace_witness(
+        circuit,
+        config,
+        constraints,
+        boundary,
+        probe
+        if probe is not None
+        else SlackRecord(
+            component=v.component,
+            prim="",
+            signal=signal,
+            clock="",
+            setup_ps=0,
+            hold_ps=0,
+            slack_ps=None,
+            no_edge=False,
+            overflow=False,
+            origin=None,
+        ),
+    )
+    return record, witness, terminal
+
+
+# ---------------------------------------------------------------------------
+# the analytic solver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StaticFmax:
+    """Closed-form static Fmax: the smallest statically-clean period."""
+
+    period_limited: bool
+    period_ps: int | None        #: smallest T with static-clean(T); None if
+                                 #: every period fails (or none binds)
+    binding: SlackRecord | None  #: concrete binding record at period_ps - 1
+    slope: Fraction | None       #: d(slack)/dT of the binding check
+    passes: int = 0              #: parametric passes taken
+    static_evals: int = 0        #: concrete static confirmations taken
+    baseline_overflow: frozenset = frozenset()
+
+    @property
+    def fmax_mhz(self) -> float | None:
+        if self.period_ps is None or not self.period_limited:
+            return None
+        return 1e6 / self.period_ps
+
+
+def _region_candidate(run: ParametricRun, baseline_overflow):
+    """The smallest clean period suggested by one region's affine forms.
+
+    Returns ``(candidate, binding_form, feasible)``: the smallest T where
+    every applicable record's form is >= 0 (records needing T >= root push
+    the candidate up; a constant-negative or contradictory region is
+    infeasible and the walk must leave it upward).
+    """
+    need = Fraction(1)
+    cap: Fraction | None = None
+    binding = None
+    binding_root = None
+    feasible = True
+    for rec in run.records:
+        if rec.slack_ps is None:
+            if rec.overflow and _record_key(rec) not in baseline_overflow:
+                feasible = False  # period-driven overflow blocks this region
+            continue
+        form = _slack_form(rec.slack_ps)
+        if not form.b:
+            if form.a < 0:
+                feasible = False
+            continue
+        root = Fraction(-form.a) / form.b
+        if form.b > 0:  # clean for T >= root
+            if root > need:
+                need = root
+                binding, binding_root = rec, root
+        else:  # clean for T <= root
+            if cap is None or root < cap:
+                cap = root
+    if cap is not None and need > cap:
+        feasible = False
+    candidate = max(1, math.ceil(need))
+    if candidate == need:  # root exactly integer: T = root has slack 0, ok
+        candidate = int(need)
+    return candidate, binding, feasible
+
+
+def solve_static_fmax(
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    constraints=None,
+    max_passes: int = 24,
+    max_walk: int = 64,
+) -> StaticFmax:
+    """Closed-form static Fmax via the guided region walk.
+
+    Newton-style: a parametric pass at a sample period yields every check's
+    affine slack over a validity region; the intersection of their roots
+    proposes the next sample.  When the proposal falls inside the region it
+    is the static root up to rounding (the concrete timebase rounds each
+    derived time, the affine forms do not) — a short concrete-integer walk
+    then pins the exact boundary: static-clean(T_s) and not
+    static-clean(T_s - 1).
+    """
+    config = config or VerifyConfig()
+    design_period = circuit.timebase.period_ps
+    evals = 0
+    clean_memo: dict[int, bool] = {}
+    records_memo: dict[int, list[SlackRecord]] = {}
+
+    def records_at(t: int) -> list[SlackRecord]:
+        nonlocal evals
+        recs = records_memo.get(t)
+        if recs is None:
+            evals += 1
+            recs = records_memo[t] = _static_records(
+                circuit, config, constraints, t
+            )
+        return recs
+
+    baseline = records_at(design_period)
+    baseline_overflow = frozenset(
+        _record_key(r) for r in baseline if r.slack_ps is None and r.overflow
+    )
+
+    def clean(t: int) -> bool:
+        if t < 1:
+            return False
+        hit = clean_memo.get(t)
+        if hit is None:
+            hit = clean_memo[t] = _static_ok(records_at(t), baseline_overflow)
+        return hit
+
+    clean_memo[design_period] = _static_ok(baseline, baseline_overflow)
+
+    # Phase 1: region walk to a candidate root.
+    passes = 0
+    t = design_period
+    guess = design_period
+    binding_slope: Fraction | None = None
+    period_limited = True
+    visited: set[int] = set()
+    while passes < max_passes:
+        run = run_parametric(circuit, config, constraints, t0=t)
+        passes += 1
+        candidate, binding, feasible = _region_candidate(run, baseline_overflow)
+        if not feasible:
+            # Nothing in this region verifies; the root is above it.
+            if run.hi is None:
+                guess = t
+                break
+            nxt = run.hi + 1
+            if nxt in visited or nxt <= t:
+                guess = max(t, nxt)
+                break
+            visited.add(nxt)
+            t = nxt
+            continue
+        if binding is None:
+            # No period-dependent check constrains from below in this
+            # region: clean down to (at least) the region floor.
+            if run.lo <= 1:
+                period_limited = clean(1) is False
+                guess = 1 if not period_limited else run.lo
+                if not period_limited:
+                    break
+            guess = max(1, run.lo - 1)
+            if guess in visited or guess >= t:
+                guess = run.lo
+                break
+            visited.add(guess)
+            t = guess
+            continue
+        binding_slope = _slack_form(binding.slack_ps).b
+        guess = candidate
+        in_region = run.lo <= candidate and (
+            run.hi is None or candidate <= run.hi + 1
+        )
+        # One or two concrete evals (each a small fraction of a parametric
+        # pass) pin the boundary when the affine root lands on or next to
+        # it — the usual outcome, since only clock-edge rounding separates
+        # the exact root from the concrete one.
+        if in_region and candidate > 1 and clean(candidate - 1):
+            guess = candidate - 1  # boundary is lower; phase 2 walks down
+            break
+        if candidate > 1 and clean(candidate) and not clean(candidate - 1):
+            break
+        if in_region or candidate == t or candidate in visited:
+            break
+        visited.add(candidate)
+        t = candidate
+
+    result_binding: SlackRecord | None = None
+    if not period_limited:
+        return StaticFmax(
+            period_limited=False,
+            period_ps=None,
+            binding=None,
+            slope=None,
+            passes=passes,
+            static_evals=evals,
+            baseline_overflow=baseline_overflow,
+        )
+
+    # Phase 2: concrete-integer confirmation walk around the guess.
+    t = max(1, guess)
+    steps = 0
+    if clean(t):
+        while t > 1 and clean(t - 1) and steps < max_walk:
+            t -= 1
+            steps += 1
+        if t > 1 and clean(t - 1):
+            # Guess was far high: bisect down (static cleanliness is
+            # monotone up to the rounding wobble the walk above absorbs).
+            lo_v = 1
+            hi_c = t
+            while not clean(lo_v) and hi_c - lo_v > 1:
+                mid = (lo_v + hi_c) // 2
+                if clean(mid):
+                    hi_c = mid
+                else:
+                    lo_v = mid
+            t = hi_c
+            while t > 1 and clean(t - 1):
+                t -= 1
+    else:
+        while not clean(t) and steps < max_walk:
+            t += 1
+            steps += 1
+        if not clean(t):
+            # Guess was far low: bisect up against a known-clean ceiling.
+            hi_c = max(design_period, t + 1)
+            doublings = 0
+            while not clean(hi_c) and doublings < 16:
+                hi_c *= 2
+                doublings += 1
+            if not clean(hi_c):
+                return StaticFmax(
+                    period_limited=True,
+                    period_ps=None,
+                    binding=None,
+                    slope=binding_slope,
+                    passes=passes,
+                    static_evals=evals,
+                    baseline_overflow=baseline_overflow,
+                )
+            lo_v = t
+            while hi_c - lo_v > 1:
+                mid = (lo_v + hi_c) // 2
+                if clean(mid):
+                    hi_c = mid
+                else:
+                    lo_v = mid
+            t = hi_c
+
+    if t <= 1 and clean(1):
+        return StaticFmax(
+            period_limited=False,
+            period_ps=None,
+            binding=None,
+            slope=None,
+            passes=passes,
+            static_evals=evals,
+            baseline_overflow=baseline_overflow,
+        )
+
+    # The binding check: the worst concrete record one picosecond below
+    # (already computed — pinning the boundary evaluated t - 1).
+    below = records_at(t - 1)
+    worst = None
+    for rec in below:
+        if rec.slack_ps is not None and rec.slack_ps < 0:
+            if worst is None or rec.slack_ps < worst.slack_ps:
+                worst = rec
+    if worst is None:
+        for rec in below:
+            if rec.slack_ps is None and rec.overflow and (
+                _record_key(rec) not in baseline_overflow
+            ):
+                worst = rec
+                break
+    result_binding = worst
+
+    return StaticFmax(
+        period_limited=True,
+        period_ps=t,
+        binding=result_binding,
+        slope=binding_slope,
+        passes=passes,
+        static_evals=evals,
+        baseline_overflow=baseline_overflow,
+    )
+
+# ---------------------------------------------------------------------------
+# engine anchoring and the independent bisection oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WitnessHop:
+    """One component on the critical path behind the binding check."""
+
+    component: str
+    prim: str
+    net: str                     #: the output net the hop contributes
+    delay: tuple[int, int]
+    origin: tuple[str, int] | None = None
+
+
+@dataclass
+class FmaxResult:
+    """An Fmax answer: the smallest clean period and how it was found."""
+
+    period_limited: bool
+    period_ps: int | None        #: smallest engine-clean period (exact)
+    method: str                  #: "anchored" (static + engine confirm)
+                                 #: or "bisect" (pure engine bisection)
+    static_period_ps: int | None = None   #: conservative static root T_s
+    binding: SlackRecord | None = None
+    slope: Fraction | None = None
+    witness: list[WitnessHop] = field(default_factory=list)
+    witness_terminal: str = ""   #: what the backward trace ended on
+    engine_runs: int = 0
+    parametric_passes: int = 0
+    static_evals: int = 0
+
+    @property
+    def fmax_mhz(self) -> float | None:
+        if self.period_ps is None or not self.period_limited:
+            return None
+        return 1e6 / self.period_ps
+
+
+#: How far below a found boundary both oracles re-probe: the engine's
+#: slack-vs-T curve is a step function of interleaved roundings and can be
+#: locally non-monotone by a picosecond or two; scanning a small window
+#: makes "smallest clean period" deterministic across search strategies.
+_POLISH_WINDOW = 4
+
+
+def _polish_boundary(ok, t: int) -> tuple[int, int]:
+    """Lower ``t`` to the smallest clean period reachable through wobble.
+
+    ``ok(T)`` must already hold at ``t``.  Returns (boundary, probes).
+    """
+    probes = 0
+    while t > 1:
+        lower = None
+        for d in range(1, _POLISH_WINDOW + 1):
+            cand = t - d
+            if cand < 1:
+                break
+            probes += 1
+            if ok(cand):
+                lower = cand
+                break
+        if lower is None:
+            return t, probes
+        t = lower
+    return t, probes
+
+
+def solve_fmax(
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    constraints=None,
+) -> FmaxResult:
+    """Analytic Fmax: static closed form anchored by engine confirmation.
+
+    The parametric pass gives the conservative static root ``T_s`` (the
+    engine is guaranteed clean there — static-positive implies
+    engine-clean).  The constant pessimism of the window pads puts the true
+    engine boundary at most a few picoseconds *below* ``T_s``; a geometric
+    descent plus integer bisection pins it exactly: engine-clean(T*) and
+    engine-violating(T* - 1).
+    """
+    config = config or VerifyConfig()
+    static = solve_static_fmax(circuit, config, constraints)
+    runs = 0
+    margin_memo: dict[int, int | None] = {}
+
+    def probe(t: int) -> int | None:
+        """Worst engine miss at T=t (None = clean; memoized)."""
+        nonlocal runs
+        if t not in margin_memo:
+            runs += 1
+            margin_memo[t] = _engine_probe(circuit, config, constraints, t)
+        return margin_memo[t]
+
+    def ok(t: int) -> bool:
+        return t >= 1 and probe(t) is None
+
+    if not static.period_limited:
+        # Static-clean at every period.  The slack families are sound, but
+        # the engine also runs checks with no static twin (gated-clock
+        # glitches among them) — confirm before claiming unlimited, and
+        # hand the engine authority when it disagrees.
+        if ok(circuit.timebase.period_ps) and ok(1):
+            return FmaxResult(
+                period_limited=False,
+                period_ps=None,
+                method="anchored",
+                static_period_ps=None,
+                engine_runs=runs,
+                parametric_passes=static.passes,
+                static_evals=static.static_evals,
+            )
+        fb = bisect_fmax(circuit, config, constraints)
+        binding, witness, terminal = _engine_binding(
+            circuit, config, constraints, fb.period_ps
+        )
+        return FmaxResult(
+            period_limited=fb.period_limited,
+            period_ps=fb.period_ps,
+            method="anchored-fallback",
+            static_period_ps=None,
+            binding=binding,
+            witness=witness,
+            witness_terminal=terminal,
+            engine_runs=runs + fb.engine_runs,
+            parametric_passes=static.passes,
+            static_evals=static.static_evals,
+        )
+    if static.period_ps is None:
+        # The static pass never goes clean at any period (structural
+        # pessimism, e.g. assertion windows permanently inside a guard).
+        # Fall back to the engine oracle so the answer stays exact.
+        fb = bisect_fmax(circuit, config, constraints)
+        binding, witness, terminal = _engine_binding(
+            circuit, config, constraints, fb.period_ps
+        )
+        return FmaxResult(
+            period_limited=fb.period_limited,
+            period_ps=fb.period_ps,
+            method="anchored-fallback",
+            static_period_ps=None,
+            binding=binding,
+            slope=static.slope,
+            witness=witness,
+            witness_terminal=terminal,
+            engine_runs=fb.engine_runs,
+            parametric_passes=static.passes,
+            static_evals=static.static_evals,
+        )
+
+    t_s = static.period_ps
+    # Soundness says the engine is clean at T_s; confirm, and walk up in
+    # the (never-observed) case a rounding edge bites.
+    t_clean = t_s
+    guard = 0
+    while not ok(t_clean) and guard < 64:
+        t_clean += 1
+        guard += 1
+    if not ok(t_clean):
+        raise AssertionError(
+            f"engine violates at static-clean period {t_s}: the static "
+            "pass lost its soundness contract — run scald-tv --crosscheck"
+        )
+
+    # Descend below T_s to the engine boundary.  The bracket [lo_v, hi_c]
+    # shrinks by Newton jumps where possible: a violating probe reports how
+    # much the worst check missed by, and the binding check's slack slope
+    # converts that miss into a period distance — engine slack tracks the
+    # same clock-edge spacing as the static form, so one jump typically
+    # lands on the boundary even when constant pessimism put T_s far above
+    # it.  Every jump is clamped strictly inside the bracket, so the loop
+    # can never do worse than bisection.
+    if not ok(t_clean - 1):
+        boundary = t_clean
+    else:
+        slope = static.slope if static.slope and static.slope > 0 else None
+        lo_v, hi_c = 0, t_clean - 1  # lo_v=0: "below 1" counts as violating
+        while hi_c - lo_v > 1:
+            mid = None
+            if slope is not None and lo_v > 0:
+                miss = margin_memo.get(lo_v)
+                if miss:
+                    mid = lo_v + math.ceil(Fraction(miss) / slope)
+            if mid is None or not lo_v < mid < hi_c:
+                mid = (lo_v + hi_c) // 2
+            mid = max(lo_v + 1, min(mid, hi_c - 1))
+            if ok(mid):
+                hi_c = mid
+            else:
+                lo_v = mid
+        boundary = hi_c
+    boundary, _ = _polish_boundary(ok, boundary)
+    if boundary <= 1 and ok(1):
+        # Clean down to the smallest expressible period: not limited.
+        return FmaxResult(
+            period_limited=False,
+            period_ps=None,
+            method="anchored",
+            static_period_ps=t_s,
+            engine_runs=runs,
+            parametric_passes=static.passes,
+            static_evals=static.static_evals,
+        )
+
+    witness, terminal = ([], "")
+    if static.binding is not None:
+        witness, terminal = trace_witness(
+            circuit, config, constraints, boundary, static.binding
+        )
+    return FmaxResult(
+        period_limited=True,
+        period_ps=boundary,
+        method="anchored",
+        static_period_ps=t_s,
+        binding=static.binding,
+        slope=static.slope,
+        witness=witness,
+        witness_terminal=terminal,
+        engine_runs=runs,
+        parametric_passes=static.passes,
+        static_evals=static.static_evals,
+    )
+
+
+def bisect_fmax(
+    circuit: Circuit,
+    config: VerifyConfig | None = None,
+    constraints=None,
+    max_doublings: int = 16,
+) -> FmaxResult:
+    """Independent Fmax oracle: pure bisection over full engine runs.
+
+    No static information is used.  Starts at the design period; searches
+    up (doubling) when the design violates as-is, down (halving) when it is
+    clean, then bisects the bracket to the exact boundary — the same
+    fixed-point condition :func:`solve_fmax` anchors to, so the two must
+    agree to within the rounding wobble the polish step absorbs.
+    """
+    config = config or VerifyConfig()
+    runs = 0
+    ok_memo: dict[int, bool] = {}
+
+    def ok(t: int) -> bool:
+        nonlocal runs
+        if t < 1:
+            return False
+        hit = ok_memo.get(t)
+        if hit is None:
+            runs += 1
+            hit = ok_memo[t] = _engine_ok(circuit, config, constraints, t)
+        return hit
+
+    t0 = circuit.timebase.period_ps
+    if ok(t0):
+        hi_c = t0
+    else:
+        hi_c = t0
+        for _ in range(max_doublings):
+            hi_c *= 2
+            if ok(hi_c):
+                break
+        else:
+            return FmaxResult(
+                period_limited=True,
+                period_ps=None,
+                method="bisect",
+                engine_runs=runs,
+            )
+
+    # Halve down to find a violating floor (or discover T=1 is clean).
+    lo_v = None
+    t = hi_c
+    while t > 1:
+        t //= 2
+        if t < 1:
+            t = 1
+        if ok(t):
+            hi_c = t
+        else:
+            lo_v = t
+            break
+    if lo_v is None:
+        # Clean all the way down to T=1: the design is not period-limited.
+        return FmaxResult(
+            period_limited=False,
+            period_ps=None,
+            method="bisect",
+            engine_runs=runs,
+        )
+
+    while hi_c - lo_v > 1:
+        mid = (lo_v + hi_c) // 2
+        if ok(mid):
+            hi_c = mid
+        else:
+            lo_v = mid
+    boundary, _ = _polish_boundary(ok, hi_c)
+    return FmaxResult(
+        period_limited=True,
+        period_ps=boundary,
+        method="bisect",
+        engine_runs=runs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# critical-path witness
+# ---------------------------------------------------------------------------
+
+
+def _overlap_measure(a: IntervalSet, b: IntervalSet, period: int) -> int:
+    """Total circular overlap between two concrete interval sets."""
+    if a.is_empty or b.is_empty:
+        return 0
+    if a.is_full:
+        return b.measure() if not b.is_full else period
+    if b.is_full:
+        return a.measure()
+    total = 0
+    for g0, g1 in a.spans:
+        for c0, c1 in b.spans:
+            for d in (-period, 0, period):
+                lo = max(g0, c0 + d)
+                hi = min(g1, c1 + d)
+                if hi > lo:
+                    total += hi - lo
+    return total
+
+
+def trace_witness(
+    circuit: Circuit,
+    config: VerifyConfig | None,
+    constraints,
+    period_ps: int,
+    binding: SlackRecord,
+    max_depth: int = 64,
+) -> tuple[list[WitnessHop], str]:
+    """Greedy backward trace of the binding check's critical path.
+
+    From the binding record's data net, walk driver-to-input choosing at
+    each component the timing input whose (delay-shifted) change windows
+    overlap the output's change windows the most — the path the window
+    dataflow itself propagated.  Stops at a fixed source (classified), a
+    feedback cut, or the depth cap.  Returns ``(hops, terminal)`` with
+    terminal one of ``clock-assertion``, ``stable-assertion``,
+    ``input-delay``, ``supply``, ``unconstrained``, ``feedback-cut``,
+    ``cycle`` or ``depth-limit``.
+    """
+    config = config or VerifyConfig()
+    with _at_period(circuit, period_ps):
+        analysis = compute_windows(circuit, config, constraints)
+        period = analysis.period
+
+        drivers: dict[Net, tuple[Component, list[Connection]]] = {}
+        for comp in circuit.iter_components():
+            if comp.prim.is_checker:
+                continue
+            inputs = [conn for _pin, conn in comp.input_pins()]
+            for _pin, conn in comp.output_pins():
+                drivers[circuit.find(conn.net)] = (comp, inputs)
+
+        feedback_nets = {cut.net for cut in analysis.feedback}
+
+        start = circuit.nets.get(binding.signal)
+        if start is None:
+            return [], "unconstrained"
+        rep = circuit.find(start)
+        hops: list[WitnessHop] = []
+        visited: set[int] = set()
+        terminal = "depth-limit"
+        for _ in range(max_depth):
+            if id(rep) in visited:
+                terminal = "cycle"
+                break
+            visited.add(id(rep))
+            if rep.name in feedback_nets:
+                terminal = "feedback-cut"
+                break
+            entry = drivers.get(rep)
+            if entry is None:
+                # A source: classify how (whether) it is constrained.
+                if rep.base_name.upper() in _SUPPLY:
+                    terminal = "supply"
+                elif rep.assertion is not None:
+                    terminal = (
+                        "clock-assertion"
+                        if rep.assertion.kind.is_clock
+                        else "stable-assertion"
+                    )
+                elif constraints is not None and (
+                    constraints.input_delay_for(rep.name) is not None
+                ):
+                    terminal = "input-delay"
+                else:
+                    terminal = "unconstrained"
+                break
+            comp, inputs = entry
+            if rep.assertion is not None and rep.assertion.kind.is_clock:
+                terminal = "clock-assertion"  # pinned even against a driver
+                break
+            hops.append(
+                WitnessHop(
+                    component=comp.name,
+                    prim=comp.prim.name,
+                    net=rep.name,
+                    delay=comp.delay_ps(),
+                    origin=comp.origin,
+                )
+            )
+            out_r, out_f = analysis.of(rep)
+            out_changes = out_r.union(out_f)
+            dmin, dmax = comp.delay_ps()
+            candidates = _used_input_conns(comp, inputs, None)
+            best = None
+            best_score = -1
+            for conn in candidates:
+                in_r, in_f = analysis.prepared(conn)
+                shifted = in_r.union(in_f).shift(dmin, dmax + 1)
+                score = _overlap_measure(shifted, out_changes, period)
+                if score > best_score:
+                    best_score = score
+                    best = conn
+            if best is None:
+                terminal = "unconstrained"
+                break
+            rep = circuit.find(best.net)
+        return hops, terminal

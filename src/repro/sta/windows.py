@@ -537,9 +537,21 @@ def compute_windows(
     circuit: Circuit,
     config: VerifyConfig | None = None,
     constraints=None,
+    *,
+    source_windows=None,
 ) -> WindowAnalysis:
-    """One-pass static arrival-window analysis of an expanded circuit."""
+    """One-pass static arrival-window analysis of an expanded circuit.
+
+    ``source_windows`` replaces the fixed-source window builder
+    (:func:`_source_windows`, same signature).  The parametric Fmax pass
+    (``repro.sta.parametric``) injects a builder that yields windows whose
+    bounds are affine in the clock period; everything downstream of the
+    sources — transfers, feedback widening, slack — is plain interval
+    arithmetic and works unchanged over either bound type.
+    """
     config = config or VerifyConfig()
+    if source_windows is None:
+        source_windows = _source_windows
     period = circuit.period_ps
     gate_prims = _gate_prims()
 
@@ -643,7 +655,7 @@ def compute_windows(
         driven = rep in drivers
         if _is_fixed_source(rep, driven):
             fixed.add(rep)
-            analysis.windows[rep] = _source_windows(
+            analysis.windows[rep] = source_windows(
                 circuit, config, rep, period, constraints
             )
 

@@ -206,6 +206,52 @@ class TestJobsFlag:
         assert "bad --jobs" in capsys.readouterr().err
 
 
+class TestFlagConflicts:
+    """Contradictory flag combinations die with one line and exit 2."""
+
+    def test_fmax_with_case_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--fmax", "--case", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "bad flags" in err and "--case" in err
+        assert "\n" not in err.strip()  # one line, no traceback
+
+    def test_bit_blast_with_jobs_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--bit-blast", "--jobs", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "bad flags" in err and "--jobs" in err
+        assert "\n" not in err.strip()
+
+    def test_negative_jobs_rejected(self, clean_file, capsys):
+        assert main([clean_file, "--jobs=-3"]) == 2
+        assert "bad --jobs" in capsys.readouterr().err
+
+    def test_fmax_alone_accepted(self, clean_file, capsys):
+        assert main([clean_file, "--fmax"]) == 0
+        assert "fmax:" in capsys.readouterr().out
+
+    def test_bit_blast_with_serial_jobs_accepted(self, clean_file):
+        assert main([clean_file, "--bit-blast", "--jobs", "1"]) == 0
+
+
+class TestFmaxFlag:
+    def test_fmax_reports_min_period(self, clean_file, capsys):
+        assert main([clean_file, "--fmax"]) == 0
+        out = capsys.readouterr().out
+        assert "fmax:" in out
+        assert "min period" in out or "not period-limited" in out
+
+    def test_fmax_json_carries_fmax_block(self, clean_file, capsys):
+        import json
+
+        assert main([clean_file, "--json", "--fmax"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "fmax" in data
+        assert data["fmax"]["method"] == "bisect"
+        assert (data["fmax"]["min_period_ps"] is None) == (
+            data["fmax"]["fmax_mhz"] is None
+        )
+
+
 class TestLintFlag:
     def test_lint_flag_reports_findings(self, clean_file, capsys):
         assert main([clean_file, "--lint"]) == 0

@@ -312,6 +312,38 @@ class TestStaRules:
         fired = _rules_fired(c, "sta.window-overflow")
         assert fired == ["sta.window-overflow"] * len(fired) and fired
 
+    def test_fmax_rule_flags_cdc_binding_path(self):
+        # The Fmax-binding check guards Q1, which crosses CKA -> CKB with
+        # no synchronizer: the period bound rests on an async hand-off.
+        c = circuit()
+        c.reg("Q1", clock="CKA .P2-3", data="D .S0-6", name="ra")
+        c.reg("Q2", clock="CKB .P4-5", data="Q1", name="rb")
+        c.setup_hold("Q1", "CKB .P4-5", setup=3.0, hold=1.0, name="su")
+        fired = _rules_fired(c, "sta.fmax")
+        assert fired == ["sta.fmax"]
+
+    def test_fmax_rule_quiet_on_clocked_binding_path(self):
+        # Same shape, one domain: period-limited but the binding path ends
+        # on the clock assertion — nothing to flag.
+        c = circuit()
+        c.reg("Q1", clock="CK .P2-3", data="D .S0-6", name="ra")
+        c.setup_hold("Q1", "CK .P2-3", setup=3.0, hold=1.0, name="su")
+        assert _rules_fired(c, "sta.fmax") == []
+
+    def test_witness_trace_unknown_signal_is_unconstrained(self):
+        from repro.sta.parametric import trace_witness
+        from repro.sta.slack import SlackRecord
+
+        c = circuit()
+        c.reg("Q", clock="CK .P2-3", data="D .S0-6", name="r")
+        ghost = SlackRecord(
+            component="x/su", prim="SETUP HOLD CHK", signal="NO SUCH NET",
+            clock="CK .P2-3", setup_ps=0, hold_ps=0, slack_ps=-1,
+            no_edge=False, overflow=False, origin=None,
+        )
+        hops, terminal = trace_witness(c, None, None, 50_000, ghost)
+        assert hops == [] and terminal == "unconstrained"
+
     def test_shifter_stays_clean(self):
         c = MacroExpander.from_file("examples/designs/shifter.scald").expand()
         config = LintConfig(
@@ -321,6 +353,7 @@ class TestStaRules:
                     "sta.clock-domain-crossing",
                     "sta.unclocked-storage",
                     "sta.window-overflow",
+                    "sta.fmax",
                 }
             )
         )

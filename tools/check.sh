@@ -129,6 +129,52 @@ for chips, seed in ((60, 1), (200, 7), (500, 1980)):
 EOF
 
 echo
+echo "== Fmax gate: engine clean at Fmax, violating one picosecond below =="
+# The parametric solver's answer must be the *engine's* boundary: on every
+# shipped design and a synthetic sample, the verifier passes at the solved
+# minimum period and fails at period - 1.  Designs that are not
+# period-limited (no check tightens as the clock speeds up, or a
+# period-independent violation) are reported and skipped.
+python - <<'EOF'
+from pathlib import Path
+
+from repro.core.verifier import TimingVerifier
+from repro.hdl.expander import MacroExpander
+from repro.constraints import load_constraints
+from repro.sta.parametric import _at_period, solve_fmax
+from repro.workloads.synth import SynthConfig, generate
+
+
+def engine_ok(circuit, constraints, period_ps):
+    with _at_period(circuit, period_ps):
+        return TimingVerifier(circuit, constraints=constraints).verify().ok
+
+
+def gate(name, circuit, constraints=None):
+    res = solve_fmax(circuit, constraints=constraints)
+    if not res.period_limited or res.period_ps is None:
+        why = "not period-limited" if not res.period_limited else "no clean period"
+        print(f"ok: {name} ({why}; {res.engine_runs} engine runs)")
+        return
+    t = res.period_ps
+    assert engine_ok(circuit, constraints, t), (name, t, "violates at Fmax")
+    assert not engine_ok(circuit, constraints, t - 1), (name, t, "clean below Fmax")
+    print(f"ok: {name} clean at {t} ps, violating at {t - 1} ps "
+          f"({res.method}, {res.engine_runs} engine runs)")
+
+
+for path in sorted(Path("examples/designs").glob("*.scald")):
+    circuit = MacroExpander.from_file(str(path)).expand()
+    sdc = path.with_suffix(".sdc")
+    cons = load_constraints(str(sdc), circuit) if sdc.exists() else None
+    gate(str(path), circuit, cons)
+
+for chips, seed in ((60, 1), (200, 7)):
+    circuit, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
+    gate(f"synth chips={chips} seed={seed}", circuit)
+EOF
+
+echo
 echo "== serial-vs-parallel equivalence smoke =="
 python - <<'EOF'
 from repro.core.verifier import TimingVerifier
