@@ -1,0 +1,96 @@
+"""Incremental re-verify vs. from-scratch: the session speedup claim.
+
+The point of a long-lived session is that a designer's edit-verify loop
+pays for the dirty cone, not the design.  This benchmark makes one local
+wire-delay edit to a 250-chip synthetic design and times
+``Session.reverify()`` against a from-scratch ``TimingVerifier`` run on
+the same edited circuit.
+
+Acceptance: byte-identical output (checked first — a fast wrong answer is
+worthless) and >= 5x faster re-verification.  Headline numbers land in
+``BENCH_incremental.json`` so the trajectory is tracked from PR to PR.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.verifier import TimingVerifier
+from repro.incremental import WireDelayEdit, assert_incremental_equivalent
+from repro.session import Session
+from repro.workloads.synth import SynthConfig, generate
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+CHIPS = 250
+SPEEDUP_FLOOR = 5.0
+
+
+def test_incremental_speedup(benchmark, report):
+    design = generate(SynthConfig(chips=CHIPS))
+    circuit, _ = design.circuit()
+    session = Session(circuit)
+    session.verify()
+    net = next(n for n in circuit.nets if n.startswith("S0 R "))
+
+    # Correctness before speed: the edited design must re-verify
+    # byte-identical to a from-scratch run.
+    session.edit(WireDelayEdit(net, (0.0, 0.5)))
+    inc = assert_incremental_equivalent(session)
+    dirty, total = inc.stats.dirty_primitives, inc.result.primitive_count
+
+    # From-scratch baseline on the same edited circuit.
+    scratch_s = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        scratch = TimingVerifier(circuit).verify()
+        elapsed = time.perf_counter() - t0
+        scratch_s = elapsed if scratch_s is None else min(scratch_s, elapsed)
+    assert scratch.ok
+
+    # Each round re-applies a (changed) edit so every timed reverify does
+    # real cone work rather than a no-op pass.
+    delays = [(0.0, 0.25), (0.0, 0.5), (0.0, 0.75)]
+    round_index = [0]
+
+    def one_edit_reverify():
+        session.edit(WireDelayEdit(net, delays[round_index[0] % len(delays)]))
+        round_index[0] += 1
+        return session.reverify(prescreen=False)
+
+    inc = benchmark.pedantic(one_edit_reverify, rounds=5, iterations=1)
+    reverify_s = min(benchmark.stats.stats.data)
+    assert inc.incremental and inc.ok
+
+    speedup = scratch_s / reverify_s
+    doc = {
+        "chips": CHIPS,
+        "primitives": total,
+        "dirty_primitives": dirty,
+        "reused_waveforms": inc.stats.reused_waveforms,
+        "scratch_seconds": scratch_s,
+        "reverify_seconds": reverify_s,
+        "speedup": speedup,
+        "floor": SPEEDUP_FLOOR,
+    }
+    BENCH_FILE.write_text(json.dumps(doc, indent=2) + "\n")
+
+    report(
+        "Incremental re-verify",
+        "\n".join(
+            [
+                f"  design: {CHIPS} chips, {total} primitives",
+                f"  one wire-delay edit dirties {dirty} primitives "
+                f"({inc.stats.reused_waveforms} waveforms reused)",
+                f"  from-scratch: {scratch_s * 1000:8.2f} ms",
+                f"  reverify:     {reverify_s * 1000:8.2f} ms",
+                f"  speedup:      {speedup:8.1f}x  (floor {SPEEDUP_FLOOR}x)",
+            ]
+        ),
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental reverify only {speedup:.1f}x faster than scratch "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )

@@ -34,6 +34,13 @@ from .core import (
     verify,
 )
 from .hdl import Assertion, AssertionKind, parse_signal_name
+from .incremental import (
+    AssertionEdit,
+    ConstraintsEdit,
+    ParamEdit,
+    ReconnectEdit,
+    WireDelayEdit,
+)
 from .netlist import (
     Circuit,
     Component,
@@ -42,6 +49,7 @@ from .netlist import (
     Net,
     NetlistError,
 )
+from .session import IncrementalResult, Session
 
 __version__ = "1.0.0"
 
@@ -62,6 +70,13 @@ __all__ = [
     "Assertion",
     "AssertionKind",
     "parse_signal_name",
+    "AssertionEdit",
+    "ConstraintsEdit",
+    "ParamEdit",
+    "ReconnectEdit",
+    "WireDelayEdit",
+    "IncrementalResult",
+    "Session",
     "Circuit",
     "Component",
     "Connection",

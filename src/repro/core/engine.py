@@ -43,7 +43,7 @@ from .models import (
 )
 from .values import CHANGE, ONE, STABLE, UNKNOWN, ZERO, Value, value_not
 from .violations import CheckReport, Violation
-from .waveform import Waveform
+from .waveform import InternTable, Waveform
 from .wordwave import WordWave
 
 #: Net names treated as supply rails.
@@ -107,6 +107,13 @@ class EngineStats:
     prepared_misses: int = 0
     levelize_seconds: float = 0.0
     max_rank: int = 0
+    #: Incremental re-verification counters (``repro.session``): runs that
+    #: re-entered the fixed point via :meth:`Engine.incremental_begin`, the
+    #: size of the dirty cone those runs seeded (transitive fanout of the
+    #: edited primitives), and stored waveforms carried over unchanged.
+    incremental_runs: int = 0
+    dirty_primitives: int = 0
+    reused_waveforms: int = 0
 
     @property
     def events_last_case(self) -> int:
@@ -155,6 +162,9 @@ class EngineStats:
             out.memo_misses += s.memo_misses
             out.prepared_hits += s.prepared_hits
             out.prepared_misses += s.prepared_misses
+            out.incremental_runs += s.incremental_runs
+            out.dirty_primitives += s.dirty_primitives
+            out.reused_waveforms += s.reused_waveforms
             out.levelize_seconds = max(out.levelize_seconds, s.levelize_seconds)
             out.max_rank = max(out.max_rank, s.max_rank)
         return out
@@ -221,6 +231,7 @@ class Engine:
         circuit: Circuit,
         config: VerifyConfig | None = None,
         constraints=None,
+        intern_table: InternTable | None = None,
     ) -> None:
         self.circuit = circuit
         self.config = config or VerifyConfig()
@@ -228,6 +239,16 @@ class Engine:
         #: With ``None`` the engine's behaviour is byte-identical to the
         #: unconstrained thesis verifier.
         self.constraints = constraints
+        #: Monotonic token bumped by :meth:`set_constraints`; part of the
+        #: checker-memo key so a swapped constraint set invalidates every
+        #: cached checker verdict without an ``id()`` reuse hazard.
+        self._constraints_token = 0
+        #: The hash-cons table for this engine's waveforms.  A caller that
+        #: wants deterministic cross-run sharing (``repro.session``) passes
+        #: its own; the default is a fresh per-engine table, so interning
+        #: no longer depends on what the process-global table happens to
+        #: still hold between back-to-back API runs.
+        self._intern_table = intern_table if intern_table is not None else InternTable()
         self.period = circuit.period_ps
         self.values: dict[Net, Waveform] = {}
         self.stats = EngineStats()
@@ -255,24 +276,47 @@ class Engine:
         # Static topology maps.
         self._drivers: dict[Net, tuple[Component, str]] = {}
         self._loads: dict[Net, list[Component]] = {}
-        for comp in circuit.iter_components():
-            for pin, conn in comp.output_pins():
-                self._drivers[circuit.find(conn.net)] = (comp, pin)
-            for pin, conn in comp.input_pins():
-                self._loads.setdefault(circuit.find(conn.net), []).append(comp)
         # Evaluation caches (section "Performance architecture" in DESIGN.md).
-        self._prepared_cache: dict[tuple[int, bool], tuple[Waveform, Waveform]] = {}
+        self._prepared_cache: dict[tuple, tuple[Waveform, Waveform]] = {}
         self._eval_memo: OrderedDict[tuple, Waveform] = OrderedDict()
+        #: Content-keyed checker-verdict memo: the violations of one checker
+        #: are a pure function of its raw inputs, connection fields, wire
+        #: delays, parameters and constraints, so an incremental re-verify
+        #: skips the (dominant) re-checking of untouched checkers entirely.
+        self._check_memo: OrderedDict[tuple, list[Violation]] = OrderedDict()
         # Levelized schedule: topological rank per component over the
-        # combinational graph, computed once per engine.
+        # combinational graph, computed once per engine (and again only
+        # after a topology edit, via rebuild_topology).
         self._ranks: dict[str, int] = {}
         self._levelize_seconds = 0.0
         self._max_rank = 0
+        self.rebuild_topology()
+
+    def rebuild_topology(self) -> None:
+        """(Re)compute the driver/load maps and the levelized schedule.
+
+        Called once from the constructor and again by the incremental
+        layer after an edit that rewires a pin: the maps and ranks are
+        pure functions of the circuit's connectivity, so recomputing them
+        is always sound (ranks are a drain *order*, never a gate).
+        """
+        self._drivers.clear()
+        self._loads.clear()
+        for comp in self.circuit.iter_components():
+            for pin, conn in comp.output_pins():
+                self._drivers[self.circuit.find(conn.net)] = (comp, pin)
+            for pin, conn in comp.input_pins():
+                self._loads.setdefault(self.circuit.find(conn.net), []).append(comp)
         if self.config.levelized_scheduling:
             t0 = time.perf_counter()
             self._ranks = self._compute_ranks()
-            self._levelize_seconds = time.perf_counter() - t0
+            self._levelize_seconds += time.perf_counter() - t0
             self._max_rank = max(self._ranks.values(), default=0)
+
+    def set_constraints(self, constraints) -> None:
+        """Swap the resolved constraint set, invalidating cached verdicts."""
+        self.constraints = constraints
+        self._constraints_token += 1
 
     def _compute_ranks(self) -> dict[str, int]:
         """Topological depth of every non-checker component.
@@ -403,15 +447,23 @@ class Engine:
         return wf
 
     def _intern(self, wf: Waveform) -> Waveform:
-        """Hash-cons ``wf`` when interning is enabled, counting hits."""
+        """Hash-cons ``wf`` when interning is enabled, counting hits.
+
+        Goes through the engine's (session-owned) :class:`InternTable`,
+        not the process-global table, so cross-run sharing is scoped to
+        the session's lifetime and deterministic.
+        """
         if not self.config.intern_waveforms:
             return wf
-        out = wf.intern()
-        if out is wf:
-            self.stats.intern_misses += 1
-        else:
+        key = (wf.period, wf.segments, wf.skew, wf.eval_str)
+        table = self._intern_table.table
+        out = table.get(key)
+        if out is not None:
             self.stats.intern_hits += 1
-        return out
+            return out
+        table[key] = wf
+        self.stats.intern_misses += 1
+        return wf
 
     def _directive_letter(self, conn: Connection, raw: Waveform) -> tuple[str, str]:
         """The directive letter governing this gate input, plus the rest.
@@ -442,6 +494,7 @@ class Engine:
         self._queued.clear()
         self._prepared_cache.clear()
         self._eval_memo.clear()
+        self._check_memo.clear()
         self.stats = EngineStats(
             levelize_seconds=self._levelize_seconds, max_rank=self._max_rank
         )
@@ -715,6 +768,134 @@ class Engine:
         if assertion is None and rep.base_name.upper() not in _SUPPLY:
             return Waveform.constant(self.period, STABLE), True
         return self.values[rep], False
+
+    # ------------------------------------------------------------------
+    # incremental re-verification (repro.session / repro.incremental)
+    # ------------------------------------------------------------------
+
+    def forget_connections(self, conns: Iterable[Connection]) -> None:
+        """Drop prepared-input cache entries for retired/edited connections.
+
+        The prepared cache validates by identity of the stored *raw*
+        waveform only, so an edit that changes a connection's effective
+        wire delay without disturbing the raw value (or that replaces the
+        Connection object entirely, freeing its ``id()`` for reuse) must
+        purge its entries explicitly.
+        """
+        ids = {id(c) for c in conns}
+        if not ids:
+            return
+        stale = [key for key in self._prepared_cache if key[0] in ids]
+        for key in stale:
+            del self._prepared_cache[key]
+
+    def _dirty_cone(self, seeds: Iterable[Component]) -> set[str]:
+        """Names of every evaluated primitive in the seeds' transitive fanout.
+
+        This is reporting/pre-screen scoping only — the worklist is seeded
+        with the *directly* dirty components and the event propagation IS
+        the cone traversal — so the walk follows the same edges the
+        levelizer does: fanout stops at nets pinned by a clock assertion,
+        whose value never depends on the driver.
+        """
+        seen: set[str] = set()
+        stack = [c for c in seeds if not c.prim.is_checker]
+        while stack:
+            comp = stack.pop()
+            if comp.name in seen:
+                continue
+            seen.add(comp.name)
+            for _pin, conn in comp.output_pins():
+                rep = self.circuit.find(conn.net)
+                assertion = rep.assertion
+                if assertion is not None and assertion.kind.is_clock:
+                    continue
+                for load in self._loads.get(rep, ()):
+                    if not load.prim.is_checker and load.name not in seen:
+                        stack.append(load)
+        return seen
+
+    def incremental_begin(
+        self, case: dict[str, int] | None, dirty: Iterable[Component]
+    ) -> None:
+        """Re-enter the fixed point after circuit edits, reusing state.
+
+        The alternative to :meth:`initialize` for a circuit already
+        verified by this engine: stored waveforms, the intern table, the
+        evaluation memo and the prepared-input cache all survive; only
+        the ``dirty`` components (plus anything the reclassification scan
+        below disturbs) are enqueued.  Correctness rests on the same
+        argument as :meth:`apply_case` and the parallel case blocks: for
+        a legal synchronous design the fixed point is unique, so any
+        starting state converges to the same waveforms provided every
+        component whose inputs differ from the converged state is queued.
+
+        Three steps:
+
+        1. ``apply_case`` switches from the last run's final case mapping
+           back to ``case`` (normally ``cases[0]``), disturbing exactly
+           the case-affected signals.
+        2. A reclassification scan re-derives the initial-value class of
+           every representative (supply / clock assertion / driven /
+           asserted / input-delay / assumed-stable) — edits can move nets
+           between classes — re-storing fixed-class nets whose waveform
+           changed and rebuilding the assumed-stable cross-reference.
+           Driven nets keep their stored waveforms (counted as
+           ``reused_waveforms``).
+        3. The ``dirty`` components are enqueued to seed the worklist.
+        """
+        if not self.values:
+            raise RuntimeError(
+                "incremental_begin needs a previously converged run; "
+                "call initialize() + run() first"
+            )
+        dirty = list(dirty)
+        self._eval_counts.clear()
+        self._queue.clear()
+        self._heap.clear()
+        self._queued.clear()
+        self.stats = EngineStats(
+            levelize_seconds=self._levelize_seconds,
+            max_rank=self._max_rank,
+            incremental_runs=1,
+        )
+        self.apply_case(case or {})
+        reused = 0
+        self._fixed.clear()
+        self.xref_assumed_stable.clear()
+        for rep in self.circuit.representatives():
+            raw, caseable = self._initial_value_raw(rep)
+            if rep not in self._fixed:
+                # Driven net: its stored waveform is the converged value
+                # unless an upstream evaluation stores a new one.
+                reused += 1
+                continue
+            base = self._intern(self._apply_case(rep, raw) if caseable else raw)
+            over: dict[int, Waveform] = {}
+            lc = self._lane_case.get(rep)
+            if lc and caseable:
+                for lane in sorted(lc):
+                    wf = self._intern(self._apply_lane_case(rep, lane, raw))
+                    if wf != base:
+                        over[lane] = wf
+            if self.values.get(rep) == base and self._lanes.get(rep, {}) == over:
+                reused += 1
+                continue
+            self.values[rep] = base
+            if over:
+                self._lanes[rep] = over
+                self.stats.lane_splits += 1
+            else:
+                self._lanes.pop(rep, None)
+            self.stats.events += 1
+            if rep.width > 1:
+                self.stats.vector_events += 1
+            for load in self._loads.get(rep, ()):
+                self._enqueue(load)
+        for comp in dirty:
+            self._enqueue(comp)
+        self.stats.reused_waveforms = reused
+        self.stats.dirty_primitives = len(self._dirty_cone(dirty))
 
     # ------------------------------------------------------------------
     # primitive evaluation
@@ -1052,12 +1233,56 @@ class Engine:
             out.extend(self._relabel(comp, v, lane) for v in records)
         return out
 
+    def _checker_key(self, comp: Component, case_index: int) -> tuple:
+        """A content key covering everything a checker's verdict depends on.
+
+        Soundness rule (as for :meth:`_memoized`): the key must include
+        *everything* that can change the records — the checker identity
+        and parameters, per-pin the net name (records embed it), invert
+        flag, directives, effective wire delay and raw waveform, the case
+        index (records embed it too), and the constraints token (checker
+        mods are looked up live).  ``period``, ``glitch_warnings`` and
+        ``check_assertions`` are fixed per engine.
+        """
+        inputs = tuple(
+            (
+                pin,
+                conn.net.name,
+                conn.invert,
+                conn.directives,
+                self._wire_delay(conn),
+                self.raw_value(conn.net),
+            )
+            for pin, conn in sorted(comp.pins.items())
+        )
+        return (
+            comp.name,
+            case_index,
+            self._constraints_token,
+            tuple(sorted(comp.params.items())),
+            inputs,
+        )
+
     def _check_one(self, comp: Component, case_index: int) -> list[Violation]:
         if self._word_needed and self._comp_diverged(comp):
             return self._lane_variants(comp, case_index, self._check_one_impl)
-        return self._check_one_impl(
+        if not self.config.memoize_evaluation:
+            return self._check_one_impl(
+                comp, case_index, self._raw_of, self.prepared_input
+            )
+        key = self._checker_key(comp, case_index)
+        memo = self._check_memo
+        cached = memo.get(key)
+        if cached is not None:
+            memo.move_to_end(key)
+            return list(cached)
+        records = self._check_one_impl(
             comp, case_index, self._raw_of, self.prepared_input
         )
+        memo[key] = records
+        if len(memo) > self.config.eval_memo_size:
+            memo.popitem(last=False)
+        return list(records)
 
     def _check_one_impl(
         self, comp: Component, case_index: int, raw_of, prepared_of

@@ -9,13 +9,12 @@ benchmarks can print the same rows the thesis reports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..netlist.circuit import Circuit
-from ..netlist.validate import ValidationIssue, check as check_structure
+from ..netlist.validate import ValidationIssue
 from .config import VerifyConfig
-from .engine import Engine, EngineStats
+from .engine import EngineStats
 from .violations import CheckReport, Violation
 from .waveform import Waveform
 
@@ -117,59 +116,19 @@ class TimingVerifier:
         self.constraints = constraints
 
     def verify(self) -> VerificationResult:
-        """Run the full verification and return the collected results."""
-        phases = PhaseTimes()
+        """Run the full verification and return the collected results.
 
-        t0 = time.perf_counter()
-        warnings = check_structure(self.circuit)
-        engine = Engine(self.circuit, self.config, constraints=self.constraints)
-        cases = self.circuit.cases or [{}]
-        engine.initialize(cases[0])
-        phases.build = time.perf_counter() - t0
+        A one-shot :class:`repro.session.Session`: the session object owns
+        every piece of run-scoped state (stored waveforms, intern table,
+        memo caches, levelized ranks), and this façade simply makes a
+        fresh one per call — callers who want that state to survive
+        across runs (incremental re-verify) hold a Session instead.
+        """
+        from ..session import Session
 
-        # Cross-reference generation: in the thesis this lists where every
-        # signal is used; the part that matters to verification is the list
-        # of signals assumed stable for lack of an assertion (section 2.5).
-        t0 = time.perf_counter()
-        xref = list(engine.xref_assumed_stable)
-        phases.cross_reference = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        report = CheckReport()
-        case_results: list[CaseResult] = []
-        for index, case in enumerate(cases):
-            if index > 0:
-                engine.apply_case(case)
-            events = engine.run()
-            report.extend(engine.check(case_index=index))
-            case_results.append(
-                CaseResult(
-                    index=index,
-                    assignments=dict(case),
-                    waveforms=engine.snapshot(),
-                    events=events,
-                )
-            )
-        phases.verify = time.perf_counter() - t0
-
-        result = VerificationResult(
-            circuit_name=self.circuit.name,
-            report=report,
-            cases=case_results,
-            stats=engine.stats,
-            phases=phases,
-            xref_assumed_stable=xref,
-            structure_warnings=warnings,
-            primitive_count=sum(
-                1 for c in self.circuit.iter_components() if not c.prim.is_checker
-            ),
-            config=self.config,
-        )
-
-        t0 = time.perf_counter()
-        result.summary_listing()
-        phases.summary = time.perf_counter() - t0
-        return result
+        return Session(
+            self.circuit, self.config, constraints=self.constraints
+        ).verify()
 
 
 def verify(

@@ -108,7 +108,46 @@ def _sweep_max_rank(
     return segs
 
 
-#: The weak-value intern table: canonical instance per distinct waveform.
+class InternTable:
+    """A hash-cons table for waveforms, owned by one verification session.
+
+    Each :class:`~repro.core.engine.Engine` (and therefore each
+    :class:`repro.session.Session`) owns its own table, so cross-run
+    interning within a session is deterministic: waveforms stay shared
+    exactly as long as the session keeps them alive, instead of depending
+    on whether the garbage collector has emptied a process-global table
+    between back-to-back API runs.  The table holds weak references only,
+    so interning never leaks retired values.
+
+    The engine's hot path reads :attr:`table` directly (one dict probe,
+    the counters living in :class:`~repro.core.engine.EngineStats`);
+    :meth:`intern` is the convenience entry point for everything else.
+    """
+
+    __slots__ = ("table",)
+
+    def __init__(self) -> None:
+        self.table: "weakref.WeakValueDictionary[tuple, Waveform]" = (
+            weakref.WeakValueDictionary()
+        )
+
+    def intern(self, wf: "Waveform") -> "Waveform":
+        """The canonical shared instance equal to ``wf`` in this table."""
+        key = (wf.period, wf.segments, wf.skew, wf.eval_str)
+        existing = self.table.get(key)
+        if existing is not None:
+            return existing
+        self.table[key] = wf
+        return wf
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+#: The process-global weak-value intern table.  Kept for
+#: :meth:`Waveform.intern` (the pickle-restore path must intern into a
+#: table shared by every engine in the process) — run-scoped interning
+#: goes through a session-owned :class:`InternTable` instead.
 _INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Waveform]" = (
     weakref.WeakValueDictionary()
 )

@@ -161,6 +161,36 @@ class Component:
         return f"<{self.prim.name} {self.name!r}>"
 
 
+def normalize_param(prim: PrimitiveType, spec, value: object) -> object:
+    """Normalize one parameter value against its spec; convert ns to ps.
+
+    Shared between construction-time :func:`_normalize_params` and the
+    incremental edit API (:class:`repro.incremental.ParamEdit`), so an
+    edited parameter lands in the component in exactly the form the
+    builder would have produced.
+    """
+    if value is None:
+        return None
+    if spec.kind == "delay":
+        if isinstance(value, (int, float)):
+            value = (value, value)  # a fixed delay
+        dmin, dmax = value  # type: ignore[misc]
+        lo, hi = ns_to_ps(float(dmin)), ns_to_ps(float(dmax))
+        if lo < 0 or hi < lo:
+            raise NetlistError(
+                f"{prim.name}.{spec.name}: bad delay range {value!r}"
+            )
+        return (lo, hi)
+    if spec.kind == "time":
+        # Hold times may legitimately be negative (Figure 3-5 checks a
+        # hold of -1.0 ns on the register-file data inputs).
+        return ns_to_ps(float(value))  # type: ignore[arg-type]
+    if spec.kind == "int":
+        return int(value)  # type: ignore[arg-type]
+    # pragma: no cover - registry bug
+    raise AssertionError(f"unknown param kind {spec.kind}")
+
+
 def _normalize_params(prim: PrimitiveType, raw: dict[str, object]) -> dict[str, object]:
     """Validate parameters against the primitive's spec; convert ns to ps."""
     specs = {p.name: p for p in prim.params}
@@ -177,27 +207,7 @@ def _normalize_params(prim: PrimitiveType, raw: dict[str, object]) -> dict[str, 
             raise NetlistError(f"{prim.name} requires parameter {spec.name!r}")
         else:
             value = spec.default
-        if value is None:
-            out[spec.name] = None
-            continue
-        if spec.kind == "delay":
-            if isinstance(value, (int, float)):
-                value = (value, value)  # a fixed delay
-            dmin, dmax = value  # type: ignore[misc]
-            lo, hi = ns_to_ps(float(dmin)), ns_to_ps(float(dmax))
-            if lo < 0 or hi < lo:
-                raise NetlistError(
-                    f"{prim.name}.{spec.name}: bad delay range {value!r}"
-                )
-            out[spec.name] = (lo, hi)
-        elif spec.kind == "time":
-            # Hold times may legitimately be negative (Figure 3-5 checks a
-            # hold of -1.0 ns on the register-file data inputs).
-            out[spec.name] = ns_to_ps(float(value))  # type: ignore[arg-type]
-        elif spec.kind == "int":
-            out[spec.name] = int(value)  # type: ignore[arg-type]
-        else:  # pragma: no cover - registry bug
-            raise AssertionError(f"unknown param kind {spec.kind}")
+        out[spec.name] = normalize_param(prim, spec, value)
     return out
 
 

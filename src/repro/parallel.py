@@ -9,14 +9,18 @@ the results deterministically, so ``--jobs N`` output is byte-identical to
 a serial run.
 
 Case sharding works in contiguous *blocks*: worker *k* receives the pickled
-circuit once (via the pool initializer), builds one :class:`Engine`, runs
-``initialize(cases[start])`` and then ``apply_case`` incrementally through
-its block — the same §2.7 incremental re-evaluation the serial verifier
-uses, just restarted at each block boundary.  A from-scratch fixed point
-and an incremental one converge to the same waveforms (the fixed point is
-unique for a legal synchronous design), so per-case violations, waveforms
-and summaries match the serial run exactly; only the engine work counters
-differ (each block pays its own initialization events).
+circuit once (via the pool initializer) and holds it in a single
+:class:`~repro.session.Session` — the same object that owns run-scoped
+engine state everywhere else, replacing the module-level worker globals
+this file used to carry.  Each block runs ``initialize(cases[start])`` on
+the session's persistent engine and then ``apply_case`` incrementally
+through its block — the same §2.7 incremental re-evaluation the serial
+verifier uses, just restarted at each block boundary.  A from-scratch
+fixed point and an incremental one converge to the same waveforms (the
+fixed point is unique for a legal synchronous design), so per-case
+violations, waveforms and summaries match the serial run exactly; only
+the engine work counters differ (each block pays its own initialization
+events).
 
 Merging is deterministic: blocks are keyed by their start index, per-case
 violations are concatenated in case order (the serial ``report.extend``
@@ -41,7 +45,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from .core.config import VerifyConfig
-from .core.engine import Engine, EngineStats
+from .core.engine import EngineStats
 from .core.verifier import (
     CaseResult,
     PhaseTimes,
@@ -94,31 +98,36 @@ class _BlockResult:
     verify_cpu: float
 
 
-# Worker-process globals, set once per worker by the pool initializer so
-# the circuit is unpickled (or inherited through fork) once, not per block.
-_worker_circuit: Circuit | None = None
-_worker_config: VerifyConfig | None = None
+# The worker-process session, set once per worker by the pool initializer
+# so the circuit is unpickled (or inherited through fork) once, not per
+# block.  One Session replaces the circuit/config/cases/constraints
+# globals this module used to juggle: the session owns the persistent
+# engine (and its intern table), and consecutive blocks on the same
+# worker reuse it instead of rebuilding topology maps and ranks.
+_worker_session: "Session | None" = None
 _worker_cases: list[dict[str, int]] = []
-_worker_constraints = None
 
 
 def _init_case_worker(payload: bytes) -> None:
-    global _worker_circuit, _worker_config, _worker_cases, _worker_constraints
-    (
-        _worker_circuit,
-        _worker_config,
-        _worker_cases,
-        _worker_constraints,
-    ) = pickle.loads(payload)
+    global _worker_session, _worker_cases
+    from .session import Session
+
+    circuit, config, _worker_cases, constraints = pickle.loads(payload)
+    _worker_session = Session(circuit, config, constraints=constraints)
 
 
 def _run_case_block(start: int, stop: int) -> _BlockResult:
-    """Verify cases ``start..stop`` incrementally on one fresh engine."""
-    assert _worker_circuit is not None
+    """Verify cases ``start..stop`` incrementally on the worker's engine.
+
+    ``initialize`` is a full reset of the session engine's value state, so
+    block output is byte-identical to a serial run regardless of which
+    blocks this worker served before; what carries over is the expensive
+    circuit-shaped state (topology maps, levelized ranks, interned
+    waveforms shared through the session table).
+    """
+    assert _worker_session is not None
     t0, c0 = time.perf_counter(), time.process_time()
-    engine = Engine(
-        _worker_circuit, _worker_config, constraints=_worker_constraints
-    )
+    engine = _worker_session.engine
     engine.initialize(_worker_cases[start])
     xref = list(engine.xref_assumed_stable)
     build_wall = time.perf_counter() - t0

@@ -123,6 +123,11 @@ def profile_json(result: "VerificationResult") -> dict:
         "events_per_second": s.events / verify_s if verify_s > 0 else 0.0,
         "max_rank": s.max_rank,
         "caches": _cache_stats(result),
+        "incremental": {
+            "runs": s.incremental_runs,
+            "dirty_primitives": s.dirty_primitives,
+            "reused_waveforms": s.reused_waveforms,
+        },
         "violations": len(result.violations),
     }
     if result.phases_cpu is not None:
@@ -214,6 +219,13 @@ def profile_report(result: "VerificationResult") -> str:
             s.prepared_hit_rate,
         ),
     ]
+    if s.incremental_runs:
+        lines += [
+            "",
+            f"  incremental: {s.incremental_runs} re-verification(s), "
+            f"{s.dirty_primitives} primitives in the dirty cone, "
+            f"{s.reused_waveforms} stored waveforms reused",
+        ]
     return "\n".join(lines)
 
 

@@ -1,0 +1,380 @@
+"""Long-lived verification sessions with incremental re-verify.
+
+The thesis's usage model is a designer iterating edit → verify → edit on
+one large design; the engine, however, historically rebuilt every run
+from scratch — intern table, memo caches, levelized ranks and stored
+waveforms all died with the call.  A :class:`Session` owns that run-scoped
+state explicitly and keeps it alive across runs:
+
+* one expanded :class:`~repro.netlist.Circuit` (edited in place through
+  the typed :mod:`repro.incremental` API),
+* one persistent :class:`~repro.core.engine.Engine` holding the stored
+  waveforms, the evaluation/prepared/checker memos and the levelized
+  schedule,
+* one session-owned :class:`~repro.core.waveform.InternTable`, so
+  cross-run hash-consing is deterministic instead of riding on the
+  garbage collector's treatment of a process-global weak table.
+
+:meth:`Session.verify` is a full run (and :class:`TimingVerifier` is now
+a thin wrapper that makes a one-shot session); :meth:`Session.reverify`
+re-enters the fixed point from the converged state, seeding the worklist
+from the edits' dirty cone and reusing every unchanged stored waveform —
+with the static windows pass (~15x cheaper, ``BENCH_sta.json``) as an
+optional instant pre-screen before the engine renders the authoritative
+verdict.  Byte-identity with a from-scratch run is the correctness gate
+(:func:`repro.incremental.assert_incremental_equivalent`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .core.config import VerifyConfig
+from .core.engine import Engine
+from .core.verifier import (
+    CaseResult,
+    PhaseTimes,
+    VerificationResult,
+)
+from .core.violations import CheckReport
+from .core.waveform import InternTable
+from .incremental import ConstraintsEdit, Edit, PendingDirty
+from .netlist.circuit import Circuit
+from .netlist.validate import check as check_structure
+
+__all__ = ["IncrementalResult", "Prescreen", "Session"]
+
+
+@dataclass
+class Prescreen:
+    """The STA pre-screen's instant verdict, ahead of engine authority.
+
+    ``ok`` is advisory (static analysis is conservative: positive static
+    slack implies an engine-clean check, not the reverse); the engine
+    result carried alongside is always the authority.  A check whose
+    static window overflowed the period (or whose clock has no static
+    edge) yields no slack claim at all; any such ``indeterminate`` check
+    forces ``ok=False`` — declaring "clean" on no evidence would be the
+    optimism the value algebra forbids.
+    """
+
+    ok: bool
+    worst_slack_ps: int | None
+    cdc_errors: int
+    indeterminate: int
+    seconds: float
+
+
+@dataclass
+class IncrementalResult:
+    """One re-verification: the authoritative result plus reuse metadata."""
+
+    result: VerificationResult
+    #: False when the session fell back to a full run (first verification,
+    #: or a re-verify requested with no prior converged state).
+    incremental: bool
+    prescreen: Prescreen | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def violations(self):
+        return self.result.violations
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+
+class Session:
+    """One designer's edit-verify loop over one expanded circuit.
+
+    Usage::
+
+        session = Session.from_file("design.scald")
+        first = session.verify()
+        session.edit(WireDelayEdit("RF ADRS", (0.0, 6.0)))
+        second = session.reverify()          # dirty cone only
+        assert second.result.ok
+
+    The session is not thread-safe; ``scald-serve`` wraps each one in a
+    lock.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: VerifyConfig | None = None,
+        constraints=None,
+    ) -> None:
+        self.circuit = circuit
+        self.config = config or VerifyConfig()
+        self.constraints = constraints
+        self.intern_table = InternTable()
+        self._engine: Engine | None = None
+        self._dirty = PendingDirty()
+        self._converged = False
+        self._warnings: list | None = None
+        #: Total verification runs (full + incremental) this session served.
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        config: VerifyConfig | None = None,
+        sdc: str | None = None,
+    ) -> "Session":
+        """Expand a ``.scald`` source file into a fresh session."""
+        from .hdl.expander import MacroExpander
+
+        circuit = MacroExpander.from_file(path).expand()
+        constraints = None
+        if sdc is not None:
+            from .constraints import load_constraints
+
+            constraints = load_constraints(sdc, circuit)
+        return cls(circuit, config, constraints=constraints)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        config: VerifyConfig | None = None,
+        sdc_source: str | None = None,
+        name: str = "<session>",
+    ) -> "Session":
+        """Expand ``.scald`` source text into a fresh session."""
+        from .hdl.expander import MacroExpander
+
+        circuit = MacroExpander.from_source(source, filename=name).expand()
+        constraints = None
+        if sdc_source is not None:
+            from .constraints import parse_sdc, resolve
+
+            commands, findings = parse_sdc(sdc_source, filename="<sdc>")
+            constraints = resolve(
+                commands, circuit, filename="<sdc>", parse_findings=findings
+            )
+        return cls(circuit, config, constraints=constraints)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        """The persistent engine, built on first use."""
+        if self._engine is None:
+            self._engine = Engine(
+                self.circuit,
+                self.config,
+                constraints=self.constraints,
+                intern_table=self.intern_table,
+            )
+        return self._engine
+
+    def edit(self, *edits: Edit) -> "Session":
+        """Apply typed edits to the circuit, accumulating their dirt.
+
+        Edits take effect immediately (``sta()``/``fmax()`` see them at
+        once); the engine state is reconciled lazily by the next
+        :meth:`reverify` or :meth:`verify`.  Returns the session for
+        chaining.
+        """
+        for e in edits:
+            if isinstance(e, ConstraintsEdit):
+                self.constraints = e.load(self.circuit)
+                if self._engine is not None:
+                    self._engine.set_constraints(self.constraints)
+            else:
+                e.apply(self.circuit, self._dirty)
+        return self
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def verify(self) -> VerificationResult:
+        """A full from-scratch verification on the persistent engine."""
+        phases = PhaseTimes()
+
+        t0 = time.perf_counter()
+        warnings = check_structure(self.circuit)
+        self._warnings = warnings
+        engine = self.engine
+        if self._dirty.topology:
+            engine.rebuild_topology()
+        self._dirty.clear()
+        cases = self.circuit.cases or [{}]
+        engine.initialize(cases[0])
+        phases.build = time.perf_counter() - t0
+
+        # Cross-reference generation: in the thesis this lists where every
+        # signal is used; the part that matters to verification is the list
+        # of signals assumed stable for lack of an assertion (section 2.5).
+        t0 = time.perf_counter()
+        xref = list(engine.xref_assumed_stable)
+        phases.cross_reference = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        report = CheckReport()
+        case_results: list[CaseResult] = []
+        for index, case in enumerate(cases):
+            if index > 0:
+                engine.apply_case(case)
+            events = engine.run()
+            report.extend(engine.check(case_index=index))
+            case_results.append(
+                CaseResult(
+                    index=index,
+                    assignments=dict(case),
+                    waveforms=engine.snapshot(),
+                    events=events,
+                )
+            )
+        phases.verify = time.perf_counter() - t0
+
+        result = self._package(report, case_results, xref, warnings, phases)
+        self._converged = True
+        self.runs += 1
+        return result
+
+    def reverify(self, prescreen: bool = True) -> IncrementalResult:
+        """Re-verify after edits, re-entering the fixed point incrementally.
+
+        Reuses every stored waveform outside the edits' dirty cone; the
+        worklist starts from the directly dirtied primitives and event
+        propagation walks the rest.  With ``prescreen=True`` the static
+        windows pass runs first and its verdict is attached to the result
+        (the engine remains the authority either way).  Falls back to a
+        full :meth:`verify` when the session has no converged state yet.
+        """
+        if not self._converged:
+            return IncrementalResult(result=self.verify(), incremental=False)
+
+        pre = None
+        if prescreen:
+            t0 = time.perf_counter()
+            from .sta import analyze
+
+            analysis = analyze(
+                self.circuit, self.config, constraints=self.constraints
+            )
+            worst = min(
+                (
+                    r.slack_ps
+                    for r in analysis.slack
+                    if r.slack_ps is not None
+                ),
+                default=None,
+            )
+            indeterminate = sum(
+                1
+                for r in analysis.slack
+                if r.slack_ps is None and not r.waived
+            )
+            pre = Prescreen(
+                ok=analysis.ok
+                and not analysis.cdc_errors
+                and not indeterminate,
+                worst_slack_ps=worst,
+                cdc_errors=len(analysis.cdc_errors),
+                indeterminate=indeterminate,
+                seconds=time.perf_counter() - t0,
+            )
+
+        phases = PhaseTimes()
+        t0 = time.perf_counter()
+        # Structural validation inspects only pins/connections and
+        # assertions; delay and parameter edits cannot change its verdict,
+        # so the cached warnings stand unless an edit said otherwise.
+        if (
+            self._warnings is None
+            or self._dirty.topology
+            or self._dirty.structure
+        ):
+            self._warnings = check_structure(self.circuit)
+        warnings = self._warnings
+        engine = self.engine
+        if self._dirty.topology:
+            engine.rebuild_topology()
+        engine.forget_connections(self._dirty.stale_connections)
+        dirty_comps = list(self._dirty.components.values())
+        self._dirty.clear()
+        cases = self.circuit.cases or [{}]
+        engine.incremental_begin(cases[0], dirty_comps)
+        phases.build = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        xref = list(engine.xref_assumed_stable)
+        phases.cross_reference = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        report = CheckReport()
+        case_results: list[CaseResult] = []
+        for index, case in enumerate(cases):
+            if index > 0:
+                engine.apply_case(case)
+            events = engine.run()
+            report.extend(engine.check(case_index=index))
+            case_results.append(
+                CaseResult(
+                    index=index,
+                    assignments=dict(case),
+                    waveforms=engine.snapshot(),
+                    events=events,
+                )
+            )
+        phases.verify = time.perf_counter() - t0
+
+        result = self._package(report, case_results, xref, warnings, phases)
+        self.runs += 1
+        return IncrementalResult(result=result, incremental=True, prescreen=pre)
+
+    def _package(self, report, case_results, xref, warnings, phases):
+        engine = self._engine
+        result = VerificationResult(
+            circuit_name=self.circuit.name,
+            report=report,
+            cases=case_results,
+            stats=engine.stats,
+            phases=phases,
+            xref_assumed_stable=xref,
+            structure_warnings=warnings,
+            primitive_count=sum(
+                1
+                for c in self.circuit.iter_components()
+                if not c.prim.is_checker
+            ),
+            config=self.config,
+        )
+        t0 = time.perf_counter()
+        result.summary_listing()
+        phases.summary = time.perf_counter() - t0
+        return result
+
+    # ------------------------------------------------------------------
+    # static analyses over the session's (edited) circuit
+    # ------------------------------------------------------------------
+
+    def sta(self):
+        """Static windows/domains/slack over the current circuit state."""
+        from .sta import analyze
+
+        return analyze(self.circuit, self.config, constraints=self.constraints)
+
+    def fmax(self):
+        """Analytic Fmax (period-affine windows) for the current state."""
+        from .sta.parametric import solve_fmax
+
+        return solve_fmax(
+            self.circuit, self.config, constraints=self.constraints
+        )

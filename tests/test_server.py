@@ -1,0 +1,146 @@
+"""Tests for the session server (repro.server, ``scald-serve``).
+
+The server runs in-process on an ephemeral loopback port; every wire
+answer is checked against the direct Python API on the same design, so
+the HTTP layer can only ever be a transport, never a second
+implementation.
+"""
+
+import threading
+
+import pytest
+
+from repro import Session
+from repro.incremental import ParamEdit, WireDelayEdit, edit_to_doc
+from repro.reporting.stafmt import fmax_doc, sta_doc
+from repro.server import ServerError, SessionClient, SessionServer
+
+SHIFTER = "examples/designs/shifter.scald"
+MULTICYCLE = "examples/designs/multicycle.scald"
+MULTICYCLE_SDC = "examples/designs/multicycle.sdc"
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = SessionServer(port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+@pytest.fixture
+def client(server):
+    cli = SessionClient("127.0.0.1", server.port)
+    yield cli
+    for entry in cli.sessions():
+        cli.delete(entry["id"])
+    cli.close()
+
+
+class TestLifecycle:
+    def test_health(self, client):
+        doc = client.health()
+        assert doc["ok"] and doc["sessions"] == 0
+
+    def test_create_list_delete(self, client):
+        sid = client.create(path=SHIFTER)
+        listing = client.sessions()
+        assert [s["id"] for s in listing] == [sid]
+        assert listing[0]["circuit"] == "SHIFTER"
+        client.delete(sid)
+        assert client.sessions() == []
+
+    def test_create_from_source(self, client):
+        sid = client.create(source=open(SHIFTER).read(), name="inline")
+        assert client.verify(sid)["ok"]
+
+    def test_unknown_session_404(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.verify("s999")
+        assert exc.value.status == 404
+
+    def test_create_needs_exactly_one_input(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.create(name="nothing")
+        assert exc.value.status == 400
+        with pytest.raises(ServerError) as exc:
+            client.create(path=SHIFTER, source="design X;")
+        assert exc.value.status == 400
+
+    def test_bad_route_404(self, client):
+        with pytest.raises(ServerError) as exc:
+            client._request("POST", "/frobnicate")
+        assert exc.value.status == 404
+
+
+class TestVerifyOverHttp:
+    def test_verify_matches_direct_api(self, client):
+        sid = client.create(path=SHIFTER)
+        doc = client.verify(sid)
+        direct = Session.from_file(SHIFTER).verify()
+        assert doc["ok"] == direct.ok
+        assert doc["error_listing"] == direct.error_listing()
+        assert doc["summary_listing"] == direct.summary_listing()
+        assert doc["xref_assumed_stable"] == direct.xref_assumed_stable
+        assert doc["profile"]["primitives"] == direct.primitive_count
+
+    def test_edit_reverify_matches_direct_api(self, client):
+        edits = [
+            WireDelayEdit("AFTER 1", (0.0, 1.0)),
+            ParamEdit("s1/rot", {"delay": (2.0, 5.5)}),
+        ]
+        sid = client.create(path=SHIFTER)
+        client.verify(sid)
+        assert client.edit(sid, *[edit_to_doc(e) for e in edits]) == {
+            "ok": True,
+            "applied": 2,
+        }
+        doc = client.reverify(sid, prescreen=False)
+
+        direct = Session.from_file(SHIFTER)
+        direct.verify()
+        direct.edit(*edits)
+        inc = direct.reverify(prescreen=False)
+        assert doc["incremental"] is True
+        assert doc["prescreen"] is None
+        assert doc["ok"] == inc.ok
+        assert doc["error_listing"] == inc.result.error_listing()
+        assert doc["summary_listing"] == inc.result.summary_listing()
+        assert (
+            doc["profile"]["incremental"]["dirty_primitives"]
+            == inc.stats.dirty_primitives
+        )
+
+    def test_reverify_prescreen_on_wire(self, client):
+        sid = client.create(path=SHIFTER)
+        client.verify(sid)
+        doc = client.reverify(sid, prescreen=True)
+        assert doc["prescreen"] is not None
+        assert doc["prescreen"]["ok"] is True
+
+    def test_bad_edit_is_a_400(self, client):
+        sid = client.create(path=SHIFTER)
+        with pytest.raises(ServerError) as exc:
+            client.edit(sid, {"kind": "wire_delay", "net": "NO SUCH NET",
+                              "delay_ns": [0.0, 1.0]})
+        assert exc.value.status == 400
+        # The session survives a rejected edit.
+        assert client.verify(sid)["ok"]
+
+    def test_sdc_path_rides_along(self, client):
+        sid = client.create(path=MULTICYCLE, sdc_path=MULTICYCLE_SDC)
+        assert client.verify(sid)["ok"]
+        bare = client.create(path=MULTICYCLE)
+        assert not client.verify(bare)["ok"]
+
+
+class TestStaticOverHttp:
+    def test_sta_matches_direct_doc(self, client):
+        sid = client.create(path=SHIFTER)
+        assert client.sta(sid) == sta_doc(Session.from_file(SHIFTER).sta())
+
+    def test_fmax_matches_direct_doc(self, client):
+        sid = client.create(path=SHIFTER)
+        assert client.fmax(sid) == fmax_doc(Session.from_file(SHIFTER).fmax())

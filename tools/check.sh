@@ -196,4 +196,102 @@ for chips, seed in ((60, 1), (200, 7)):
 EOF
 
 echo
+echo "== incremental-equivalence gate: reverify == from-scratch =="
+# Every typed edit class on the shipped designs, plus a deterministic
+# edit sweep over synthetic circuits: the incremental run's listings must
+# be byte-identical to a from-scratch run on the same edited circuit
+# (assert_incremental_equivalent raises otherwise).
+python - <<'EOF'
+from repro import Session
+from repro.incremental import (
+    AssertionEdit,
+    ParamEdit,
+    ReconnectEdit,
+    WireDelayEdit,
+    assert_incremental_equivalent,
+)
+from repro.workloads.synth import SynthConfig, generate
+
+edits_by_design = {
+    "examples/designs/shifter.scald": [
+        WireDelayEdit("AFTER 1", (0.0, 25.0)),
+        ParamEdit("s2/rot", {"delay": (2.0, 6.0)}),
+        ReconnectEdit("outreg/r", "DATA", "AFTER 1"),
+        WireDelayEdit("AFTER 1", None),
+    ],
+    "examples/designs/multicycle.scald": [
+        AssertionEdit("DIN .S0-6", ".S1-6"),
+        ParamEdit("su", {"setup": 1.0}),
+    ],
+    "examples/designs/recovery.scald": [
+        ParamEdit("hold", {"delay": (1.0, 4.0)}),
+    ],
+}
+for path, edits in edits_by_design.items():
+    session = Session.from_file(path)
+    session.verify()
+    for edit in edits:
+        session.edit(edit)
+        assert_incremental_equivalent(session)
+    print(f"ok: {path} ({len(edits)} edits, reverify == scratch)")
+
+for chips, seed in ((60, 1), (200, 7)):
+    circuit, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
+    session = Session(circuit)
+    session.verify()
+    nets = sorted(n for n in circuit.nets if n.startswith("S0 R "))
+    for i, net in enumerate(nets[:4]):
+        session.edit(WireDelayEdit(net, (0.0, 0.25 * (i + 1))))
+        inc = assert_incremental_equivalent(session)
+    print(f"ok: synth chips={chips} seed={seed} reverify == scratch "
+          f"(last edit dirtied {inc.stats.dirty_primitives} primitives)")
+EOF
+
+echo
+echo "== scald-serve smoke: HTTP answers match the direct API =="
+# Start the server on an ephemeral port, drive a load/verify/edit/
+# reverify round-trip through the wire protocol, and require the same
+# listings the in-process Session produces.
+python - <<'EOF'
+import json
+import subprocess
+import sys
+import threading
+
+from repro import Session
+from repro.incremental import WireDelayEdit, edit_to_doc
+from repro.server import SessionClient
+
+proc = subprocess.Popen(
+    [sys.executable, "-m", "repro.server", "--port", "0"],
+    stdout=subprocess.PIPE,
+    text=True,
+)
+try:
+    port = json.loads(proc.stdout.readline())["port"]
+    client = SessionClient("127.0.0.1", port)
+    assert client.health()["ok"]
+
+    sid = client.create(path="examples/designs/shifter.scald")
+    wire_full = client.verify(sid)
+    client.edit(sid, edit_to_doc(WireDelayEdit("AFTER 1", (0.0, 25.0))))
+    wire_inc = client.reverify(sid, prescreen=False)
+
+    direct = Session.from_file("examples/designs/shifter.scald")
+    full = direct.verify()
+    direct.edit(WireDelayEdit("AFTER 1", (0.0, 25.0)))
+    inc = direct.reverify(prescreen=False)
+
+    assert wire_full["ok"] and wire_full["error_listing"] == full.error_listing()
+    assert wire_inc["incremental"] and not wire_inc["ok"]
+    assert wire_inc["error_listing"] == inc.result.error_listing()
+    assert wire_inc["summary_listing"] == inc.result.summary_listing()
+    client.delete(sid)
+    print("ok: scald-serve load/verify/edit/reverify == direct Session")
+finally:
+    proc.terminate()
+    proc.wait(timeout=10)
+EOF
+
+echo
 echo "all checks passed."
