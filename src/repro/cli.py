@@ -48,8 +48,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="verify cases in N parallel worker processes "
-        "(default 1: serial in-process)",
+        help="verify in N parallel worker processes: cases are sharded "
+        "into contiguous blocks, and a single-case design is partitioned "
+        "along its register/feedback cuts (default 1: serial in-process)",
     )
     parser.add_argument(
         "--wire-delay", metavar="MIN:MAX", default=None,
@@ -128,6 +129,11 @@ def main(argv: list[str] | None = None) -> int:
         print("bad flags: --bit-blast verifies the per-bit expansion "
               "in-process; it cannot be combined with --jobs", file=sys.stderr)
         return 2
+    if args.fmax and args.jobs > 1:
+        print("bad flags: --fmax bisects over the clock period with serial "
+              "engine runs (the pool workers would hold the stale period); "
+              "it cannot be combined with --jobs", file=sys.stderr)
+        return 2
     if args.case is None:
         args.case = 0
 
@@ -194,11 +200,15 @@ def main(argv: list[str] | None = None) -> int:
         circuit = bit_blast(circuit)
 
     if args.jobs > 1:
-        from .parallel import verify_parallel
+        from .parallel import WorkerCrash, verify_parallel
 
-        result = verify_parallel(
-            circuit, config, jobs=args.jobs, constraints=constraints
-        )
+        try:
+            result = verify_parallel(
+                circuit, config, jobs=args.jobs, constraints=constraints
+            )
+        except WorkerCrash as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
         result = TimingVerifier(
             circuit, config, constraints=constraints

@@ -265,6 +265,11 @@ class Engine:
         #: on the scalar fast path.
         self._word_needed = False
         self._fixed: set[Net] = set()
+        #: Partition scope (``repro.parallel``): when set, only components
+        #: named here may enter the worklist — boundary values adopted from
+        #: other partitions still store and fan out, but their loads outside
+        #: the scope are someone else's work.  None means unrestricted.
+        self._scope: set[str] | None = None
         self._gating: dict[str, str] = {}  # component name -> directive pin
         self._eval_counts: dict[str, int] = {}
         #: Worklist: a FIFO deque in the naive engine, a rank-keyed heap of
@@ -317,6 +322,62 @@ class Engine:
         """Swap the resolved constraint set, invalidating cached verdicts."""
         self.constraints = constraints
         self._constraints_token += 1
+
+    # ------------------------------------------------------------------
+    # partition support (repro.parallel single-case sharding)
+    # ------------------------------------------------------------------
+
+    def set_scope(self, names) -> None:
+        """Restrict the worklist to the named components; None lifts it.
+
+        Under a scope, adopted boundary values still store and fan out,
+        but loads outside the scope never enter the worklist — they are
+        another partition's responsibility.
+        """
+        self._scope = set(names) if names is not None else None
+
+    def component_ranks(self) -> dict[str, int]:
+        """A copy of the levelized ranks (partition planning reads them)."""
+        return dict(self._ranks)
+
+    def adopt_values(self, items) -> None:
+        """Adopt externally converged net values (boundary exchange).
+
+        ``items`` yields ``(net_name, base, lanes)`` with ``lanes`` a
+        sparse ``{lane: Waveform}`` override dict or None.  Values are
+        interned and stored verbatim — not re-evaluated and not passed
+        through the case map, because the sending partition already
+        applied its case mapping; a transfer is not an evaluation, so
+        ``stats.events`` is untouched.  Loads of a changed net are
+        enqueued (the scope filter applies), which is exactly how an
+        adopted change propagates into this partition.
+        """
+        for name, base, lanes in items:
+            net = self.circuit.nets.get(name)
+            if net is None:
+                continue
+            rep = self.circuit.find(net)
+            if rep in self._fixed:
+                continue
+            base = self._intern(base)
+            new_lanes = (
+                {lane: self._intern(wf) for lane, wf in lanes.items()}
+                if lanes
+                else None
+            )
+            prev = self.values.get(rep)
+            if (prev is base or prev == base) and (
+                self._lanes.get(rep) or None
+            ) == new_lanes:
+                continue
+            self.values[rep] = base
+            if new_lanes:
+                self._lanes[rep] = new_lanes
+                self._word_needed = True
+            else:
+                self._lanes.pop(rep, None)
+            for load in self._loads.get(rep, ()):
+                self._enqueue(load)
 
     def _compute_ranks(self) -> dict[str, int]:
         """Topological depth of every non-checker component.
@@ -627,6 +688,8 @@ class Engine:
 
     def _enqueue(self, comp: Component) -> None:
         if comp.prim.is_checker or comp.name in self._queued:
+            return
+        if self._scope is not None and comp.name not in self._scope:
             return
         if self.config.levelized_scheduling:
             heapq.heappush(

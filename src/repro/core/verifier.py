@@ -44,6 +44,41 @@ class PhaseTimes:
 
 
 @dataclass
+class PoolStats:
+    """Lifetime counters of one warm worker pool (``repro.parallel``).
+
+    The pool owns the counters and keeps them across runs; each
+    :class:`VerificationResult` carries a point-in-time copy, so two
+    consecutive results from the same session show the warm reuse
+    (``runs`` grows, ``pool_starts`` does not).
+    """
+
+    #: Worker processes in the pool.
+    workers: int = 0
+    #: Times the pool (re)forked its workers — 1 for a warm session.
+    pool_starts: int = 0
+    #: Pooled verification runs served (block or partition mode).
+    runs: int = 0
+    #: Runs served from converged worker state via the incremental path.
+    warm_runs: int = 0
+    #: Typed edits shipped to workers instead of re-pickling the circuit.
+    edits_shipped: int = 0
+    #: Distinct waveforms serialized across the pipe (codec misses).
+    waveforms_shipped: int = 0
+    #: Waveform references sent as bare integers (codec hits).
+    waveform_refs: int = 0
+    #: Full per-case snapshots fetched lazily because a listing needed one.
+    snapshots_fetched: int = 0
+    #: Circuit partitions of the last single-case partitioned run.
+    partitions: int = 0
+    #: Boundary-waveform exchange rounds until the global fixed point.
+    boundary_rounds: int = 0
+
+    def copy(self) -> "PoolStats":
+        return PoolStats(**self.__dict__)
+
+
+@dataclass
 class VerificationResult:
     """Everything a verification run produced."""
 
@@ -64,6 +99,8 @@ class VerificationResult:
     #: was parallel (``repro.parallel``); None for serial runs, whose
     #: wall times already equal their CPU spend.
     phases_cpu: PhaseTimes | None = None
+    #: Warm-pool counters at the end of this run; None for serial runs.
+    pool: "PoolStats | None" = None
 
     @property
     def violations(self) -> list[Violation]:

@@ -133,7 +133,7 @@ class InternTable:
 
     def intern(self, wf: "Waveform") -> "Waveform":
         """The canonical shared instance equal to ``wf`` in this table."""
-        key = (wf.period, wf.segments, wf.skew, wf.eval_str)
+        key = wf.canonical_key
         existing = self.table.get(key)
         if existing is not None:
             return existing
@@ -234,6 +234,16 @@ class Waveform:
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Waveform is immutable")
+
+    @property
+    def canonical_key(self) -> tuple:
+        """The four canonical fields as an intern/dedup key.
+
+        Two waveforms are equal exactly when their keys are; the intern
+        tables and the parallel pool's digest codec both key on it.  (The
+        engine's hottest store path still inlines the tuple.)
+        """
+        return (self.period, self.segments, self.skew, self.eval_str)
 
     def __reduce__(self):
         # The four canonical fields fully determine the value; the lazily

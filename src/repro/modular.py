@@ -107,19 +107,32 @@ def verify_sections(
     sections: dict[str, Circuit],
     config: VerifyConfig | None = None,
     jobs: int = 1,
+    constraints=None,
 ) -> ModularResult:
     """Verify each section independently and check interface consistency.
 
-    With ``jobs > 1`` the sections — independent circuits by construction —
-    are verified one-per-worker in parallel processes; the merged result is
-    identical to the serial one (see ``repro.parallel``).
+    ``constraints`` is either a mapping from section name to that
+    section's resolved constraint set, or a single set applied to every
+    section.  With ``jobs > 1`` the sections — independent circuits by
+    construction — are verified one-per-worker in parallel processes; the
+    merged result is identical to the serial one (see ``repro.parallel``),
+    constraints included.
     """
     if jobs > 1:
         from .parallel import verify_sections_parallel
 
-        return verify_sections_parallel(sections, config, jobs=jobs)
+        return verify_sections_parallel(
+            sections, config, jobs=jobs, constraints=constraints
+        )
     result = ModularResult()
     for name, circuit in sections.items():
-        result.sections[name] = TimingVerifier(circuit, config).verify()
+        section_constraints = (
+            constraints.get(name)
+            if isinstance(constraints, dict)
+            else constraints
+        )
+        result.sections[name] = TimingVerifier(
+            circuit, config, constraints=section_constraints
+        ).verify()
     result.interface_issues = check_interfaces(sections)
     return result

@@ -1,38 +1,53 @@
-"""Process-parallel verification: case sharding and section sharding.
+"""Process-parallel verification: a warm worker pool, case sharding,
+single-case circuit partitioning, and section sharding.
 
-The ROADMAP's scaling story is that both axes of a large verification run
-are embarrassingly parallel: every §2.7 case is an independent fixed-point
-problem over the same circuit, and every §2.5.2 modular section is an
-independent circuit.  This module fans either axis out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` (stdlib only) and merges
-the results deterministically, so ``--jobs N`` output is byte-identical to
-a serial run.
+The ROADMAP's scaling story has two halves.  The first is that both axes
+of a large verification run are embarrassingly parallel: every §2.7 case
+is an independent fixed-point problem over the same circuit, and every
+§2.5.2 modular section is an independent circuit.  The second — this
+module's reason to exist after the fork-per-run pool *lost* to serial
+(``BENCH_parallel.json``) — is that the transfer costs dominate unless
+the pool is persistent and the traffic is deltas:
 
-Case sharding works in contiguous *blocks*: worker *k* receives the pickled
-circuit once (via the pool initializer) and holds it in a single
-:class:`~repro.session.Session` — the same object that owns run-scoped
-engine state everywhere else, replacing the module-level worker globals
-this file used to carry.  Each block runs ``initialize(cases[start])`` on
-the session's persistent engine and then ``apply_case`` incrementally
-through its block — the same §2.7 incremental re-evaluation the serial
-verifier uses, just restarted at each block boundary.  A from-scratch
-fixed point and an incremental one converge to the same waveforms (the
-fixed point is unique for a legal synchronous design), so per-case
-violations, waveforms and summaries match the serial run exactly; only
-the engine work counters differ (each block pays its own initialization
-events).
+* **Pool lifetime.**  A :class:`WorkerPool` is owned by a
+  :class:`repro.session.Session` and forks its workers once, lazily, on
+  the first pooled run; the circuit crosses the process boundary exactly
+  once (by fork copy-on-write where available).  The workers survive
+  across ``verify``/``reverify``/CLI calls — each holds its own Session,
+  so consecutive runs on a warm worker re-enter the fixed point through
+  :meth:`Engine.incremental_begin` instead of re-initializing, and
+  typed :mod:`repro.incremental` edits are shipped over the pipe instead
+  of re-pickling the circuit.
 
-Merging is deterministic: blocks are keyed by their start index, per-case
-violations are concatenated in case order (the serial ``report.extend``
-order), :class:`EngineStats` counters are summed via
-:meth:`EngineStats.merged`, and phase times are max-reduced for wall clock
-(workers run concurrently) while a second :class:`PhaseTimes` records the
-sum-reduced CPU seconds in ``result.phases_cpu``.
+* **Digest transfer.**  Waveforms cross each pipe through a symmetric
+  codec (:class:`_WaveEncoder`/:class:`_WaveDecoder`): the first shipment
+  of a value is ``(id, Waveform)``, every repeat is a bare integer — the
+  receiving side appends to its table in lockstep, so no handshake is
+  needed and a converged value that appears in every case costs one
+  pickle total.  Per-case snapshots stay on the worker; the parent's
+  :class:`CaseResult` holds a :class:`LazySnapshot` that fetches the full
+  listing only when something reads it.
 
-The enabling layer is serialization: :class:`Waveform` unpickles through
-``Waveform.intern`` (see ``core/waveform.py``), so restored waveforms
-re-enter the intern table and identity-based convergence stays sound in
-every process.
+* **Single-case partitioning.**  With one case there is no case axis, so
+  :func:`plan_partition` splits the circuit itself along the levelized
+  rank boundaries the engine already computes (rank groups are delimited
+  exactly by the register/latch feedback cuts of ``_compute_ranks`` — the
+  same H-graph structure ``repro.sta`` levelizes).  Each worker runs its
+  partition under an engine *scope* and the parent relays only changed
+  boundary waveforms between rounds until no boundary value moves.  The
+  union of the per-partition converged values then satisfies every
+  component's equation simultaneously, i.e. it *is* a fixed point of the
+  whole circuit — and for a legal synchronous design the fixed point is
+  unique (the same argument behind case blocks and incremental
+  re-verify), so it equals the serial result.  The parent adopts the
+  values, runs the checking pass itself, and the listings come out
+  byte-identical by construction.
+
+Merging stays deterministic: blocks are keyed by their start index,
+per-case violations are concatenated in case order, stats are summed via
+:meth:`EngineStats.merged`, and wall/CPU phase times are max-/sum-reduced
+as before.  A worker death is reported as :class:`WorkerCrash` naming the
+unit of work that was outstanding, not a raw traceback.
 """
 
 from __future__ import annotations
@@ -41,20 +56,32 @@ import multiprocessing
 import os
 import pickle
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from .core.config import VerifyConfig
 from .core.engine import EngineStats
 from .core.verifier import (
-    CaseResult,
-    PhaseTimes,
+    PoolStats,
     TimingVerifier,
     VerificationResult,
 )
-from .core.violations import CheckReport, Violation
+from .core.violations import Violation
+from .core.waveform import Waveform
 from .netlist.circuit import Circuit
-from .netlist.validate import check as check_structure
+
+__all__ = [
+    "LazySnapshot",
+    "PartitionPlan",
+    "WorkerCrash",
+    "WorkerPool",
+    "case_blocks",
+    "plan_partition",
+    "verify_parallel",
+    "verify_sections_parallel",
+]
 
 
 def _pool_context():
@@ -83,14 +110,208 @@ def case_blocks(n_cases: int, jobs: int) -> list[tuple[int, int]]:
     return blocks
 
 
+class WorkerCrash(RuntimeError):
+    """A pool worker died mid-run (OOM kill, hard crash, broken pipe).
+
+    ``what`` names the unit of work that was outstanding — the CLI prints
+    it on stderr and exits 2 instead of surfacing a raw
+    ``BrokenProcessPool`` traceback.
+    """
+
+    def __init__(self, what: str, detail: str = "") -> None:
+        self.what = what
+        self.detail = detail
+        msg = f"parallel worker died while running {what}"
+        if detail:
+            msg = f"{msg}: {detail}"
+        super().__init__(msg)
+
+
+# ----------------------------------------------------------------------
+# waveform digest codec
+# ----------------------------------------------------------------------
+
+
+class _WaveEncoder:
+    """One direction of one pipe's waveform digest codec.
+
+    Ids are dense and monotonic in first-shipment order; the peer
+    :class:`_WaveDecoder` appends to its table in the same order, so both
+    sides stay in lockstep without a handshake.  Keyed on
+    :attr:`Waveform.canonical_key` (value equality), so two equal
+    waveforms — even from different cases — cross the pipe once.
+    """
+
+    __slots__ = ("ids", "stats")
+
+    def __init__(self, stats: PoolStats | None = None) -> None:
+        self.ids: dict[tuple, int] = {}
+        self.stats = stats
+
+    def encode(self, wf: Waveform):
+        key = wf.canonical_key
+        ref = self.ids.get(key)
+        if ref is not None:
+            if self.stats is not None:
+                self.stats.waveform_refs += 1
+            return ref
+        ref = len(self.ids)
+        self.ids[key] = ref
+        if self.stats is not None:
+            self.stats.waveforms_shipped += 1
+        return (ref, wf)
+
+    def encode_value(self, base: Waveform, lanes: dict[int, Waveform] | None):
+        """Encode a net value: shared base plus sparse per-lane overrides."""
+        if not lanes:
+            return (self.encode(base), None)
+        return (
+            self.encode(base),
+            [(lane, self.encode(wf)) for lane, wf in sorted(lanes.items())],
+        )
+
+
+class _WaveDecoder:
+    """The receiving end of :class:`_WaveEncoder` (same pipe, same order)."""
+
+    __slots__ = ("store", "stats")
+
+    def __init__(self, stats: PoolStats | None = None) -> None:
+        self.store: list[Waveform] = []
+        self.stats = stats
+
+    def decode(self, enc) -> Waveform:
+        if type(enc) is int:
+            if self.stats is not None:
+                self.stats.waveform_refs += 1
+            return self.store[enc]
+        _ref, wf = enc  # unpickling already interned it (_restore_waveform)
+        self.store.append(wf)
+        if self.stats is not None:
+            self.stats.waveforms_shipped += 1
+        return wf
+
+    def decode_value(self, enc) -> tuple[Waveform, dict[int, Waveform] | None]:
+        base_enc, lane_enc = enc
+        base = self.decode(base_enc)
+        if not lane_enc:
+            return base, None
+        return base, {lane: self.decode(e) for lane, e in lane_enc}
+
+
+class LazySnapshot(dict):
+    """A per-case waveform listing fetched from its worker on first read.
+
+    Quacks exactly like the plain ``{name: Waveform}`` dict the serial
+    verifier stores in :class:`CaseResult.waveforms`; the fetch happens on
+    the first read access (listings, crosscheck, ``result.waveform()``),
+    so a run whose snapshots nobody reads ships no waveforms at all.
+    Pickling materializes to a plain dict, so results stay portable after
+    the pool is gone.
+    """
+
+    __slots__ = ("_fetch", "__weakref__")
+
+    def __init__(self, fetch) -> None:
+        super().__init__()
+        self._fetch = fetch
+
+    @property
+    def loaded(self) -> bool:
+        return self._fetch is None
+
+    def _load(self) -> None:
+        if self._fetch is not None:
+            fetch, self._fetch = self._fetch, None
+            super().update(fetch())
+
+    def __getitem__(self, key):
+        self._load()
+        return super().__getitem__(key)
+
+    def __contains__(self, key):
+        self._load()
+        return super().__contains__(key)
+
+    def __iter__(self):
+        self._load()
+        return super().__iter__()
+
+    def __len__(self):
+        self._load()
+        return super().__len__()
+
+    def get(self, key, default=None):
+        self._load()
+        return super().get(key, default)
+
+    def keys(self):
+        self._load()
+        return super().keys()
+
+    def values(self):
+        self._load()
+        return super().values()
+
+    def items(self):
+        self._load()
+        return super().items()
+
+    def copy(self):
+        self._load()
+        return dict(self)
+
+    def __eq__(self, other):
+        self._load()
+        if isinstance(other, LazySnapshot):
+            other._load()
+        return dict.__eq__(self, other)
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __repr__(self):
+        self._load()
+        return dict.__repr__(self)
+
+    def __reduce__(self):
+        self._load()
+        return (dict, (dict(self),))
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+
+
 @dataclass
 class _BlockResult:
-    """What one worker hands back for its contiguous case block."""
+    """What one worker hands back for its contiguous case block.
+
+    Waveform snapshots deliberately stay on the worker — the parent holds
+    a :class:`LazySnapshot` per case and fetches on demand.
+    """
 
     start: int
-    case_results: list[CaseResult]
     violations: list[list[Violation]]  # per case, in block order
+    assignments: list[dict[str, int]]
+    events: list[int]
     xref_assumed_stable: list[str]
+    stats: EngineStats
+    warm: bool
+    build_wall: float
+    build_cpu: float
+    verify_wall: float
+    verify_cpu: float
+
+
+@dataclass
+class _PartitionResult:
+    """One partition's contribution to a single-case run (``pfinish``)."""
+
+    values: list  # encoded (name, value) for every owned driven net
+    gating: dict[str, str]
     stats: EngineStats
     build_wall: float
     build_cpu: float
@@ -98,68 +319,609 @@ class _BlockResult:
     verify_cpu: float
 
 
-# The worker-process session, set once per worker by the pool initializer
-# so the circuit is unpickled (or inherited through fork) once, not per
-# block.  One Session replaces the circuit/config/cases/constraints
-# globals this module used to juggle: the session owns the persistent
-# engine (and its intern table), and consecutive blocks on the same
-# worker reuse it instead of rebuilding topology maps and ranks.
-_worker_session: "Session | None" = None
-_worker_cases: list[dict[str, int]] = []
+@dataclass
+class PartitionPlan:
+    """A single-case split of the circuit along rank-group boundaries.
 
-
-def _init_case_worker(payload: bytes) -> None:
-    global _worker_session, _worker_cases
-    from .session import Session
-
-    circuit, config, _worker_cases, constraints = pickle.loads(payload)
-    _worker_session = Session(circuit, config, constraints=constraints)
-
-
-def _run_case_block(start: int, stop: int) -> _BlockResult:
-    """Verify cases ``start..stop`` incrementally on the worker's engine.
-
-    ``initialize`` is a full reset of the session engine's value state, so
-    block output is byte-identical to a serial run regardless of which
-    blocks this worker served before; what carries over is the expensive
-    circuit-shaped state (topology maps, levelized ranks, interned
-    waveforms shared through the session table).
+    ``parts[k]`` is partition *k*'s component-name scope; ``out_nets[k]``
+    the boundary nets it drives that some other partition reads;
+    ``owned_nets[k]`` every driven net it owns (what the parent adopts at
+    the end); ``readers`` maps each boundary net to the partitions that
+    read it.
     """
-    assert _worker_session is not None
-    t0, c0 = time.perf_counter(), time.process_time()
-    engine = _worker_session.engine
-    engine.initialize(_worker_cases[start])
-    xref = list(engine.xref_assumed_stable)
-    build_wall = time.perf_counter() - t0
-    build_cpu = time.process_time() - c0
 
-    t0, c0 = time.perf_counter(), time.process_time()
-    case_results: list[CaseResult] = []
-    violations: list[list[Violation]] = []
-    for index in range(start, stop):
-        if index > start:
-            engine.apply_case(_worker_cases[index])
-        events = engine.run()
-        violations.append(engine.check(case_index=index))
-        case_results.append(
-            CaseResult(
-                index=index,
-                assignments=dict(_worker_cases[index]),
-                waveforms=engine.snapshot(),
-                events=events,
-            )
-        )
-    return _BlockResult(
-        start=start,
-        case_results=case_results,
-        violations=violations,
-        xref_assumed_stable=xref,
-        stats=engine.stats,
-        build_wall=build_wall,
-        build_cpu=build_cpu,
-        verify_wall=time.perf_counter() - t0,
-        verify_cpu=time.process_time() - c0,
+    parts: list[list[str]]
+    out_nets: list[list[str]]
+    owned_nets: list[list[str]]
+    readers: dict[str, list[int]]
+
+
+#: A partition below this many components is not worth a boundary
+#: exchange; the planner shrinks the part count (or gives up) instead.
+_MIN_PART_COMPONENTS = 8
+
+
+def plan_partition(circuit: Circuit, engine, parts: int) -> PartitionPlan | None:
+    """Split the circuit into ``parts`` contiguous rank-ordered chunks.
+
+    Components are ordered by levelized rank (circuit order within a
+    rank), chunked into near-equal contiguous parts, and each cut is
+    snapped to the nearest rank-group boundary within a tolerance — rank
+    groups are delimited exactly where ``_compute_ranks`` cut feedback at
+    the sequential primitives, so a snapped cut crosses the register
+    H-graph edges the static pass identified, minimizing combinational
+    boundary traffic.  Returns None when the circuit is too small to be
+    worth a boundary exchange.
+    """
+    comps = [c for c in circuit.iter_components() if not c.prim.is_checker]
+    n = len(comps)
+    parts = min(parts, n // _MIN_PART_COMPONENTS)
+    if parts < 2:
+        return None
+    ranks = engine.component_ranks()
+    ordered = sorted(
+        range(n), key=lambda i: (ranks.get(comps[i].name, 0), i)
     )
+    ordered = [comps[i] for i in ordered]
+
+    def rank_of(i: int) -> int:
+        return ranks.get(ordered[i].name, 0)
+
+    tol = max(1, n // (4 * parts))
+    cuts: list[int] = []
+    for k in range(1, parts):
+        ideal = k * n // parts
+        best = None
+        for d in range(tol + 1):
+            for pos in (ideal - d, ideal + d):
+                if 0 < pos < n and rank_of(pos) != rank_of(pos - 1):
+                    best = pos
+                    break
+            if best is not None:
+                break
+        cuts.append(best if best is not None else ideal)
+    bounds = [0] + sorted(set(cuts)) + [n]
+    part_names: list[list[str]] = []
+    for a, b in zip(bounds, bounds[1:]):
+        if b <= a:
+            return None
+        part_names.append([c.name for c in ordered[a:b]])
+    if len(part_names) < 2:
+        return None
+
+    owner: dict[str, int] = {}
+    for k, names in enumerate(part_names):
+        for name in names:
+            owner[name] = k
+    # Driver map in circuit order, exactly like Engine.rebuild_topology
+    # (last output pin wins), so ownership matches the engine's.
+    driver_part: dict = {}
+    rep_name: dict = {}
+    for comp in comps:
+        for _pin, conn in comp.output_pins():
+            rep = circuit.find(conn.net)
+            driver_part[rep] = owner[comp.name]
+            rep_name[rep] = rep.name
+    readers: dict[str, set[int]] = {}
+    for comp in comps:
+        k = owner[comp.name]
+        for _pin, conn in comp.input_pins():
+            rep = circuit.find(conn.net)
+            owner_part = driver_part.get(rep)
+            if owner_part is not None and owner_part != k:
+                readers.setdefault(rep_name[rep], set()).add(k)
+    out_nets: list[list[str]] = [[] for _ in part_names]
+    owned_nets: list[list[str]] = [[] for _ in part_names]
+    for rep, k in driver_part.items():
+        name = rep_name[rep]
+        owned_nets[k].append(name)
+        if name in readers:
+            out_nets[k].append(name)
+    for lst in out_nets:
+        lst.sort()
+    for lst in owned_nets:
+        lst.sort()
+    return PartitionPlan(
+        parts=part_names,
+        out_nets=out_nets,
+        owned_nets=owned_nets,
+        readers={name: sorted(ks) for name, ks in readers.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# the worker process
+# ----------------------------------------------------------------------
+
+
+class _Worker:
+    """One pool worker: a Session plus the pipe protocol around it.
+
+    Strict request/reply: the parent never pipelines two requests to the
+    same worker, so the per-pipe codecs stay in lockstep by construction.
+    """
+
+    def __init__(self, conn, circuit, config, constraints) -> None:
+        from .session import Session
+
+        self.conn = conn
+        self.session = Session(circuit, config, constraints=constraints)
+        self.enc = _WaveEncoder()  # worker -> parent
+        self.dec = _WaveDecoder()  # parent -> worker
+        #: The worker engine holds a *full-block* converged state usable
+        #: by incremental_begin; partition runs leave non-owned internals
+        #: stale, so they clear it.
+        self.converged = False
+        self.snapshots: dict[int, dict[str, Waveform]] = {}
+        self.sent_names: tuple | None = None
+        # partition-run state
+        self.part_outs: list[str] = []
+        self.part_owned: list[str] = []
+        self.last_sent: dict[str, tuple] = {}
+        self.part_build = (0.0, 0.0)
+        self.part_verify = [0.0, 0.0]
+
+    def serve(self) -> None:
+        handlers = {
+            "edits": self._do_edits,
+            "block": self._do_block,
+            "fetch": self._do_fetch,
+            "pinit": self._do_pinit,
+            "pround": self._do_pround,
+            "pfinish": self._do_pfinish,
+        }
+        while True:
+            try:
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "quit":
+                break
+            handler = handlers.get(msg[0])
+            try:
+                if handler is None:
+                    raise ValueError(f"unknown pool command {msg[0]!r}")
+                self.conn.send(("ok", handler(*msg[1:])))
+            except Exception as exc:  # reply, don't die: the parent reports
+                import traceback
+
+                self.conn.send(
+                    ("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+                )
+
+    # -- shared ---------------------------------------------------------
+
+    def _reconcile(self):
+        """Fold queued edits into the engine, like Session.reverify does."""
+        session = self.session
+        engine = session.engine
+        if session._dirty.topology:
+            engine.rebuild_topology()
+        engine.forget_connections(session._dirty.stale_connections)
+        dirty = list(session._dirty.components.values())
+        session._dirty.clear()
+        return engine, dirty
+
+    # -- commands -------------------------------------------------------
+
+    def _do_edits(self, edits):
+        self.session.edit(*edits)
+        return None
+
+    def _do_block(self, start, block_cases):
+        t0, c0 = time.perf_counter(), time.process_time()
+        engine, dirty = self._reconcile()
+        engine.set_scope(None)
+        warm = self.converged and bool(engine.values)
+        if warm:
+            # Same path as a serial reverify: unique fixed point, so the
+            # incremental restart converges to byte-identical waveforms.
+            engine.incremental_begin(block_cases[0], dirty)
+        else:
+            engine.initialize(block_cases[0])
+        self.converged = False
+        xref = list(engine.xref_assumed_stable)
+        build_wall = time.perf_counter() - t0
+        build_cpu = time.process_time() - c0
+
+        t0, c0 = time.perf_counter(), time.process_time()
+        violations: list[list[Violation]] = []
+        assignments: list[dict[str, int]] = []
+        events: list[int] = []
+        store: dict[int, dict[str, Waveform]] = {}
+        for i, case in enumerate(block_cases):
+            index = start + i
+            if i > 0:
+                engine.apply_case(case)
+            events.append(engine.run())
+            violations.append(engine.check(case_index=index))
+            assignments.append(dict(case))
+            store[index] = engine.snapshot()
+        self.snapshots = store
+        self.converged = True
+        return _BlockResult(
+            start=start,
+            violations=violations,
+            assignments=assignments,
+            events=events,
+            xref_assumed_stable=xref,
+            stats=engine.stats,
+            warm=warm,
+            build_wall=build_wall,
+            build_cpu=build_cpu,
+            verify_wall=time.perf_counter() - t0,
+            verify_cpu=time.process_time() - c0,
+        )
+
+    def _do_fetch(self, index):
+        snap = self.snapshots[index]
+        names = tuple(snap)
+        header = None
+        if names != self.sent_names:
+            self.sent_names = names
+            header = names
+        return header, [self.enc.encode(snap[name]) for name in names]
+
+    def _changed_outs(self):
+        """Boundary values that moved since they were last shipped."""
+        engine = self.session.engine
+        circuit = self.session.circuit
+        out = []
+        for name in self.part_outs:
+            rep = circuit.find(circuit.nets[name])
+            base = engine.values.get(rep)
+            if base is None:
+                continue
+            lanes = engine._lanes.get(rep)
+            key = (
+                base.canonical_key,
+                tuple(
+                    sorted(
+                        (lane, wf.canonical_key) for lane, wf in lanes.items()
+                    )
+                )
+                if lanes
+                else None,
+            )
+            if self.last_sent.get(name) == key:
+                continue
+            self.last_sent[name] = key
+            out.append((name, self.enc.encode_value(base, lanes)))
+        return out
+
+    def _do_pinit(self, case, scope, out_nets, owned_nets):
+        t0, c0 = time.perf_counter(), time.process_time()
+        engine, _dirty = self._reconcile()
+        self.converged = False  # partition state is not block-restartable
+        self.part_outs = out_nets
+        self.part_owned = owned_nets
+        self.last_sent = {}
+        engine.set_scope(scope)
+        engine.initialize(case)
+        self.part_build = (
+            time.perf_counter() - t0,
+            time.process_time() - c0,
+        )
+        t0, c0 = time.perf_counter(), time.process_time()
+        engine.run()
+        self.part_verify = [
+            time.perf_counter() - t0,
+            time.process_time() - c0,
+        ]
+        return self._changed_outs()
+
+    def _do_pround(self, updates):
+        engine = self.session.engine
+        t0, c0 = time.perf_counter(), time.process_time()
+        engine.adopt_values(
+            (name, *self.dec.decode_value(enc)) for name, enc in updates
+        )
+        # Each round is a fresh partial fixed point; the oscillation valve
+        # must count per round, not across the whole exchange (the parent
+        # caps the round count instead).
+        engine._eval_counts.clear()
+        engine.run()
+        self.part_verify[0] += time.perf_counter() - t0
+        self.part_verify[1] += time.process_time() - c0
+        return self._changed_outs()
+
+    def _do_pfinish(self):
+        engine = self.session.engine
+        circuit = self.session.circuit
+        values = []
+        for name in self.part_owned:
+            rep = circuit.find(circuit.nets[name])
+            if rep in engine._fixed:
+                continue  # identical everywhere; the parent has its own
+            base = engine.values.get(rep)
+            if base is None:
+                continue
+            values.append(
+                (name, self.enc.encode_value(base, engine._lanes.get(rep)))
+            )
+        return _PartitionResult(
+            values=values,
+            gating=dict(engine._gating),
+            stats=engine.stats,
+            build_wall=self.part_build[0],
+            build_cpu=self.part_build[1],
+            verify_wall=self.part_verify[0],
+            verify_cpu=self.part_verify[1],
+        )
+
+
+def _worker_main(conn, circuit, config, constraints) -> None:
+    worker = _Worker(conn, circuit, config, constraints)
+    try:
+        worker.serve()
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# the parent-side pool
+# ----------------------------------------------------------------------
+
+
+def _shutdown_workers(procs, conns) -> None:
+    for conn in conns:
+        try:
+            conn.send(("quit",))
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=2.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class WorkerPool:
+    """A persistent warm pool of verification worker processes.
+
+    Owned by one :class:`repro.session.Session`; forked lazily on the
+    first pooled run and reused across ``verify``/``reverify`` calls (and
+    therefore across ``scald-serve`` requests on the same session).  The
+    circuit crosses once at fork time; afterwards only case assignments,
+    typed edits and waveform digests travel.  Results keep the pool alive
+    through their unfetched :class:`LazySnapshot` closures, so a one-shot
+    :func:`verify_parallel` result stays readable after the session is
+    gone; when the last reference drops, a finalizer reaps the workers
+    (they are daemons besides, so they can never outlive the parent).
+    """
+
+    def __init__(self, session, jobs: int) -> None:
+        self.session = session
+        self.jobs = max(1, jobs)
+        self.stats = PoolStats()
+        self._procs: list = []
+        self._conns: list = []
+        self._encoders: list[_WaveEncoder] = []
+        self._decoders: list[_WaveDecoder] = []
+        self._names: list[tuple | None] = []
+        self._outbox: list = []
+        self._watched: list[weakref.ref] = []
+        self._finalizer = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def _start(self) -> None:
+        ctx = _pool_context()
+        # The forked children inherit the *current* (already-edited)
+        # circuit, so anything still in the outbox is already applied.
+        self._outbox.clear()
+        self._procs, self._conns = [], []
+        self._encoders, self._decoders, self._names = [], [], []
+        for k in range(self.jobs):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    self.session.circuit,
+                    self.session.config,
+                    self.session.constraints,
+                ),
+                daemon=True,
+                name=f"scald-pool-{k}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._encoders.append(_WaveEncoder(self.stats))
+            self._decoders.append(_WaveDecoder(self.stats))
+            self._names.append(None)
+        self.stats.workers = self.jobs
+        self.stats.pool_starts += 1
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, list(self._procs), list(self._conns)
+        )
+
+    def shutdown(self) -> None:
+        """Reap the workers; a later run transparently restarts the pool."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._procs, self._conns = [], []
+        self._encoders, self._decoders, self._names = [], [], []
+
+    def close(self) -> None:
+        """Materialize outstanding lazy snapshots, then reap the workers."""
+        self._materialize_pending()
+        self.shutdown()
+
+    # -- plumbing -------------------------------------------------------
+
+    def queue_edits(self, edits) -> None:
+        self._outbox.extend(edits)
+
+    def _die(self, k: int, what: str):
+        detail = f"worker {k} (pid {self._procs[k].pid}) exited"
+        self.shutdown()
+        raise WorkerCrash(what, detail)
+
+    def _send(self, k: int, msg, what: str) -> None:
+        try:
+            self._conns[k].send(msg)
+        except (OSError, ValueError):
+            self._die(k, what)
+
+    def _recv(self, k: int, what: str):
+        """Wait for worker *k*'s reply, watching for its death.
+
+        Polling (not a blocking recv) because under fork each child
+        inherits the previously created pipe fds, so EOF on a dead
+        worker's pipe is not delivered until its siblings exit too.
+        """
+        conn, proc = self._conns[k], self._procs[k]
+        while True:
+            if conn.poll(0.05):
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError):
+                    self._die(k, what)
+                if kind == "err":
+                    raise RuntimeError(f"pool worker {k} failed in {what}:\n{payload}")
+                return payload
+            if not proc.is_alive():
+                if conn.poll(0):
+                    continue  # final reply raced the exit; drain it
+                self._die(k, what)
+
+    def _materialize_pending(self) -> None:
+        """Fetch snapshots still owed to older results before a new run
+        overwrites the workers' snapshot stores."""
+        watched, self._watched = self._watched, []
+        for ref in watched:
+            snap = ref()
+            if snap is not None and not snap.loaded:
+                snap._load()
+
+    def watch(self, snap: LazySnapshot) -> None:
+        self._watched.append(weakref.ref(snap))
+
+    def _ensure_ready(self, what: str) -> None:
+        self._materialize_pending()
+        if not self.started:
+            self._start()
+        if self._outbox:
+            edits, self._outbox = self._outbox, []
+            for k in range(len(self._conns)):
+                self._send(k, ("edits", edits), what)
+            for k in range(len(self._conns)):
+                self._recv(k, what)
+            self.stats.edits_shipped += len(edits)
+
+    # -- case blocks ----------------------------------------------------
+
+    def run_blocks(self, cases, blocks) -> list[_BlockResult]:
+        """Scatter contiguous case blocks, one per worker; gather in order."""
+        self._ensure_ready("edit shipment")
+        names = [f"case block {a}..{b - 1}" for a, b in blocks]
+        for k, (a, b) in enumerate(blocks):
+            self._send(k, ("block", a, cases[a:b]), names[k])
+        parts = [self._recv(k, names[k]) for k in range(len(blocks))]
+        self.stats.runs += 1
+        if parts and all(p.warm for p in parts):
+            self.stats.warm_runs += 1
+        return parts
+
+    def fetch_case(self, k: int, index: int) -> dict[str, Waveform]:
+        what = f"snapshot fetch (case {index})"
+        self._send(k, ("fetch", index), what)
+        header, encs = self._recv(k, what)
+        if header is not None:
+            self._names[k] = header
+        names = self._names[k]
+        dec = self._decoders[k]
+        self.stats.snapshots_fetched += 1
+        return {name: dec.decode(enc) for name, enc in zip(names, encs)}
+
+    # -- single-case partitioning --------------------------------------
+
+    def run_partition(self, case, plan: PartitionPlan):
+        """Drive the boundary exchange to the global fixed point.
+
+        Returns per-partition ``(values, gating, stats, timings)`` tuples
+        with the values already decoded, ready for
+        :meth:`Engine.adopt_values` on the parent.
+        """
+        self._ensure_ready("edit shipment")
+        nparts = len(plan.parts)
+        for k in range(nparts):
+            self._send(
+                k,
+                (
+                    "pinit",
+                    case,
+                    plan.parts[k],
+                    plan.out_nets[k],
+                    plan.owned_nets[k],
+                ),
+                f"partition {k} init",
+            )
+        changed = [self._recv(k, f"partition {k} init") for k in range(nparts)]
+        self.stats.partitions = nparts
+        rounds = 0
+        # Generous valve against a boundary-level oscillation: a legal
+        # synchronous design converges (unique fixed point); an illegal
+        # one should fail loudly here, not spin.
+        max_rounds = self.session.config.max_evals_per_component
+        while any(changed):
+            rounds += 1
+            if rounds > max_rounds:
+                self.shutdown()
+                raise RuntimeError(
+                    "partition boundary exchange did not converge after "
+                    f"{max_rounds} rounds — is the design legal?"
+                )
+            outbound: list[list] = [[] for _ in range(nparts)]
+            for k, items in enumerate(changed):
+                dec = self._decoders[k]
+                for name, enc in items:
+                    base, lanes = dec.decode_value(enc)
+                    for j in plan.readers.get(name, ()):
+                        if j != k:
+                            outbound[j].append(
+                                (name, self._encoders[j].encode_value(base, lanes))
+                            )
+            active = [j for j in range(nparts) if outbound[j]]
+            if not active:
+                break
+            what = f"boundary round {rounds}"
+            for j in active:
+                self._send(j, ("pround", outbound[j]), what)
+            changed = [[] for _ in range(nparts)]
+            for j in active:
+                changed[j] = self._recv(j, what)
+        self.stats.boundary_rounds += rounds
+        finals = []
+        for k in range(nparts):
+            self._send(k, ("pfinish",), f"partition {k} finish")
+        for k in range(nparts):
+            fin = self._recv(k, f"partition {k} finish")
+            dec = self._decoders[k]
+            fin.values = [
+                (name, *dec.decode_value(enc)) for name, enc in fin.values
+            ]
+            finals.append(fin)
+        self.stats.runs += 1
+        return finals
+
+
+# ----------------------------------------------------------------------
+# one-shot entry points
+# ----------------------------------------------------------------------
 
 
 def verify_parallel(
@@ -168,79 +930,26 @@ def verify_parallel(
     jobs: int | None = None,
     constraints=None,
 ) -> VerificationResult:
-    """Verify ``circuit`` with case analysis sharded over ``jobs`` processes.
+    """Verify ``circuit`` with the work sharded over ``jobs`` processes.
 
-    Produces a :class:`VerificationResult` whose violations, waveforms and
-    listings are byte-identical to ``TimingVerifier(circuit, config)
-    .verify()``; ``result.phases`` holds max-reduced wall times and
-    ``result.phases_cpu`` the summed worker CPU times.  With one case (or
-    ``jobs <= 1``) this falls back to the serial verifier.
+    A one-shot wrapper over a pooled :class:`repro.session.Session`: with
+    several cases the case axis is sharded into contiguous blocks; with a
+    single case the circuit itself is partitioned along rank boundaries
+    (falling back to serial when it is too small to split).  Violations,
+    waveforms and listings are byte-identical to
+    ``TimingVerifier(circuit, config).verify()``; ``result.phases`` holds
+    max-reduced wall times, ``result.phases_cpu`` summed worker CPU times
+    and ``result.pool`` the pool counters.  The result's lazy snapshots
+    keep the pool alive until they are read or dropped.  Raises
+    :class:`WorkerCrash` when a worker dies mid-run.
     """
-    config = config or VerifyConfig()
-    cases = circuit.cases or [{}]
+    from .session import Session
+
     if jobs is None:
         jobs = os.cpu_count() or 1
-    blocks = case_blocks(len(cases), jobs)
-    if len(blocks) <= 1:
-        return TimingVerifier(circuit, config, constraints=constraints).verify()
-
-    phases = PhaseTimes()
-    cpu = PhaseTimes()
-
-    t0, c0 = time.perf_counter(), time.process_time()
-    warnings = check_structure(circuit)
-    payload = pickle.dumps(
-        (circuit, config, cases, constraints), protocol=pickle.HIGHEST_PROTOCOL
-    )
-    parent_build_wall = time.perf_counter() - t0
-    parent_build_cpu = time.process_time() - c0
-
-    with ProcessPoolExecutor(
-        max_workers=len(blocks),
-        mp_context=_pool_context(),
-        initializer=_init_case_worker,
-        initargs=(payload,),
-    ) as pool:
-        futures = [pool.submit(_run_case_block, a, b) for a, b in blocks]
-        parts = [f.result() for f in futures]
-    parts.sort(key=lambda p: p.start)
-
-    phases.build = parent_build_wall + max(p.build_wall for p in parts)
-    cpu.build = parent_build_cpu + sum(p.build_cpu for p in parts)
-    phases.verify = max(p.verify_wall for p in parts)
-    cpu.verify = sum(p.verify_cpu for p in parts)
-
-    # The cross-reference is a property of initialization, not of any
-    # case, so every worker computed the same list; take block 0's.
-    xref = parts[0].xref_assumed_stable
-
-    report = CheckReport()
-    case_results: list[CaseResult] = []
-    for part in parts:
-        for per_case in part.violations:
-            report.extend(per_case)
-        case_results.extend(part.case_results)
-
-    result = VerificationResult(
-        circuit_name=circuit.name,
-        report=report,
-        cases=case_results,
-        stats=EngineStats.merged(p.stats for p in parts),
-        phases=phases,
-        xref_assumed_stable=xref,
-        structure_warnings=warnings,
-        primitive_count=sum(
-            1 for c in circuit.iter_components() if not c.prim.is_checker
-        ),
-        config=config,
-        phases_cpu=cpu,
-    )
-
-    t0, c0 = time.perf_counter(), time.process_time()
-    result.summary_listing()
-    phases.summary = time.perf_counter() - t0
-    cpu.summary = time.process_time() - c0
-    return result
+    return Session(
+        circuit, config, constraints=constraints, jobs=jobs
+    ).verify()
 
 
 # ----------------------------------------------------------------------
@@ -248,22 +957,28 @@ def verify_parallel(
 # ----------------------------------------------------------------------
 
 
-def _verify_section(payload: bytes) -> VerificationResult:
-    circuit, config = pickle.loads(payload)
-    return TimingVerifier(circuit, config).verify()
+def _verify_section(payload: bytes):
+    name, circuit, config, constraints = pickle.loads(payload)
+    return TimingVerifier(circuit, config, constraints=constraints).verify()
 
 
 def verify_sections_parallel(
     sections: dict[str, Circuit],
     config: VerifyConfig | None = None,
     jobs: int | None = None,
+    constraints=None,
 ):
     """Verify each section in its own worker process, one section per task.
 
-    Returns the same :class:`~repro.modular.ModularResult` the serial
-    :func:`repro.modular.verify_sections` produces: sections are rebuilt
-    in their original insertion order regardless of completion order, and
-    the interface-consistency check runs in the parent.
+    ``constraints`` is either a mapping from section name to that
+    section's resolved constraint set, or a single set applied to every
+    section (the sets are name-resolved, so per-section mappings are the
+    normal shape).  Returns the same :class:`~repro.modular.ModularResult`
+    the serial :func:`repro.modular.verify_sections` produces: sections
+    are rebuilt in their original insertion order regardless of
+    completion order, and the interface-consistency check runs in the
+    parent.  A worker death is reported as :class:`WorkerCrash` naming
+    the section whose task failed.
     """
     from .modular import ModularResult, check_interfaces, verify_sections
 
@@ -271,18 +986,33 @@ def verify_sections_parallel(
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or len(names) <= 1:
-        return verify_sections(sections, config)
+        return verify_sections(sections, config, constraints=constraints)
     config = config or VerifyConfig()
-    payloads = [
-        pickle.dumps((sections[name], config), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def constraints_of(name):
+        if isinstance(constraints, dict):
+            return constraints.get(name)
+        return constraints
+
+    payloads = {
+        name: pickle.dumps(
+            (name, sections[name], config, constraints_of(name)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         for name in names
-    ]
+    }
+    results: dict[str, VerificationResult] = {}
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(names)), mp_context=_pool_context()
     ) as pool:
-        results = list(pool.map(_verify_section, payloads))
+        futures = {name: pool.submit(_verify_section, payloads[name]) for name in names}
+        for name in names:
+            try:
+                results[name] = futures[name].result()
+            except BrokenProcessPool as exc:
+                raise WorkerCrash(f"section {name!r}", str(exc) or "worker died") from exc
     out = ModularResult()
-    for name, result in zip(names, results):
-        out.sections[name] = result
+    for name in names:
+        out.sections[name] = results[name]
     out.interface_issues = check_interfaces(sections)
     return out

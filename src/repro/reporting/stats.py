@@ -141,6 +141,22 @@ def profile_json(result: "VerificationResult") -> dict:
             "summary": c.summary,
             "total": c.total,
         }
+    if result.pool is not None:
+        # Pooled runs: the warm worker pool's lifetime and transfer
+        # counters (see repro.parallel).
+        pl = result.pool
+        out["pool"] = {
+            "workers": pl.workers,
+            "pool_starts": pl.pool_starts,
+            "runs": pl.runs,
+            "warm_runs": pl.warm_runs,
+            "edits_shipped": pl.edits_shipped,
+            "waveforms_shipped": pl.waveforms_shipped,
+            "waveform_refs": pl.waveform_refs,
+            "snapshots_fetched": pl.snapshots_fetched,
+            "partitions": pl.partitions,
+            "boundary_rounds": pl.boundary_rounds,
+        }
     return out
 
 
@@ -226,6 +242,23 @@ def profile_report(result: "VerificationResult") -> str:
             f"{s.dirty_primitives} primitives in the dirty cone, "
             f"{s.reused_waveforms} stored waveforms reused",
         ]
+    if result.pool is not None:
+        pl = result.pool
+        total_refs = pl.waveforms_shipped + pl.waveform_refs
+        lines += [
+            "",
+            f"  worker pool: {pl.workers} worker(s), "
+            f"{pl.pool_starts} start(s), {pl.runs} run(s) "
+            f"({pl.warm_runs} warm), {pl.edits_shipped} edit(s) shipped",
+            f"  digest transfer: {pl.waveforms_shipped}/{total_refs} "
+            f"waveform(s) shipped (rest sent by reference), "
+            f"{pl.snapshots_fetched} snapshot(s) fetched",
+        ]
+        if pl.partitions:
+            lines.append(
+                f"  partitioned: {pl.partitions} partition(s), "
+                f"{pl.boundary_rounds} boundary exchange round(s)"
+            )
     return "\n".join(lines)
 
 

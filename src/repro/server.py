@@ -17,7 +17,7 @@ method    path                            body / effect
 GET       /healthz                        liveness + session count
 GET       /sessions                       list open sessions
 POST      /sessions                       {"source"|"path", "sdc_source"|"sdc_path",
-                                          "name"} → {"id"}
+                                          "name", "jobs"} → {"id"}
 DELETE    /sessions/{id}                  drop the session
 POST      /sessions/{id}/verify           full run → verdict + listings + profile
 POST      /sessions/{id}/edit             {"edits": [edit docs]} (see
@@ -94,8 +94,11 @@ class SessionStore:
 
     def drop(self, sid: str) -> None:
         with self._lock:
-            if self._entries.pop(sid, None) is None:
-                raise ServerError(404, f"no such session: {sid}")
+            entry = self._entries.pop(sid, None)
+        if entry is None:
+            raise ServerError(404, f"no such session: {sid}")
+        with entry.lock:
+            entry.session.close()  # reap the session's worker pool, if any
 
     def listing(self) -> list[dict]:
         with self._lock:
@@ -237,8 +240,11 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServerError(
                 400, "provide at most one of 'sdc_source' or 'sdc_path'"
             )
+        jobs = body.get("jobs", 1)
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise ServerError(400, "'jobs' must be a positive integer")
         if path is not None:
-            session = Session.from_file(path, sdc=sdc_path)
+            session = Session.from_file(path, sdc=sdc_path, jobs=jobs)
             if sdc_source is not None:
                 from .constraints import parse_sdc, resolve
 
@@ -257,7 +263,7 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             name = body.get("name") or "<source>"
             session = Session.from_source(
-                source, sdc_source=sdc_source, name=name
+                source, sdc_source=sdc_source, name=name, jobs=jobs
             )
         sid = store.create(session, name)
         return {"id": sid, "circuit": session.circuit.name}

@@ -109,6 +109,7 @@ class Session:
         circuit: Circuit,
         config: VerifyConfig | None = None,
         constraints=None,
+        jobs: int = 1,
     ) -> None:
         self.circuit = circuit
         self.config = config or VerifyConfig()
@@ -120,6 +121,17 @@ class Session:
         self._warnings: list | None = None
         #: Total verification runs (full + incremental) this session served.
         self.runs = 0
+        #: Requested parallelism.  With ``jobs > 1`` the session owns a
+        #: persistent :class:`repro.parallel.WorkerPool`: workers are
+        #: forked lazily on the first pooled run and reused across
+        #: verify/reverify calls, with edits and waveform digests (not
+        #: circuits and snapshots) crossing the pipes.
+        self.jobs = max(1, int(jobs or 1))
+        self._pool = None
+        if self.jobs > 1:
+            from .parallel import WorkerPool
+
+            self._pool = WorkerPool(self, self.jobs)
 
     # ------------------------------------------------------------------
     # construction
@@ -131,6 +143,7 @@ class Session:
         path: str,
         config: VerifyConfig | None = None,
         sdc: str | None = None,
+        jobs: int = 1,
     ) -> "Session":
         """Expand a ``.scald`` source file into a fresh session."""
         from .hdl.expander import MacroExpander
@@ -141,7 +154,7 @@ class Session:
             from .constraints import load_constraints
 
             constraints = load_constraints(sdc, circuit)
-        return cls(circuit, config, constraints=constraints)
+        return cls(circuit, config, constraints=constraints, jobs=jobs)
 
     @classmethod
     def from_source(
@@ -150,6 +163,7 @@ class Session:
         config: VerifyConfig | None = None,
         sdc_source: str | None = None,
         name: str = "<session>",
+        jobs: int = 1,
     ) -> "Session":
         """Expand ``.scald`` source text into a fresh session."""
         from .hdl.expander import MacroExpander
@@ -163,7 +177,7 @@ class Session:
             constraints = resolve(
                 commands, circuit, filename="<sdc>", parse_findings=findings
             )
-        return cls(circuit, config, constraints=constraints)
+        return cls(circuit, config, constraints=constraints, jobs=jobs)
 
     # ------------------------------------------------------------------
     # state
@@ -196,13 +210,42 @@ class Session:
                     self._engine.set_constraints(self.constraints)
             else:
                 e.apply(self.circuit, self._dirty)
+        if self._pool is not None:
+            # Workers reconcile lazily too: the typed edits travel over
+            # the pipes at the next pooled run (a ConstraintsEdit
+            # re-resolves against the worker's own circuit copy).
+            self._pool.queue_edits(edits)
         return self
+
+    def close(self) -> None:
+        """Release the worker pool, if any; the session stays usable.
+
+        Outstanding lazy snapshots are materialized first, so results
+        already returned remain complete.  A later pooled run restarts
+        the pool transparently.
+        """
+        if self._pool is not None:
+            self._pool.close()
 
     # ------------------------------------------------------------------
     # verification
     # ------------------------------------------------------------------
 
     def verify(self) -> VerificationResult:
+        """A full verification: serial, or over the warm worker pool.
+
+        With ``jobs > 1`` the work is sharded over the session's
+        persistent pool — by case block when there are several cases, by
+        circuit partition when there is one — and the merged result is
+        byte-identical to the serial run (unique fixed point; see
+        ``repro.parallel``).  Small single-case circuits fall back to the
+        serial path.
+        """
+        if self._pool is not None:
+            return self._verify_pooled()
+        return self._verify_serial()
+
+    def _verify_serial(self) -> VerificationResult:
         """A full from-scratch verification on the persistent engine."""
         phases = PhaseTimes()
 
@@ -257,38 +300,23 @@ class Session:
         (the engine remains the authority either way).  Falls back to a
         full :meth:`verify` when the session has no converged state yet.
         """
-        if not self._converged:
+        if self.runs == 0 or (self._pool is None and not self._converged):
             return IncrementalResult(result=self.verify(), incremental=False)
 
-        pre = None
-        if prescreen:
-            t0 = time.perf_counter()
-            from .sta import analyze
+        pre = self._run_prescreen() if prescreen else None
 
-            analysis = analyze(
-                self.circuit, self.config, constraints=self.constraints
+        if self._pool is not None and self._pool_viable():
+            # Warm pooled re-verify: the shipped edits reconcile on each
+            # worker's engine through the same incremental path serial
+            # uses, so the reused pool is the incremental run.
+            return IncrementalResult(
+                result=self._verify_pooled(), incremental=True, prescreen=pre
             )
-            worst = min(
-                (
-                    r.slack_ps
-                    for r in analysis.slack
-                    if r.slack_ps is not None
-                ),
-                default=None,
-            )
-            indeterminate = sum(
-                1
-                for r in analysis.slack
-                if r.slack_ps is None and not r.waived
-            )
-            pre = Prescreen(
-                ok=analysis.ok
-                and not analysis.cdc_errors
-                and not indeterminate,
-                worst_slack_ps=worst,
-                cdc_errors=len(analysis.cdc_errors),
-                indeterminate=indeterminate,
-                seconds=time.perf_counter() - t0,
+        if not self._converged:
+            # Pool present but the design is too small to shard, and the
+            # parent engine never converged: a full serial run.
+            return IncrementalResult(
+                result=self._verify_serial(), incremental=False, prescreen=pre
             )
 
         phases = PhaseTimes()
@@ -339,13 +367,45 @@ class Session:
         self.runs += 1
         return IncrementalResult(result=result, incremental=True, prescreen=pre)
 
-    def _package(self, report, case_results, xref, warnings, phases):
-        engine = self._engine
+    def _run_prescreen(self) -> Prescreen:
+        """The static windows pass as an instant advisory verdict."""
+        t0 = time.perf_counter()
+        from .sta import analyze
+
+        analysis = analyze(
+            self.circuit, self.config, constraints=self.constraints
+        )
+        worst = min(
+            (r.slack_ps for r in analysis.slack if r.slack_ps is not None),
+            default=None,
+        )
+        indeterminate = sum(
+            1 for r in analysis.slack if r.slack_ps is None and not r.waived
+        )
+        return Prescreen(
+            ok=analysis.ok and not analysis.cdc_errors and not indeterminate,
+            worst_slack_ps=worst,
+            cdc_errors=len(analysis.cdc_errors),
+            indeterminate=indeterminate,
+            seconds=time.perf_counter() - t0,
+        )
+
+    def _package(
+        self,
+        report,
+        case_results,
+        xref,
+        warnings,
+        phases,
+        stats=None,
+        phases_cpu=None,
+        pool=None,
+    ):
         result = VerificationResult(
             circuit_name=self.circuit.name,
             report=report,
             cases=case_results,
-            stats=engine.stats,
+            stats=stats if stats is not None else self._engine.stats,
             phases=phases,
             xref_assumed_stable=xref,
             structure_warnings=warnings,
@@ -355,10 +415,191 @@ class Session:
                 if not c.prim.is_checker
             ),
             config=self.config,
+            phases_cpu=phases_cpu,
         )
-        t0 = time.perf_counter()
+        t0, c0 = time.perf_counter(), time.process_time()
         result.summary_listing()
         phases.summary = time.perf_counter() - t0
+        if phases_cpu is not None:
+            phases_cpu.summary = time.process_time() - c0
+        if pool is not None:
+            # Copied *after* the summary listing so a lazily fetched
+            # case-0 snapshot shows up in the counters.
+            result.pool = pool.stats.copy()
+        return result
+
+    # ------------------------------------------------------------------
+    # pooled verification (repro.parallel)
+    # ------------------------------------------------------------------
+
+    def _structure_warnings(self) -> list:
+        """Cached structural validation (same policy as serial reverify)."""
+        if (
+            self._warnings is None
+            or self._dirty.topology
+            or self._dirty.structure
+        ):
+            self._warnings = check_structure(self.circuit)
+        return self._warnings
+
+    def _pool_viable(self) -> bool:
+        """Can the pool shard this run (several cases, or a splittable
+        circuit)?  When not, the serial paths are the honest answer."""
+        from .parallel import case_blocks, plan_partition
+
+        cases = self.circuit.cases or [{}]
+        if len(case_blocks(len(cases), self.jobs)) > 1:
+            return True
+        engine = self.engine
+        if self._dirty.topology:
+            engine.rebuild_topology()
+        return plan_partition(self.circuit, engine, self.jobs) is not None
+
+    def _verify_pooled(self) -> VerificationResult:
+        from .parallel import case_blocks, plan_partition
+
+        cases = self.circuit.cases or [{}]
+        blocks = case_blocks(len(cases), self.jobs)
+        if len(blocks) > 1:
+            return self._pooled_blocks(cases, blocks)
+        # One case: shard the circuit itself along rank boundaries.  The
+        # planner needs current topology; leave the dirty flag for the
+        # serial fallback (rebuilding twice is sound and cheap).
+        engine = self.engine
+        if self._dirty.topology:
+            engine.rebuild_topology()
+        plan = plan_partition(self.circuit, engine, self.jobs)
+        if plan is None:
+            return self._verify_serial()
+        return self._pooled_partition(cases[0], plan)
+
+    def _pooled_blocks(self, cases, blocks) -> VerificationResult:
+        """Contiguous case blocks, one per warm worker (§2.7 case axis)."""
+        from .core.engine import EngineStats
+        from .parallel import LazySnapshot
+
+        pool = self._pool
+        phases, cpu = PhaseTimes(), PhaseTimes()
+        t0, c0 = time.perf_counter(), time.process_time()
+        warnings = self._structure_warnings()
+        parent_build_wall = time.perf_counter() - t0
+        parent_build_cpu = time.process_time() - c0
+
+        parts = pool.run_blocks(cases, blocks)
+        parts.sort(key=lambda p: p.start)
+
+        phases.build = parent_build_wall + max(p.build_wall for p in parts)
+        cpu.build = parent_build_cpu + sum(p.build_cpu for p in parts)
+        phases.verify = max(p.verify_wall for p in parts)
+        cpu.verify = sum(p.verify_cpu for p in parts)
+        # The cross-reference is a property of initialization, not of any
+        # case, so every worker computed the same list; take block 0's.
+        xref = parts[0].xref_assumed_stable
+
+        report = CheckReport()
+        case_results: list[CaseResult] = []
+        for k, part in enumerate(parts):
+            for i, per_case in enumerate(part.violations):
+                report.extend(per_case)
+                index = part.start + i
+                snap = LazySnapshot(
+                    lambda k=k, index=index: pool.fetch_case(k, index)
+                )
+                pool.watch(snap)
+                case_results.append(
+                    CaseResult(
+                        index=index,
+                        assignments=part.assignments[i],
+                        waveforms=snap,
+                        events=part.events[i],
+                    )
+                )
+
+        result = self._package(
+            report,
+            case_results,
+            xref,
+            warnings,
+            phases,
+            stats=EngineStats.merged(p.stats for p in parts),
+            phases_cpu=cpu,
+            pool=pool,
+        )
+        self.runs += 1
+        return result
+
+    def _pooled_partition(self, case, plan) -> VerificationResult:
+        """One case sharded across the circuit's rank-group partitions.
+
+        Workers converge their partitions exchanging boundary waveforms;
+        the parent then *adopts* the union of the converged values — a
+        fixed point of the whole circuit, hence (uniqueness) the serial
+        fixed point — and runs the checking pass itself, so violations
+        and listings are byte-identical to serial by construction.  The
+        parent engine ends up converged, exactly as after a serial run.
+        """
+        from .core.engine import EngineStats
+
+        pool = self._pool
+        phases, cpu = PhaseTimes(), PhaseTimes()
+        t0, c0 = time.perf_counter(), time.process_time()
+        warnings = self._structure_warnings()
+        engine = self.engine
+        self._dirty.clear()  # workers reconcile their own copies
+        engine.set_scope(None)
+        engine.initialize(case)
+        parent_build_wall = time.perf_counter() - t0
+        parent_build_cpu = time.process_time() - c0
+
+        t0 = time.perf_counter()
+        xref = list(engine.xref_assumed_stable)
+        phases.cross_reference = time.perf_counter() - t0
+
+        finals = pool.run_partition(case, plan)
+
+        t0, c0 = time.perf_counter(), time.process_time()
+        for fin in finals:
+            engine.adopt_values(fin.values)
+            engine._gating.update(fin.gating)
+        # The adopted union is the fixed point: re-evaluating any queued
+        # component would store the value it already has, so the worklist
+        # seeded by initialize/adoption is vacuous — drop it.
+        engine._queue.clear()
+        engine._heap.clear()
+        engine._queued.clear()
+        report = CheckReport()
+        report.extend(engine.check(case_index=0))
+        stats = EngineStats.merged(f.stats for f in finals)
+        stats.events_by_case = [stats.events]
+        engine.stats = stats
+        case_results = [
+            CaseResult(
+                index=0,
+                assignments=dict(case),
+                waveforms=engine.snapshot(),
+                events=stats.events,
+            )
+        ]
+        adopt_wall = time.perf_counter() - t0
+        adopt_cpu = time.process_time() - c0
+
+        phases.build = parent_build_wall + max(f.build_wall for f in finals)
+        cpu.build = parent_build_cpu + sum(f.build_cpu for f in finals)
+        phases.verify = max(f.verify_wall for f in finals) + adopt_wall
+        cpu.verify = sum(f.verify_cpu for f in finals) + adopt_cpu
+
+        result = self._package(
+            report,
+            case_results,
+            xref,
+            warnings,
+            phases,
+            stats=stats,
+            phases_cpu=cpu,
+            pool=pool,
+        )
+        self._converged = True
+        self.runs += 1
         return result
 
     # ------------------------------------------------------------------

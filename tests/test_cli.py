@@ -168,6 +168,23 @@ class TestJsonEnvelope:
         data = json.loads(capsys.readouterr().out)
         assert "phases_cpu_seconds" in data
 
+    def test_parallel_json_reports_pool_counters(self, multicase_file, capsys):
+        import json
+
+        assert main([multicase_file, "--json", "--jobs", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        pool = data["pool"]
+        assert pool["workers"] == 2
+        assert pool["pool_starts"] == 1
+        assert pool["runs"] == 1
+        assert pool["waveforms_shipped"] > 0
+
+    def test_serial_json_has_no_pool_block(self, multicase_file, capsys):
+        import json
+
+        assert main([multicase_file, "--json"]) == 0
+        assert "pool" not in json.loads(capsys.readouterr().out)
+
 
 class TestCaseValidation:
     def test_out_of_range_case_exits_2_with_usage(self, clean_file, capsys):
@@ -220,6 +237,20 @@ class TestFlagConflicts:
         err = capsys.readouterr().err
         assert "bad flags" in err and "--jobs" in err
         assert "\n" not in err.strip()
+
+    def test_fmax_with_jobs_rejected(self, clean_file, capsys):
+        """--fmax bisects over the period in-process; pool workers would
+        hold the stale period, so the combination dies up front."""
+        assert main([clean_file, "--fmax", "--jobs", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "bad flags" in err and "--fmax" in err and "--jobs" in err
+        assert "\n" not in err.strip()
+
+    def test_crosscheck_with_jobs_accepted(self, multicase_file, capsys):
+        """--crosscheck works against pooled results: the lazy snapshots
+        fetch worker waveforms on demand for the enclosure check."""
+        assert main([multicase_file, "--crosscheck", "--jobs", "2"]) == 0
+        assert "crosscheck: static windows enclose" in capsys.readouterr().out
 
     def test_negative_jobs_rejected(self, clean_file, capsys):
         assert main([clean_file, "--jobs=-3"]) == 2

@@ -10,20 +10,29 @@ EngineStats.merged, CPU phase times) and result-object pickling.
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
+from pathlib import Path
 
 import pytest
 
+from repro.constraints import load_constraints
 from repro.core.engine import EngineStats
 from repro.core.verifier import TimingVerifier, VerificationResult
+from repro.hdl.expander import MacroExpander
+from repro.incremental import WireDelayEdit
 from repro.modular import verify_sections
 from repro.netlist.circuit import Circuit
-from repro.parallel import case_blocks, verify_parallel
+from repro.parallel import WorkerCrash, case_blocks, verify_parallel
+from repro.session import Session
 from repro.workloads.figures import (
     fig_2_5_register_file,
     fig_2_6_case_analysis,
 )
 from repro.workloads.synth import SynthConfig, generate
+
+DESIGNS = Path(__file__).resolve().parent.parent / "examples" / "designs"
 
 
 def synth_with_cases(chips: int, seed: int, n_cases: int = 5) -> Circuit:
@@ -104,12 +113,23 @@ class TestSerialParallelEquivalence:
         par = verify_parallel(circuit, jobs=8)
         assert_equivalent(serial, par)
 
-    def test_single_case_falls_back_to_serial(self):
+    def test_single_case_partitions_the_circuit(self):
         circuit, _ = generate(SynthConfig(chips=60, stage_chips=30)).circuit()
         par = verify_parallel(circuit, jobs=4)
         serial = TimingVerifier(circuit).verify()
         assert_equivalent(serial, par)
-        assert par.phases_cpu is None  # the serial verifier ran
+        # With one case there is no case axis: the circuit itself is
+        # split along rank-group boundaries and converged by boundary
+        # exchange — byte-identical via fixed-point uniqueness.
+        assert par.pool is not None and par.pool.partitions >= 2
+        assert par.pool.boundary_rounds >= 1
+
+    def test_single_case_too_small_to_partition_runs_serial(self):
+        circuit = fig_2_5_register_file()
+        par = verify_parallel(circuit, jobs=4)
+        serial = TimingVerifier(circuit).verify()
+        assert_equivalent(serial, par)
+        assert par.pool is None  # the serial verifier ran
 
     def test_parallel_records_cpu_phase_times(self):
         circuit = synth_with_cases(60, 1, n_cases=4)
@@ -117,6 +137,136 @@ class TestSerialParallelEquivalence:
         assert par.phases_cpu is not None
         assert par.phases_cpu.total >= 0.0
         assert par.stats.events_by_case and len(par.stats.events_by_case) == 4
+
+
+class TestWarmPool:
+    """One Session, one pool: forked once, byte-identical across reuse."""
+
+    @pytest.mark.parametrize("chips", [60, 200])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_two_runs_and_an_edit_on_one_pool(self, chips, seed):
+        """The ISSUE's warm-reuse matrix: verify, verify again, then
+        edit→reverify — all on the same workers, all equal to serial."""
+        edit = WireDelayEdit("MUX CTL .S0-8", (0.0, 2.0))
+        oracle_sess = Session(synth_with_cases(chips, seed))
+        serial = oracle_sess.verify()
+        serial_edited = oracle_sess.edit(edit).reverify().result
+
+        sess = Session(synth_with_cases(chips, seed), jobs=2)
+        try:
+            r1 = sess.verify()
+            r2 = sess.verify()
+            assert_equivalent(serial, r1)
+            assert_equivalent(serial, r2)
+            assert r2.pool.pool_starts == 1  # same workers, not a refork
+            assert r2.pool.runs == 2
+            assert r2.pool.warm_runs >= 1  # run 2 restarted incrementally
+
+            inc = sess.edit(edit).reverify()
+            assert inc.incremental
+            assert inc.result.pool.edits_shipped == 1
+            assert inc.result.pool.pool_starts == 1
+            assert_equivalent(serial_edited, inc.result)
+        finally:
+            sess.close()
+
+    def test_digest_transfer_dedups_waveforms(self):
+        sess = Session(synth_with_cases(60, 1), jobs=2)
+        try:
+            r1 = sess.verify()
+            for case in r1.cases:
+                case.waveforms.items()  # force every snapshot fetch
+            r2 = sess.verify()
+            for case in r2.cases:
+                case.waveforms.items()
+            pool = sess._pool.stats
+            # Run 2 converged to the same values, so virtually everything
+            # crosses as a bare integer reference the second time.
+            assert pool.waveform_refs > pool.waveforms_shipped
+            assert pool.snapshots_fetched == 10
+        finally:
+            sess.close()
+
+
+class TestConstrainedParallel:
+    """SDC constraints must survive both parallel axes (regression: the
+    old section pool silently verified *unconstrained* under jobs > 1)."""
+
+    def _multicycle(self, n_cases: int = 4):
+        circuit = MacroExpander.from_file(
+            str(DESIGNS / "multicycle.scald")
+        ).expand()
+        constraints = load_constraints(
+            str(DESIGNS / "multicycle.sdc"), circuit
+        )
+        for k in range(n_cases):
+            circuit.add_case_by_name({"DIN .S0-6": k % 2})
+        return circuit, constraints
+
+    def test_constrained_case_run_matches_serial(self):
+        circuit, constraints = self._multicycle()
+        serial = TimingVerifier(circuit, constraints=constraints).verify()
+        c2, cons2 = self._multicycle()
+        par = verify_parallel(c2, jobs=2, constraints=cons2)
+        assert_equivalent(serial, par)
+        # The regression has teeth: without the constraints the verdict
+        # flips, so a pool that dropped them could not pass this test.
+        c3, _ = self._multicycle()
+        unconstrained = TimingVerifier(c3).verify()
+        assert serial.ok and not unconstrained.ok
+
+    def test_constrained_sections_match_serial(self):
+        circuit, constraints = self._multicycle(n_cases=0)
+        sections = {"mc": circuit, "rf": fig_2_5_register_file()}
+        constraint_map = {"mc": constraints}
+        serial = verify_sections(sections, constraints=constraint_map)
+        par = verify_sections(sections, jobs=2, constraints=constraint_map)
+        assert serial.report() == par.report()
+        for name in sections:
+            assert (
+                serial.sections[name].error_listing()
+                == par.sections[name].error_listing()
+            )
+        # Teeth: the unconstrained run reports violations in "mc".
+        bare = verify_sections(sections, jobs=2)
+        assert not bare.sections["mc"].ok and serial.sections["mc"].ok
+
+
+class _ExitOnUnpickle:
+    """Pickles fine in the parent; kills the worker that unpickles it."""
+
+    def __reduce__(self):
+        return (os._exit, (13,))
+
+
+class TestWorkerCrash:
+    def test_pool_worker_death_reports_the_block(self):
+        sess = Session(synth_with_cases(60, 1), jobs=2)
+        try:
+            first = sess.verify()
+            for case in first.cases:
+                case.waveforms.items()  # drain before the murder below
+            os.kill(sess._pool._procs[1].pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrash) as excinfo:
+                sess.verify()
+            assert "worker died" in str(excinfo.value)
+            # The next run transparently reforks the pool.
+            recovered = sess.verify()
+            assert recovered.ok
+            assert recovered.pool.pool_starts == 2
+        finally:
+            sess.close()
+
+    def test_section_worker_death_names_the_section(self):
+        sections = {
+            "boom": fig_2_6_case_analysis(),
+            "ok": fig_2_5_register_file(),
+        }
+        with pytest.raises(WorkerCrash) as excinfo:
+            verify_sections(
+                sections, jobs=2, constraints={"boom": _ExitOnUnpickle()}
+            )
+        assert "section 'boom'" in str(excinfo.value)
 
 
 class TestStatsMerge:

@@ -136,6 +136,51 @@ class TestVerifyOverHttp:
         assert not client.verify(bare)["ok"]
 
 
+class TestPooledOverHttp:
+    """A session created with "jobs" holds a warm worker pool behind the
+    HTTP API; its listings stay byte-identical to the serial ones."""
+
+    def test_jobs_session_matches_serial_and_reuses_pool(self, client):
+        sid = client.create(path=SHIFTER, jobs=2)
+        serial = Session.from_file(SHIFTER).verify()
+        doc = client.verify(sid)
+        assert doc["ok"] == serial.ok
+        assert doc["error_listing"] == serial.error_listing()
+        assert doc["summary_listing"] == serial.summary_listing()
+        pool = doc["profile"]["pool"]
+        assert pool["workers"] == 2 and pool["pool_starts"] == 1
+
+        # A second verify reuses the same workers, warm.
+        doc2 = client.verify(sid)
+        assert doc2["summary_listing"] == serial.summary_listing()
+        pool2 = doc2["profile"]["pool"]
+        assert pool2["pool_starts"] == 1
+        assert pool2["runs"] == 2 and pool2["warm_runs"] >= 1
+
+    def test_pooled_edit_reverify_matches_serial(self, client):
+        edit = WireDelayEdit("AFTER 1", (0.0, 1.0))
+        sid = client.create(path=SHIFTER, jobs=2)
+        client.verify(sid)
+        client.edit(sid, edit_to_doc(edit))
+        doc = client.reverify(sid, prescreen=False)
+
+        direct = Session.from_file(SHIFTER)
+        direct.verify()
+        direct.edit(edit)
+        inc = direct.reverify(prescreen=False)
+        assert doc["incremental"] is True
+        assert doc["ok"] == inc.ok
+        assert doc["error_listing"] == inc.result.error_listing()
+        assert doc["summary_listing"] == inc.result.summary_listing()
+        assert doc["profile"]["pool"]["edits_shipped"] == 1
+
+    def test_bad_jobs_rejected(self, client):
+        for bad in (0, -1, "two", True):
+            with pytest.raises(ServerError) as exc:
+                client.create(path=SHIFTER, jobs=bad)
+            assert exc.value.status == 400
+
+
 class TestStaticOverHttp:
     def test_sta_matches_direct_doc(self, client):
         sid = client.create(path=SHIFTER)

@@ -175,24 +175,91 @@ for chips, seed in ((60, 1), (200, 7)):
 EOF
 
 echo
-echo "== serial-vs-parallel equivalence smoke =="
+echo "== serial-vs-parallel equivalence gate (warm pool, byte identity) =="
+# A pooled Session forks its workers once; two verifies plus an
+# edit -> reverify must reuse the same warm pool and stay byte-identical
+# to a serial Session driven through the same script.  Single-case
+# designs exercise the partitioned path; the SDC case proves the
+# constraints actually ride along to the workers.
 python - <<'EOF'
+from repro import Session
+from repro.constraints import load_constraints
 from repro.core.verifier import TimingVerifier
+from repro.hdl.expander import MacroExpander
+from repro.incremental import WireDelayEdit
 from repro.parallel import verify_parallel
 from repro.workloads.synth import SynthConfig, generate
 
-for chips, seed in ((60, 1), (200, 7)):
+
+def synth(chips, seed, cases):
     circuit, _ = generate(SynthConfig(chips=chips, seed=seed)).circuit()
-    for k in range(4):
+    for k in range(cases):
         circuit.add_case_by_name({"MUX CTL .S0-8": k % 2})
-    serial = TimingVerifier(circuit).verify()
-    par = verify_parallel(circuit, jobs=2)
-    assert serial.error_listing() == par.error_listing(), (chips, seed)
+    return circuit
+
+
+def same_listings(serial, par, where):
+    assert serial.error_listing() == par.error_listing(), where
     assert all(
         serial.summary_listing(case=c) == par.summary_listing(case=c)
-        for c in range(4)
-    ), (chips, seed)
-    print(f"ok: synth chips={chips} seed={seed} serial == --jobs 2")
+        for c in range(len(serial.cases))
+    ), where
+
+
+for chips, seed in ((60, 1), (200, 7)):
+    pooled = Session(synth(chips, seed, 4), jobs=2)
+    serial = Session(synth(chips, seed, 4))
+    first, again = pooled.verify(), pooled.verify()
+    oracle = serial.verify()
+    same_listings(oracle, first, (chips, seed, "cold"))
+    same_listings(oracle, again, (chips, seed, "warm"))
+    edit = WireDelayEdit("MUX CTL .S0-8", (0.0, 2.0))
+    pooled.edit(edit)
+    serial.edit(edit)
+    par_inc = pooled.reverify(prescreen=False).result
+    ser_inc = serial.reverify(prescreen=False).result
+    same_listings(ser_inc, par_inc, (chips, seed, "reverify"))
+    stats = par_inc.pool
+    assert stats.pool_starts == 1, (chips, seed, stats)
+    assert stats.runs == 3 and stats.warm_runs >= 1, (chips, seed, stats)
+    assert stats.edits_shipped == 1, (chips, seed, stats)
+    pooled.close()
+    print(f"ok: synth chips={chips} seed={seed} warm pool == serial "
+          f"(2 verifies + edit->reverify on {stats.workers} workers, "
+          f"{stats.pool_starts} fork)")
+
+# Single case: the circuit is partitioned along its register cuts and
+# the workers exchange boundary waveforms to the global fixed point.
+single, _ = generate(SynthConfig(chips=200, seed=7)).circuit()
+par = verify_parallel(single, jobs=4)
+single2, _ = generate(SynthConfig(chips=200, seed=7)).circuit()
+serial = TimingVerifier(single2).verify()
+same_listings(serial, par, "partitioned")
+assert par.pool is not None and par.pool.partitions >= 2, par.pool
+print(f"ok: synth chips=200 seed=7 single case partitioned == serial "
+      f"({par.pool.partitions} partitions, "
+      f"{par.pool.boundary_rounds} boundary rounds)")
+
+# SDC constraints must reach the workers: the constrained parallel run
+# matches the constrained serial run, and differs from unconstrained.
+def multicycle(n_cases):
+    circuit = MacroExpander.from_file(
+        "examples/designs/multicycle.scald").expand()
+    for k in range(n_cases):
+        circuit.add_case_by_name({"DIN .S0-6": k % 2})
+    return circuit, load_constraints(
+        "examples/designs/multicycle.sdc", circuit)
+
+
+circuit, cons = multicycle(4)
+par = verify_parallel(circuit, jobs=2, constraints=cons)
+circuit2, cons2 = multicycle(4)
+serial = TimingVerifier(circuit2, constraints=cons2).verify()
+same_listings(serial, par, "sdc")
+bare = verify_parallel(multicycle(4)[0], jobs=2)
+assert serial.ok and par.ok and not bare.ok
+print("ok: multicycle.sdc constrained --jobs 2 == serial "
+      "(and unconstrained correctly fails)")
 EOF
 
 echo
@@ -288,6 +355,22 @@ try:
     assert wire_inc["summary_listing"] == inc.result.summary_listing()
     client.delete(sid)
     print("ok: scald-serve load/verify/edit/reverify == direct Session")
+
+    # A session created with "jobs" verifies on a warm worker pool behind
+    # the same wire protocol; listings stay identical and the second run
+    # reuses the forked workers.
+    psid = client.create(path="examples/designs/shifter.scald", jobs=2)
+    wire_par = client.verify(psid)
+    wire_par2 = client.verify(psid)
+    assert wire_par["error_listing"] == full.error_listing()
+    assert wire_par["summary_listing"] == full.summary_listing()
+    assert wire_par2["summary_listing"] == full.summary_listing()
+    pool = wire_par2["profile"]["pool"]
+    assert pool["workers"] == 2 and pool["pool_starts"] == 1
+    assert pool["runs"] == 2 and pool["warm_runs"] >= 1
+    client.delete(psid)  # drop closes the pool server-side
+    print("ok: scald-serve jobs=2 pooled verify == direct Session "
+          "(pool reused across runs)")
 finally:
     proc.terminate()
     proc.wait(timeout=10)
